@@ -1,0 +1,4 @@
+//! Ablation: write-back-cacheable vs. uncached remote ranges.
+fn main() {
+    cohfree_bench::experiments::ablations::cacheable(cohfree_bench::Scale::from_env()).print();
+}

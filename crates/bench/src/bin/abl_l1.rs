@@ -1,0 +1,4 @@
+//! Ablation: single-cache baseline vs. L1+L2 hierarchy refinement.
+fn main() {
+    cohfree_bench::experiments::ablations::l1_hierarchy(cohfree_bench::Scale::from_env()).print();
+}

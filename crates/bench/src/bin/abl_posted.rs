@@ -1,0 +1,4 @@
+//! Ablation: posted vs. blocking remote stores.
+fn main() {
+    cohfree_bench::experiments::ablations::posted(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,4 @@
+//! Ablation: the sequential prefetcher (the paper's future work).
+fn main() {
+    cohfree_bench::experiments::ablations::prefetch(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,4 @@
+//! Ablation: link loss with RMC timeout/retransmission recovery.
+fn main() {
+    cohfree_bench::experiments::ablations::reliability(cohfree_bench::Scale::from_env()).print();
+}

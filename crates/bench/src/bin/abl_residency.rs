@@ -1,0 +1,4 @@
+//! Ablation: swap resident-set sweep and swap-transport comparison.
+fn main() {
+    cohfree_bench::experiments::ablations::residency(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,4 @@
+//! Ablation: fabric topology (mesh / torus / fully-connected).
+fn main() {
+    cohfree_bench::experiments::ablations::topology(cohfree_bench::Scale::from_env()).print();
+}

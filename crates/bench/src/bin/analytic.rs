@@ -1,0 +1,4 @@
+//! Validates the paper's Equations 1-2 against full simulation.
+fn main() {
+    cohfree_bench::experiments::analytic::table(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,4 @@
+//! Extension: hot-plug ballooning vs. worst-case provisioning.
+fn main() {
+    cohfree_bench::experiments::ext_balloon::table(cohfree_bench::Scale::from_env()).print();
+}

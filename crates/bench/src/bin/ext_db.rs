@@ -1,0 +1,4 @@
+//! Extension: the database query study the paper names as its next step.
+fn main() {
+    cohfree_bench::experiments::ext_db::table(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,4 @@
+//! Extension: read-only parallel phases (Section IV-B of the paper).
+fn main() {
+    cohfree_bench::experiments::ext_parallel::table(cohfree_bench::Scale::from_env()).print();
+}

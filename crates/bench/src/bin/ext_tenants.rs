@@ -1,0 +1,4 @@
+//! Extension: cluster-wide scalability with simultaneous borrowers.
+fn main() {
+    cohfree_bench::experiments::ext_tenants::table(cohfree_bench::Scale::from_env()).print();
+}

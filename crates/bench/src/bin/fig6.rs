@@ -1,0 +1,4 @@
+//! Regenerates Figure 6: remote read latency vs. hop distance.
+fn main() {
+    cohfree_bench::experiments::fig6::table(cohfree_bench::Scale::from_env()).print();
+}

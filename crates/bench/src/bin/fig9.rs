@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: b-tree search time vs. fanout under remote swap.
+fn main() {
+    cohfree_bench::experiments::fig9::table(cohfree_bench::Scale::from_env()).print();
+}

@@ -1,0 +1,241 @@
+//! EXT-LOCALITY — predicting each workload's fate from its trace.
+//!
+//! Equations 1–2 of the paper describe memory time as a function of
+//! workload locality, but leave `A_page` (and the cache behaviour) as
+//! unknowns. Here we *measure* them: each kernel runs once on a traced
+//! local machine; exact page-cache and CPU-cache simulations over the trace
+//! yield its fault and miss counts; plugging those into extended forms of
+//! Eqs. 1–2 predicts the swap and remote-memory execution times — which we
+//! then validate by replaying the identical trace on the real backends.
+//!
+//! Extended equations (the paper's, with the cache/compute terms made
+//! explicit):
+//!
+//! ```text
+//! T_swap   ≈ T_cpu + allocs·L_malloc + walks·L_walk
+//!          + hits·L_hit + misses·(L_hit + L_dram)
+//!          + minor·L_minor + major·L_page + pages_out·L_page
+//! T_remote ≈ T_cpu + allocs·L_malloc + walks·L_walk
+//!          + hits·L_hit + misses·(L_hit + L_remote) + wb·L_remote
+//! ```
+
+use crate::table::Table;
+use crate::Scale;
+use cohfree_core::backend::{AllocPolicy, RemoteMemorySpace, SwapConfig, SwapSpace};
+use cohfree_core::trace::{
+    cache_profile, compute_total, page_profile, replay, tlb_misses, Op, Tracer,
+};
+use cohfree_core::world::World;
+use cohfree_core::{ClusterConfig, LocalMachine, SimDuration};
+use cohfree_workloads::parsec::{BlackScholes, Canneal, StreamCluster};
+use cohfree_workloads::BTree;
+
+/// One kernel's prediction-vs-measurement row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Measured `A_page` (accesses per major fault; `inf` if resident).
+    pub a_page: f64,
+    /// CPU-cache miss ratio from the trace.
+    pub miss_ratio: f64,
+    /// Eq. 1 (extended) prediction for remote swap, ms.
+    pub swap_pred_ms: f64,
+    /// Replayed (simulated) remote-swap time, ms.
+    pub swap_meas_ms: f64,
+    /// Eq. 2 (extended) prediction for remote memory, ms.
+    pub remote_pred_ms: f64,
+    /// Replayed (simulated) remote-memory time, ms.
+    pub remote_meas_ms: f64,
+}
+
+fn trace_kernel(which: &'static str, scale: Scale) -> Vec<Op> {
+    let mut t = Tracer::new(LocalMachine::new(ClusterConfig::prototype(), 8 << 30));
+    match which {
+        "blackscholes" => {
+            let k = BlackScholes {
+                options: scale.pick(20_000, 80_000, 500_000),
+                passes: 1,
+                seed: 61,
+            };
+            k.run(&mut t);
+        }
+        "canneal" => {
+            let k = Canneal {
+                elements: scale.pick(120_000, 400_000, 2_000_000),
+                steps: scale.pick(2_000, 8_000, 50_000),
+                temperature: 100.0,
+                seed: 62,
+            };
+            k.run(&mut t);
+        }
+        "btree-search" => {
+            let keys = super::random_sorted_keys(scale.pick(30_000, 120_000, 1_000_000), 63);
+            let tree = BTree::bulk_load(&mut t, &keys, 167);
+            let mut rng = cohfree_core::Rng::new(64);
+            for _ in 0..scale.pick(400u64, 1_500, 20_000) {
+                tree.search(&mut t, keys[rng.below(keys.len() as u64) as usize]);
+            }
+        }
+        "streamcluster" => {
+            let k = StreamCluster {
+                block_points: 1_024,
+                dims: 8,
+                centers: 4,
+                blocks: scale.pick(2, 6, 20),
+                seed: 65,
+            };
+            k.run(&mut t);
+        }
+        other => panic!("unknown kernel {other}"),
+    }
+    t.into_parts().1
+}
+
+/// Analyze + predict + validate one kernel.
+pub fn run_kernel(which: &'static str, scale: Scale, cache_pages: usize) -> Row {
+    let cfg = ClusterConfig::prototype();
+    let trace = trace_kernel(which, scale);
+
+    // --- analysis over the trace ---
+    let pages = page_profile(&trace, cache_pages, cfg.cache.line_bytes as u64);
+    let cpu_cache = cache_profile(&trace, cfg.cache);
+    let t_cpu = compute_total(&trace);
+    let walks = tlb_misses(&trace, cfg.tlb.entries, cfg.cache.line_bytes as u64)
+        .saturating_sub(pages.minor_faults + pages.major_faults);
+    let allocs = trace
+        .iter()
+        .filter(|op| matches!(op, Op::Alloc { .. }))
+        .count() as f64;
+
+    // --- calibration constants straight from the configuration ---
+    let l_hit = cfg.os.cache_hit.as_ns_f64();
+    let l_dram = 65.0;
+    let w = World::new(cfg);
+    let l_remote = w
+        .estimate_remote_read_latency(super::n(1), super::n(2), 64)
+        .as_ns_f64();
+    // Ethernet page op incl. kernel fault overhead (the default transport).
+    let l_page = cfg.os.fault_overhead.as_ns_f64() + 100_000.0 + 4096.0 / 125.0 * 1_000.0;
+    let l_minor = SimDuration::us(2).as_ns_f64();
+
+    let l_walk = cfg.os.tlb_walk.as_ns_f64();
+    let l_malloc = cfg.os.malloc_overhead.as_ns_f64();
+    let ns = |x: f64| x / 1e6; // ns -> ms
+    let swap_pred_ms = ns(t_cpu.as_ns_f64()
+        + allocs * l_malloc
+        + walks as f64 * l_walk
+        + cpu_cache.hits as f64 * l_hit
+        + cpu_cache.misses as f64 * (l_hit + l_dram)
+        + pages.minor_faults as f64 * l_minor
+        + pages.major_faults as f64 * l_page
+        + pages.pages_out as f64 * l_page);
+    let remote_pred_ms = ns(t_cpu.as_ns_f64()
+        + allocs * l_malloc
+        + walks as f64 * l_walk
+        + cpu_cache.hits as f64 * l_hit
+        + cpu_cache.misses as f64 * (l_hit + l_remote)
+        + cpu_cache.writebacks as f64 * l_remote);
+
+    // --- ground truth: replay the identical trace on the real backends ---
+    let mut swap = SwapSpace::remote(
+        cfg,
+        super::n(1),
+        SwapConfig {
+            cache_pages,
+            ..SwapConfig::default()
+        },
+    );
+    let swap_meas_ms = replay(&mut swap, &trace).as_ms_f64();
+    let mut remote = RemoteMemorySpace::new(cfg, super::n(1), AllocPolicy::AlwaysRemote);
+    let remote_meas_ms = replay(&mut remote, &trace).as_ms_f64();
+
+    Row {
+        kernel: which,
+        a_page: pages.accesses_per_page,
+        miss_ratio: cpu_cache.misses as f64 / cpu_cache.accesses.max(1) as f64,
+        swap_pred_ms,
+        swap_meas_ms,
+        remote_pred_ms,
+        remote_meas_ms,
+    }
+}
+
+/// Run the four kernels (swap resident set scaled per tier).
+pub fn run(scale: Scale) -> Vec<Row> {
+    let cache_pages = scale.pick(512, 2_048, 16_384);
+    crate::parallel_map(
+        vec!["blackscholes", "canneal", "btree-search", "streamcluster"],
+        |k| run_kernel(k, scale, cache_pages),
+    )
+}
+
+/// Render the study as a table.
+pub fn table(scale: Scale) -> Table {
+    let rows = run(scale);
+    let mut t = Table::new(
+        "EXT-LOCALITY — trace-driven Eq. 1-2 predictions vs. full simulation",
+        &[
+            "kernel",
+            "A_page",
+            "miss_ratio",
+            "swap_pred_ms",
+            "swap_meas_ms",
+            "remote_pred_ms",
+            "remote_meas_ms",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.kernel.into(),
+            if r.a_page.is_finite() {
+                format!("{:.0}", r.a_page)
+            } else {
+                "inf".into()
+            },
+            format!("{:.3}", r.miss_ratio),
+            format!("{:.2}", r.swap_pred_ms),
+            format!("{:.2}", r.swap_meas_ms),
+            format!("{:.2}", r.remote_pred_ms),
+            format!("{:.2}", r.remote_meas_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predictions_track_measurements() {
+        for r in run(Scale::Smoke) {
+            let swap_err = (r.swap_pred_ms - r.swap_meas_ms).abs() / r.swap_meas_ms;
+            assert!(
+                swap_err < 0.20,
+                "{}: swap pred {} vs meas {} ({swap_err:.2} rel err)",
+                r.kernel,
+                r.swap_pred_ms,
+                r.swap_meas_ms
+            );
+            let rem_err = (r.remote_pred_ms - r.remote_meas_ms).abs() / r.remote_meas_ms;
+            assert!(
+                rem_err < 0.25,
+                "{}: remote pred {} vs meas {} ({rem_err:.2} rel err)",
+                r.kernel,
+                r.remote_pred_ms,
+                r.remote_meas_ms
+            );
+        }
+    }
+
+    #[test]
+    fn locality_ordering_is_sensible() {
+        let rows = run(Scale::Smoke);
+        let get = |k: &str| rows.iter().find(|r| r.kernel == k).unwrap().clone();
+        // streamcluster fits: no major faults at all.
+        assert!(get("streamcluster").a_page.is_infinite());
+        // canneal has the worst CPU-cache locality of the faulting kernels.
+        assert!(get("canneal").miss_ratio > get("blackscholes").miss_ratio);
+    }
+}

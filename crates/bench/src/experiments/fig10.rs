@@ -1,0 +1,169 @@
+//! Figure 10 — B-tree search scalability: remote memory vs. remote swap.
+//!
+//! With the fanout fixed at Fig. 9's optimum (168 children), the key count
+//! sweeps upward while the swap scenario's local memory stays fixed. The
+//! paper's result: remote memory grows gently (locality-insensitive,
+//! Eq. 2), while remote swap "worsens exponentially, due to the page
+//! trashing syndrome" once the tree outgrows the resident set.
+
+use crate::table::Table;
+use crate::Scale;
+use cohfree_core::backend::{AllocPolicy, RemoteMemorySpace, RemoteOptions, SwapConfig, SwapSpace};
+use cohfree_core::{MemSpace, Rng};
+use cohfree_workloads::BTree;
+
+/// Children per node (Fig. 9's optimum).
+pub const CHILDREN: usize = 168;
+
+/// One measured point.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Keys in the tree.
+    pub keys: usize,
+    /// Mean search time, remote memory, microseconds.
+    pub remote_mem_us: f64,
+    /// Mean search time, remote swap, microseconds.
+    pub remote_swap_us: f64,
+    /// Swap major faults per search.
+    pub swap_faults_per_search: f64,
+}
+
+fn searches_for(scale: Scale) -> u64 {
+    scale.pick(200, 1_500, 500_000)
+}
+
+/// Swap resident set (pages), fixed across the sweep so bigger trees
+/// eventually outgrow it — the essence of the figure.
+fn swap_cache_pages(scale: Scale) -> usize {
+    // Sized to hold the sweep's smallest tree comfortably.
+    scale.pick(400, 800, 30_000)
+}
+
+fn mean_search_us<M: MemSpace>(mut m: M, keys: &[u64], searches: u64, seed: u64) -> (f64, f64) {
+    let tree = BTree::bulk_load(&mut m, keys, CHILDREN - 1);
+    let mut rng = Rng::new(seed);
+    let f0 = m.stats().major_faults;
+    let t0 = m.now();
+    for i in 0..searches {
+        let k = if i % 2 == 0 {
+            keys[rng.below(keys.len() as u64) as usize]
+        } else {
+            rng.next_u64()
+        };
+        tree.search(&mut m, k);
+    }
+    let us = m.now().since(t0).as_us_f64() / searches as f64;
+    let fps = (m.stats().major_faults - f0) as f64 / searches as f64;
+    (us, fps)
+}
+
+/// Key counts swept.
+pub fn key_sweep(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Smoke => vec![60_000, 120_000, 240_000],
+        Scale::Default => vec![100_000, 200_000, 400_000, 800_000, 1_600_000],
+        Scale::Paper => vec![
+            1_000_000, 2_000_000, 4_000_000, 8_000_000, 16_000_000, 32_000_000, 64_000_000,
+        ],
+    }
+}
+
+/// Run one point of the sweep.
+pub fn run_point(scale: Scale, nkeys: usize) -> Row {
+    let searches = searches_for(scale);
+    let keys = super::random_sorted_keys(nkeys, 0x1010 + nkeys as u64);
+    let remote = RemoteMemorySpace::with_options(
+        super::cluster(),
+        super::n(1),
+        AllocPolicy::AlwaysRemote,
+        RemoteOptions {
+            servers: Some(vec![super::n(2), super::n(5)]),
+            ..RemoteOptions::default()
+        },
+    );
+    let (remote_mem_us, _) = mean_search_us(remote, &keys, searches, 0xAB);
+    let swap = SwapSpace::remote(
+        super::cluster(),
+        super::n(1),
+        SwapConfig {
+            cache_pages: swap_cache_pages(scale),
+            ..SwapConfig::default()
+        },
+    );
+    let (remote_swap_us, swap_faults_per_search) = mean_search_us(swap, &keys, searches, 0xAB);
+    Row {
+        keys: nkeys,
+        remote_mem_us,
+        remote_swap_us,
+        swap_faults_per_search,
+    }
+}
+
+/// Run the full figure (one thread per key count).
+pub fn run(scale: Scale) -> Vec<Row> {
+    crate::parallel_map(key_sweep(scale), |k| run_point(scale, k))
+}
+
+/// Render the figure as a table.
+pub fn table(scale: Scale) -> Table {
+    let rows = run(scale);
+    let mut t = Table::new(
+        "Fig. 10 — search time vs. #keys (fanout 168): remote memory vs. remote swap",
+        &[
+            "keys",
+            "remote_mem_us",
+            "remote_swap_us",
+            "swap_faults_per_search",
+            "swap_vs_mem",
+        ],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.keys.to_string(),
+            format!("{:.2}", r.remote_mem_us),
+            format!("{:.2}", r.remote_swap_us),
+            format!("{:.2}", r.swap_faults_per_search),
+            format!("{:.1}x", r.remote_swap_us / r.remote_mem_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_explodes_past_residency_while_remote_memory_stays_gentle() {
+        let rows = run(Scale::Smoke);
+        let first = rows.first().unwrap();
+        let mid = &rows[rows.len() / 2];
+        let last = rows.last().unwrap();
+        // Remote memory: gentle growth (log-depth) once the tree no longer
+        // fits the CPU cache (mid -> last doubles the keys).
+        assert!(
+            last.remote_mem_us < mid.remote_mem_us * 3.0,
+            "remote memory should grow gently: {} -> {}",
+            mid.remote_mem_us,
+            last.remote_mem_us
+        );
+        // Remote swap: blows past remote memory once the tree outgrows the
+        // resident set.
+        assert!(
+            last.remote_swap_us > last.remote_mem_us * 3.0,
+            "swap {} should dwarf remote memory {} at the top of the sweep",
+            last.remote_swap_us,
+            last.remote_mem_us
+        );
+        // And the blow-up is mechanistically a fault explosion.
+        assert!(last.swap_faults_per_search > first.swap_faults_per_search + 0.5);
+        // At the small end the tree is resident: swap is far below its own
+        // thrashing regime.
+        assert!(
+            first.remote_swap_us < last.remote_swap_us / 10.0,
+            "resident tree: swap {} vs thrashing swap {}",
+            first.remote_swap_us,
+            last.remote_swap_us
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 9 — B-tree search time vs. fanout under remote swap.
+//!
+//! A tree of N random keys lives in a remote-swap space whose resident set
+//! is a fraction of the tree; the average search time is swept over the
+//! number of children per node. The paper's U-shape: tiny fanouts mean tall
+//! trees (many page faults per search), huge fanouts mean nodes spanning
+//! several pages (binary search inside a node faults repeatedly); the
+//! optimum sits where a node fills — but does not exceed — a page
+//! (the paper found ≈168 children).
+
+use crate::table::Table;
+use crate::Scale;
+use cohfree_core::backend::{SwapConfig, SwapSpace};
+use cohfree_core::{MemSpace, Rng};
+use cohfree_workloads::BTree;
+
+/// One fanout measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Children per node (`max_keys + 1`).
+    pub children: usize,
+    /// Mean time per search in microseconds.
+    pub search_us: f64,
+    /// Major faults per search.
+    pub faults_per_search: f64,
+    /// Tree height.
+    pub height: u32,
+}
+
+/// Experiment sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct Sizing {
+    /// Keys in the tree.
+    pub keys: usize,
+    /// Random searches timed.
+    pub searches: u64,
+    /// Resident-set bound in pages.
+    pub cache_pages: usize,
+}
+
+/// Paper-proportional sizing for each scale tier.
+///
+/// The tree is ~16× the resident set (the paper's swap scenario has a
+/// footprint well beyond local memory), and the default key count is
+/// chosen so that every fanout in the sweep yields the *same* tree height
+/// — isolating the per-node page-span effect that produces the U's right
+/// side, exactly as at the paper's 10 M keys.
+pub fn sizing(scale: Scale) -> Sizing {
+    let keys = scale.pick(40_000usize, 1_200_000, 10_000_000);
+    Sizing {
+        keys,
+        searches: scale.pick(300u64, 2_000, 500_000),
+        // ~24 B/key of tree; cache holds a sixteenth of it.
+        cache_pages: (keys * 24 / 4096 / 16).max(16),
+    }
+}
+
+/// Measure one fanout.
+pub fn run_fanout(sz: Sizing, children: usize, seed: u64) -> Row {
+    let max_keys = children - 1;
+    let mut m = SwapSpace::remote(
+        super::cluster(),
+        super::n(1),
+        SwapConfig {
+            cache_pages: sz.cache_pages,
+            ..SwapConfig::default()
+        },
+    );
+    let keys = super::random_sorted_keys(sz.keys, seed);
+    let tree = BTree::bulk_load(&mut m, &keys, max_keys);
+    let mut rng = Rng::new(seed ^ 0xF1609);
+    let faults0 = m.stats().major_faults;
+    let t0 = m.now();
+    for i in 0..sz.searches {
+        // Half present keys, half uniform random probes.
+        let k = if i % 2 == 0 {
+            keys[rng.below(keys.len() as u64) as usize]
+        } else {
+            rng.next_u64()
+        };
+        tree.search(&mut m, k);
+    }
+    let elapsed = m.now().since(t0);
+    Row {
+        children,
+        search_us: elapsed.as_us_f64() / sz.searches as f64,
+        faults_per_search: (m.stats().major_faults - faults0) as f64 / sz.searches as f64,
+        height: tree.height(),
+    }
+}
+
+/// The fanout sweep of the figure.
+pub fn children_sweep() -> Vec<usize> {
+    vec![4, 8, 16, 32, 64, 128, 168, 224, 320, 512, 1024]
+}
+
+/// Run the full figure (one thread per fanout — points are independent).
+pub fn run(scale: Scale) -> Vec<Row> {
+    let sz = sizing(scale);
+    crate::parallel_map(children_sweep(), |c| run_fanout(sz, c, 0x916))
+}
+
+/// Render the figure as a table.
+pub fn table(scale: Scale) -> Table {
+    let rows = run(scale);
+    let mut t = Table::new(
+        "Fig. 9 — b-tree search time vs. children per node (remote swap)",
+        &["children", "height", "search_us", "faults_per_search"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.children.to_string(),
+            r.height.to_string(),
+            format!("{:.1}", r.search_us),
+            format!("{:.2}", r.faults_per_search),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_shape_with_interior_optimum() {
+        let sz = Sizing {
+            keys: 30_000,
+            searches: 200,
+            cache_pages: 16,
+        };
+        // Left side: tiny fanouts make tall trees that fault per level.
+        let narrow = run_fanout(sz, 4, 7);
+        let page_sized = run_fanout(sz, 255, 7); // node ≈ one page
+        assert!(
+            page_sized.search_us < narrow.search_us,
+            "page-sized nodes ({}) must beat fanout 4 ({})",
+            page_sized.search_us,
+            narrow.search_us
+        );
+        assert!(narrow.faults_per_search > page_sized.faults_per_search);
+        assert!(narrow.height > page_sized.height);
+        // Right side, at *matched* tree height: nodes spanning many pages
+        // fault repeatedly inside one node (the paper's alignment effect).
+        let huge = run_fanout(sz, 2048, 7);
+        assert_eq!(
+            huge.height, page_sized.height,
+            "heights must match by construction"
+        );
+        assert!(
+            page_sized.search_us < huge.search_us,
+            "page-sized nodes ({}) must beat fanout 2048 ({})",
+            page_sized.search_us,
+            huge.search_us
+        );
+        assert!(huge.faults_per_search > page_sized.faults_per_search);
+    }
+}

@@ -1,0 +1,57 @@
+//! Experiment implementations, one module per paper figure + ablations.
+
+pub mod ablations;
+pub mod analytic;
+pub mod ext_balloon;
+pub mod ext_coherent;
+pub mod ext_db;
+pub mod ext_locality;
+pub mod ext_parallel;
+pub mod ext_tenants;
+pub mod fig10;
+pub mod fig11;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+
+use cohfree_core::{ClusterConfig, NodeId};
+
+/// The standard experiment cluster (the 16-node prototype).
+pub fn cluster() -> ClusterConfig {
+    ClusterConfig::prototype()
+}
+
+/// Shorthand node constructor.
+pub fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+/// Generate `count` strictly-ascending pseudo-random u64 keys (dedup'd,
+/// deterministic), for bulk-loading trees/indexes.
+pub fn random_sorted_keys(count: usize, seed: u64) -> Vec<u64> {
+    let mut rng = cohfree_core::Rng::new(seed);
+    let mut keys: Vec<u64> = (0..count + count / 8 + 16)
+        .map(|_| rng.next_u64())
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys.truncate(count);
+    assert_eq!(keys.len(), count, "not enough distinct keys generated");
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_sorted_unique_exact() {
+        let k = random_sorted_keys(10_000, 5);
+        assert_eq!(k.len(), 10_000);
+        assert!(k.windows(2).all(|w| w[0] < w[1]));
+        // Deterministic.
+        assert_eq!(k, random_sorted_keys(10_000, 5));
+        assert_ne!(k, random_sorted_keys(10_000, 6));
+    }
+}

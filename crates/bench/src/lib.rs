@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+
+//! # cohfree-bench — the experiment harness
+//!
+//! One module per results figure of the paper (and per ablation), each
+//! exposing a pure function that runs the experiment and returns rows; thin
+//! `src/bin/*.rs` mains print them. The same functions back the Criterion
+//! benches, so `cargo bench` exercises every figure's code path.
+//!
+//! ## Scale
+//!
+//! Experiments default to a scaled-down size that finishes in seconds.
+//! Set `COHFREE_SCALE=paper` for paper-scale runs (10 M-key trees, 500 k
+//! searches — minutes of wall time), or `COHFREE_SCALE=smoke` for CI-speed
+//! runs. Scaling changes problem sizes, never the architecture, so curve
+//! *shapes* are preserved.
+
+pub mod experiments;
+pub mod table;
+
+/// Run `f` over `items` on one OS thread per item (experiments are
+/// independent, deterministic simulations — embarrassingly parallel), and
+/// return the results in input order. Falls back to sequential for a
+/// single item.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|_| f(item))).collect();
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+/// Experiment size tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity runs (used by `cargo bench` and tests).
+    Smoke,
+    /// Default: minutes-at-most runs preserving every curve shape.
+    Default,
+    /// The paper's sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Read the tier from `COHFREE_SCALE` (`smoke` / `default` / `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("COHFREE_SCALE").as_deref() {
+            Ok("smoke") => Scale::Smoke,
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Pick one of three values by tier.
+    pub fn pick<T: Copy>(self, smoke: T, default: T, paper: T) -> T {
+        match self {
+            Scale::Smoke => smoke,
+            Scale::Default => default,
+            Scale::Paper => paper,
+        }
+    }
+}

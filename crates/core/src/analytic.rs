@@ -1,0 +1,126 @@
+//! The paper's analytic memory-time model (Equations 1 and 2).
+//!
+//! Equation 1 — remote swap:
+//! ```text
+//! T_remote_swap = A_total · L_local + (A_total / A_page) · L_swap
+//! ```
+//! where `A_total` is the total number of memory accesses, `A_page` the mean
+//! number of accesses a page receives during one residency, `L_local` the
+//! local DRAM latency and `L_swap` the cost of bringing one page in.
+//!
+//! Equation 2 — the paper's remote memory:
+//! ```text
+//! T_remote_memory = A_total · L_remote
+//! ```
+//!
+//! The crossover (`remote memory wins when T_remote_memory < T_remote_swap`)
+//! depends only on locality: remote swap beats remote memory only when each
+//! fetched page amortizes its transfer over many accesses. The `analytic`
+//! bench compares these closed forms against full simulation.
+
+use cohfree_sim::SimDuration;
+
+/// Inputs to both equations.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelParams {
+    /// Total memory accesses performed by the application (`A_total`).
+    pub total_accesses: u64,
+    /// Mean accesses per page residency (`A_page`); the locality knob.
+    pub accesses_per_page: f64,
+    /// Local DRAM access latency (`L_local`).
+    pub l_local: SimDuration,
+    /// Page fetch cost, OS overhead included (`L_swap`).
+    pub l_swap: SimDuration,
+    /// Remote cache-line access latency (`L_remote`).
+    pub l_remote: SimDuration,
+}
+
+/// Equation 1: memory time under remote swap.
+pub fn t_remote_swap(p: &ModelParams) -> SimDuration {
+    assert!(p.accesses_per_page > 0.0, "A_page must be positive");
+    let local = p.l_local.as_ns_f64() * p.total_accesses as f64;
+    let faults = p.total_accesses as f64 / p.accesses_per_page;
+    let swap = p.l_swap.as_ns_f64() * faults;
+    SimDuration::ns_f64(local + swap)
+}
+
+/// Equation 2: memory time under the paper's remote memory.
+pub fn t_remote_memory(p: &ModelParams) -> SimDuration {
+    SimDuration::ns_f64(p.l_remote.as_ns_f64() * p.total_accesses as f64)
+}
+
+/// The locality threshold `A_page*` at which both systems cost the same:
+/// remote swap wins only above it. Derived from equating Eqs. 1 and 2:
+/// `A_page* = L_swap / (L_remote − L_local)`.
+///
+/// Returns `None` when remote memory is not slower than local memory (then
+/// remote memory wins at any locality).
+pub fn crossover_accesses_per_page(p: &ModelParams) -> Option<f64> {
+    let diff = p.l_remote.as_ns_f64() - p.l_local.as_ns_f64();
+    (diff > 0.0).then(|| p.l_swap.as_ns_f64() / diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(accesses_per_page: f64) -> ModelParams {
+        ModelParams {
+            total_accesses: 1_000_000,
+            accesses_per_page,
+            l_local: SimDuration::ns(70),
+            l_swap: SimDuration::us(25),
+            l_remote: SimDuration::ns(1_500),
+        }
+    }
+
+    #[test]
+    fn equation1_matches_hand_computation() {
+        let p = params(10.0);
+        // 1e6 * 70ns + 1e5 * 25us = 70ms + 2500ms = 2.57s
+        let t = t_remote_swap(&p);
+        assert!((t.as_ms_f64() - 2_570.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn equation2_matches_hand_computation() {
+        let p = params(10.0);
+        // 1e6 * 1.5us = 1.5s
+        let t = t_remote_memory(&p);
+        assert!((t.as_ms_f64() - 1_500.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn remote_memory_is_locality_insensitive() {
+        let a = t_remote_memory(&params(1.0));
+        let b = t_remote_memory(&params(1_000.0));
+        assert_eq!(a, b, "Eq. 2 has no locality term");
+    }
+
+    #[test]
+    fn swap_improves_with_locality() {
+        let poor = t_remote_swap(&params(1.0));
+        let good = t_remote_swap(&params(1_000.0));
+        assert!(poor.as_ns_f64() > 10.0 * good.as_ns_f64());
+    }
+
+    #[test]
+    fn crossover_separates_the_winners() {
+        let p = params(1.0);
+        let x = crossover_accesses_per_page(&p).expect("remote slower than local");
+        // Below the crossover remote memory wins; above, swap wins.
+        let below = params(x * 0.5);
+        assert!(t_remote_memory(&below) < t_remote_swap(&below));
+        let above = params(x * 2.0);
+        assert!(t_remote_memory(&above) > t_remote_swap(&above));
+        // ~25us / 1.43us ≈ 17.5 accesses/page
+        assert!((15.0..25.0).contains(&x), "crossover {x}");
+    }
+
+    #[test]
+    fn crossover_none_when_remote_not_slower() {
+        let mut p = params(1.0);
+        p.l_remote = p.l_local;
+        assert!(crossover_accesses_per_page(&p).is_none());
+    }
+}

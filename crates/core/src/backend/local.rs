@@ -1,0 +1,230 @@
+//! The big-memory single machine ("local memory" reference).
+//!
+//! The paper compares its prototype against "a single machine populated
+//! with 128 GB of local memory, thus avoiding the penalty of remote
+//! accesses". Such a machine does not honor the 14-bit prefix window (it is
+//! hypothetical), so this backend uses the DRAM and cache models directly
+//! without a fabric.
+
+use super::stats::AccessStats;
+use super::MemSpace;
+use crate::config::ClusterConfig;
+use cohfree_mem::{CacheHierarchy, Level, NodeMemory, SparseStore};
+use cohfree_os::pagetable::{PageTable, Translation, PAGE_BYTES};
+use cohfree_sim::{SimDuration, SimTime};
+
+/// A process on a machine whose entire memory is local.
+pub struct LocalMachine {
+    mem: NodeMemory,
+    cache: CacheHierarchy,
+    pt: PageTable,
+    store: SparseStore,
+    clock: SimTime,
+    stats: AccessStats,
+    timing: crate::config::OsTiming,
+    bump_va: u64,
+    /// First virtual page number not yet backed by a frame.
+    next_vpn: u64,
+    bump_frame: u64,
+    mem_bytes: u64,
+}
+
+impl LocalMachine {
+    /// A machine with `total_bytes` of local memory, using `cfg`'s DRAM,
+    /// cache and OS timing calibration.
+    pub fn new(cfg: ClusterConfig, total_bytes: u64) -> LocalMachine {
+        let big = ClusterConfig::big_local_machine(total_bytes);
+        LocalMachine {
+            mem: NodeMemory::new(big.dram),
+            cache: CacheHierarchy::new(cfg.l1, cfg.cache),
+            pt: PageTable::new(cfg.tlb),
+            store: SparseStore::new(),
+            clock: SimTime::ZERO,
+            stats: AccessStats::default(),
+            timing: cfg.os,
+            bump_va: 0x1000, // keep VA 0 unmapped (null-guard)
+            next_vpn: 1,
+            bump_frame: 0,
+            mem_bytes: total_bytes,
+        }
+    }
+
+    /// Bytes of physical memory installed.
+    pub fn memory_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// One timed access covering a single cache line.
+    fn line_access(&mut self, va: u64, write: bool) {
+        let phys = match self.pt.translate(va) {
+            Translation::TlbHit { phys } => phys,
+            Translation::Walked { phys } => {
+                self.stats.tlb_walks += 1;
+                self.clock += self.timing.tlb_walk;
+                phys
+            }
+            Translation::MajorFault { .. } => unreachable!("local machine never swaps"),
+            Translation::Unmapped => panic!("access to unallocated VA {va:#x}"),
+        };
+        let out = self.cache.access(phys, write);
+        match out.level {
+            Level::L1 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.timing.l1_hit;
+            }
+            Level::L2 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.timing.cache_hit;
+            }
+            Level::Memory => {
+                self.stats.cache_misses += 1;
+                self.clock += self.timing.cache_hit; // lookup cost
+                self.clock = self.mem.access(self.clock, phys, self.cache.line_bytes());
+            }
+        }
+        for victim in out.memory_writebacks {
+            // Writebacks to local DRAM are buffered by hardware: they
+            // occupy the controller but do not stall the core.
+            self.mem.access(self.clock, victim, self.cache.line_bytes());
+        }
+    }
+
+    fn timed_range(&mut self, va: u64, len: usize, write: bool) {
+        let line = self.cache.line_bytes() as u64;
+        let mut a = va & !(line - 1);
+        let end = va + len as u64;
+        while a < end {
+            self.line_access(a, write);
+            if write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            a += line;
+        }
+    }
+}
+
+impl MemSpace for LocalMachine {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        assert!(bytes > 0, "zero-byte allocation");
+        self.clock += self.timing.malloc_overhead;
+        // Allocations pack (16-byte aligned), like a real malloc: B-tree
+        // nodes straddle page boundaries exactly as the paper describes.
+        let va = self.bump_va;
+        self.bump_va = (va + bytes + 15) & !15;
+        let last_vpn = PageTable::vpn(self.bump_va - 1);
+        while self.next_vpn <= last_vpn {
+            assert!(
+                self.bump_frame + PAGE_BYTES <= self.mem_bytes,
+                "local machine out of memory ({} bytes installed)",
+                self.mem_bytes
+            );
+            self.pt.map(self.next_vpn, self.bump_frame);
+            self.bump_frame += PAGE_BYTES;
+            self.next_vpn += 1;
+        }
+        self.stats.allocations += 1;
+        va
+    }
+
+    fn read(&mut self, va: u64, buf: &mut [u8]) {
+        self.timed_range(va, buf.len(), false);
+        self.stats.bytes_read += buf.len() as u64;
+        self.store.read(va, buf);
+    }
+
+    fn write(&mut self, va: u64, data: &[u8]) {
+        self.timed_range(va, data.len(), true);
+        self.stats.bytes_written += data.len() as u64;
+        self.store.write(va, data);
+    }
+
+    fn compute(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> LocalMachine {
+        LocalMachine::new(ClusterConfig::prototype(), 128 << 30)
+    }
+
+    #[test]
+    fn round_trip_data() {
+        let mut m = machine();
+        let va = m.alloc(1 << 16);
+        m.write_u64(va + 8, 0xABCD);
+        assert_eq!(m.read_u64(va + 8), 0xABCD);
+        assert_eq!(m.read_u64(va), 0, "allocation is zeroed");
+    }
+
+    #[test]
+    fn cache_makes_repeat_access_cheap() {
+        let mut m = machine();
+        let va = m.alloc(4096);
+        m.read_u64(va);
+        let t1 = m.now();
+        m.read_u64(va);
+        let dt = m.now().since(t1);
+        assert_eq!(dt, ClusterConfig::prototype().os.cache_hit);
+        let s = m.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn multi_line_reads_charge_per_line() {
+        let mut m = machine();
+        let va = m.alloc(4096);
+        let mut buf = vec![0u8; 256]; // 4 lines
+        m.read(va, &mut buf);
+        assert_eq!(m.stats().reads, 4);
+        assert_eq!(m.stats().bytes_read, 256);
+    }
+
+    #[test]
+    fn tlb_walks_counted() {
+        let mut m = machine();
+        let va = m.alloc(1 << 20);
+        // Touch 256 distinct pages: each first touch walks.
+        for p in 0..256u64 {
+            m.read_u64(va + p * 4096);
+        }
+        assert_eq!(m.stats().tlb_walks, 256);
+    }
+
+    #[test]
+    fn compute_advances_clock_only() {
+        let mut m = machine();
+        let s0 = m.stats();
+        m.compute(SimDuration::us(5));
+        assert_eq!(m.now().since(SimTime::ZERO), SimDuration::us(5));
+        assert_eq!(m.stats(), s0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn wild_access_panics() {
+        let mut m = machine();
+        m.read_u64(0xDEAD_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of memory")]
+    fn exhaustion_panics() {
+        let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 20);
+        m.alloc(2 << 20);
+    }
+}

@@ -1,0 +1,644 @@
+//! The paper's system: non-coherent remote memory behind plain loads/stores.
+//!
+//! * **Allocation** interposes `malloc` (Section IV-B): zones are reserved
+//!   from donor nodes through the reservation protocol, and page-table
+//!   entries point straight at **prefixed** physical addresses. One
+//!   reservation covers many allocations; its software cost is charged once.
+//! * **Access** is pure hardware: TLB → cache → (local controller | RMC →
+//!   fabric → home DRAM). Remote ranges are write-back cacheable, exactly
+//!   like the prototype; dirty victims whose line lives remotely stall the
+//!   core for a write transaction first (one outstanding RMC request).
+//! * The optional [`cohfree_rmc::Prefetcher`] implements the paper's
+//!   future-work extension; prefetched lines become usable after an
+//!   unloaded round-trip estimate (optimistic-overlap model, documented in
+//!   DESIGN.md).
+
+use super::stats::AccessStats;
+use super::MemSpace;
+use crate::config::ClusterConfig;
+use crate::world::World;
+use cohfree_fabric::{MsgKind, NodeId};
+use cohfree_mem::{CacheHierarchy, Level, SparseStore};
+use cohfree_os::pagetable::{PageTable, Translation, PAGE_BYTES};
+use cohfree_rmc::addr::RemoteRef;
+use cohfree_rmc::{Prefetcher, PrefetcherConfig};
+use cohfree_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Where allocations land.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocPolicy {
+    /// Every allocation is backed by remote memory (how the paper runs its
+    /// experiments: "we allocate remote memory explicitly").
+    AlwaysRemote,
+    /// Use the node's private memory until it runs out, then go remote
+    /// (what a production deployment would do).
+    LocalFirst,
+}
+
+/// Tuning knobs beyond the cluster config.
+#[derive(Debug, Clone)]
+pub struct RemoteOptions {
+    /// Map remote ranges cacheable write-back (the prototype's setting).
+    /// `false` models uncached I/O-space access for the ablation.
+    pub cacheable: bool,
+    /// Use HyperTransport *posted* semantics for remote stores and victim
+    /// write-backs: the core continues once the RMC accepts the write,
+    /// while the transaction drains in the background (it still holds a
+    /// request slot and loads the fabric/home). `false` (the conservative
+    /// prototype behaviour) stalls the core for the full round trip.
+    pub posted_writes: bool,
+    /// Enable the RMC sequential prefetcher.
+    pub prefetch: Option<PrefetcherConfig>,
+    /// Frames per reservation zone (amortizes the software cost).
+    pub zone_frames: u64,
+    /// Explicit memory-server list (round-robin); `None` lets the
+    /// directory's donor policy decide.
+    pub servers: Option<Vec<NodeId>>,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            cacheable: true,
+            posted_writes: false,
+            prefetch: None,
+            zone_frames: 16_384, // 64 MiB zones
+            servers: None,
+        }
+    }
+}
+
+struct Zone {
+    prefixed_base: u64,
+    frames: u64,
+    used: u64,
+}
+
+/// A process on `node` using the paper's remote-memory architecture.
+pub struct RemoteMemorySpace {
+    world: World,
+    node: NodeId,
+    pt: PageTable,
+    cache: CacheHierarchy,
+    store: SparseStore,
+    clock: SimTime,
+    stats: AccessStats,
+    policy: AllocPolicy,
+    opts: RemoteOptions,
+    bump_va: u64,
+    /// First virtual page number not yet backed by a frame.
+    next_vpn: u64,
+    zone: Option<Zone>,
+    server_rr: usize,
+    prefetcher: Option<Prefetcher>,
+    /// line address -> instant the prefetched line becomes usable.
+    prefetch_ready: HashMap<u64, SimTime>,
+}
+
+impl RemoteMemorySpace {
+    /// A process on `node` of a cluster described by `cfg`.
+    pub fn new(cfg: ClusterConfig, node: NodeId, policy: AllocPolicy) -> RemoteMemorySpace {
+        Self::with_options(cfg, node, policy, RemoteOptions::default())
+    }
+
+    /// Full-control constructor.
+    pub fn with_options(
+        cfg: ClusterConfig,
+        node: NodeId,
+        policy: AllocPolicy,
+        opts: RemoteOptions,
+    ) -> RemoteMemorySpace {
+        let prefetcher = opts.prefetch.map(Prefetcher::new);
+        RemoteMemorySpace {
+            world: World::new(cfg),
+            node,
+            pt: PageTable::new(cfg.tlb),
+            cache: CacheHierarchy::new(cfg.l1, cfg.cache),
+            store: SparseStore::new(),
+            clock: SimTime::ZERO,
+            stats: AccessStats::default(),
+            policy,
+            opts,
+            bump_va: 0x1000,
+            next_vpn: 1,
+            zone: None,
+            server_rr: 0,
+            prefetcher,
+            prefetch_ready: HashMap::new(),
+        }
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Access to the underlying cluster (statistics).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Bytes of remote memory currently borrowed by this process's region.
+    pub fn borrowed_bytes(&self) -> u64 {
+        self.world.region(self.node).borrowed_bytes()
+    }
+
+    /// Grab a frame of remote memory, reserving a fresh zone when needed.
+    fn next_remote_frame(&mut self) -> u64 {
+        let need_new = match &self.zone {
+            Some(z) => z.used == z.frames,
+            None => true,
+        };
+        if need_new {
+            let donor = self.opts.servers.as_ref().map(|s| {
+                let d = s[self.server_rr % s.len()];
+                self.server_rr += 1;
+                d
+            });
+            let resv = self
+                .world
+                .reserve_remote(self.node, self.opts.zone_frames, donor);
+            self.clock += self.world.config().os.reservation;
+            self.stats.reservations += 1;
+            self.zone = Some(Zone {
+                prefixed_base: resv.prefixed_base,
+                frames: resv.frames,
+                used: 0,
+            });
+        }
+        let z = self.zone.as_mut().expect("zone just ensured");
+        let frame = z.prefixed_base + z.used * PAGE_BYTES;
+        z.used += 1;
+        frame
+    }
+
+    /// Blocking remote read of one line; returns completion time.
+    fn remote_read(&mut self, phys: u64, home: NodeId, bytes: u32) -> SimTime {
+        self.stats.remote_reads += 1;
+        self.world.blocking_transaction(
+            self.clock,
+            self.node,
+            home,
+            MsgKind::ReadReq { bytes },
+            phys,
+        )
+    }
+
+    /// Remote write of one line; returns the instant the core continues
+    /// (full round trip, or RMC acceptance under posted semantics).
+    fn remote_write(&mut self, phys: u64, home: NodeId, bytes: u32) -> SimTime {
+        self.stats.remote_writes += 1;
+        if self.opts.posted_writes {
+            self.world.posted_transaction(
+                self.clock,
+                self.node,
+                home,
+                MsgKind::WriteReq { bytes },
+                phys,
+            )
+        } else {
+            self.world.blocking_transaction(
+                self.clock,
+                self.node,
+                home,
+                MsgKind::WriteReq { bytes },
+                phys,
+            )
+        }
+    }
+
+    /// Settle all in-flight posted writes (a memory-barrier/`sfence`
+    /// equivalent); the clock advances to the drain point.
+    pub fn quiesce(&mut self) {
+        let t = self.world.drain_background();
+        self.clock = self.clock.max(t);
+    }
+
+    fn home_of(&self, phys: u64) -> Option<NodeId> {
+        match cohfree_rmc::addr::decode(self.node, phys).expect_no_loopback() {
+            RemoteRef::Remote { home, .. } => Some(home),
+            RemoteRef::Local { .. } => None,
+            RemoteRef::Loopback { .. } => unreachable!(),
+        }
+    }
+
+    /// Fetch one remote line into the cache path, consulting the prefetcher.
+    fn fetch_remote_line(&mut self, line_phys: u64, home: NodeId, line_bytes: u32) {
+        let decision = match self.prefetcher.as_mut() {
+            Some(pf) => pf.access(line_phys),
+            None => {
+                self.clock = self.remote_read(line_phys, home, line_bytes);
+                return;
+            }
+        };
+        if decision.buffer_hit {
+            let ready = self.prefetch_ready.remove(&line_phys).unwrap_or(self.clock);
+            // Wait for the prefetch to land, then a buffer-speed fill.
+            self.clock = self.clock.max(ready) + self.world.config().os.cache_hit;
+            self.stats.prefetch_hits += 1;
+        } else {
+            self.clock = self.remote_read(line_phys, home, line_bytes);
+        }
+        // Launch newly decided prefetches (optimistic overlap: they complete
+        // one unloaded round trip later without stalling the core; see
+        // DESIGN.md).
+        let est = self
+            .world
+            .estimate_remote_read_latency(self.node, home, line_bytes);
+        for l in decision.issue {
+            self.prefetch_ready.insert(l, self.clock + est);
+            self.prefetcher
+                .as_mut()
+                .expect("prefetcher present on this path")
+                .fill(l);
+            self.stats.prefetch_issued += 1;
+        }
+    }
+
+    /// One timed access covering a single cache line.
+    fn line_access(&mut self, va: u64, write: bool) {
+        let phys = match self.pt.translate(va) {
+            Translation::TlbHit { phys } => phys,
+            Translation::Walked { phys } => {
+                self.stats.tlb_walks += 1;
+                self.clock += self.world.config().os.tlb_walk;
+                phys
+            }
+            Translation::MajorFault { .. } => {
+                unreachable!("remote-memory pages are pinned, never swapped")
+            }
+            Translation::Unmapped => panic!("access to unallocated VA {va:#x}"),
+        };
+        let line_bytes = self.cache.line_bytes();
+        let home = self.home_of(phys);
+
+        if let (Some(home), false) = (home, self.opts.cacheable) {
+            // Uncached I/O-space access: every load/store is a transaction
+            // of the access size (8 B), no cache involved.
+            if write {
+                self.clock = self.remote_write(phys, home, 8);
+            } else {
+                self.clock = self.remote_read(phys, home, 8);
+            }
+            return;
+        }
+
+        let out = self.cache.access(phys, write);
+        match out.level {
+            Level::L1 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.world.config().os.l1_hit;
+            }
+            Level::L2 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.world.config().os.cache_hit;
+            }
+            Level::Memory => {
+                self.stats.cache_misses += 1;
+                self.clock += self.world.config().os.cache_hit;
+                // Victims displaced out of the hierarchy go home first: the
+                // single RMC slot serializes remote write-backs before the
+                // demand fetch (local ones are absorbed by the write buffer).
+                for victim in &out.memory_writebacks {
+                    match self.home_of(*victim) {
+                        None => {
+                            self.world
+                                .local_access(self.clock, self.node, *victim, line_bytes);
+                        }
+                        Some(vhome) => {
+                            self.clock = self.remote_write(*victim, vhome, line_bytes);
+                        }
+                    }
+                }
+                match home {
+                    None => {
+                        self.clock = self
+                            .world
+                            .local_access(self.clock, self.node, phys, line_bytes);
+                    }
+                    Some(h) => {
+                        self.fetch_remote_line(phys & !(line_bytes as u64 - 1), h, line_bytes)
+                    }
+                }
+            }
+        }
+    }
+
+    fn timed_range(&mut self, va: u64, len: usize, write: bool) {
+        let line = self.cache.line_bytes() as u64;
+        let mut a = va & !(line - 1);
+        let end = va + len as u64;
+        while a < end {
+            self.line_access(a, write);
+            if write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            a += line;
+        }
+    }
+
+    /// Flush the CPU cache, writing every dirty line back to its home — the
+    /// explicit flush the prototype performs before a read-only parallel
+    /// phase (Section IV-B).
+    pub fn flush_cache(&mut self) {
+        for victim in self.cache.flush_all() {
+            match self.home_of(victim) {
+                None => {
+                    let lb = self.cache.line_bytes();
+                    self.world.local_access(self.clock, self.node, victim, lb);
+                }
+                Some(h) => {
+                    let lb = self.cache.line_bytes();
+                    self.clock = self.remote_write(victim, h, lb);
+                }
+            }
+        }
+    }
+}
+
+impl MemSpace for RemoteMemorySpace {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        assert!(bytes > 0, "zero-byte allocation");
+        self.clock += self.world.config().os.malloc_overhead;
+        // Packed bump allocation (16-byte aligned), like the interposed
+        // malloc of the prototype; pages are mapped as the cursor crosses
+        // page boundaries.
+        let va = self.bump_va;
+        self.bump_va = (va + bytes + 15) & !15;
+        let last_vpn = PageTable::vpn(self.bump_va - 1);
+        while self.next_vpn <= last_vpn {
+            let frame = match self.policy {
+                AllocPolicy::AlwaysRemote => self.next_remote_frame(),
+                AllocPolicy::LocalFirst => match self.world.alloc_private_frame(self.node) {
+                    Some(f) => f,
+                    None => self.next_remote_frame(),
+                },
+            };
+            self.pt.map(self.next_vpn, frame);
+            self.next_vpn += 1;
+        }
+        self.stats.allocations += 1;
+        va
+    }
+
+    fn read(&mut self, va: u64, buf: &mut [u8]) {
+        self.timed_range(va, buf.len(), false);
+        self.stats.bytes_read += buf.len() as u64;
+        self.store.read(va, buf);
+    }
+
+    fn write(&mut self, va: u64, data: &[u8]) {
+        self.timed_range(va, data.len(), true);
+        self.stats.bytes_written += data.len() as u64;
+        self.store.write(va, data);
+    }
+
+    fn compute(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn space() -> RemoteMemorySpace {
+        RemoteMemorySpace::new(ClusterConfig::prototype(), n(1), AllocPolicy::AlwaysRemote)
+    }
+
+    #[test]
+    fn data_round_trips_through_remote_memory() {
+        let mut m = space();
+        let va = m.alloc(1 << 20);
+        assert!(m.borrowed_bytes() > 0, "allocation reserved remote memory");
+        m.write_u64(va + 4096, 1234);
+        assert_eq!(m.read_u64(va + 4096), 1234);
+        assert_eq!(m.read_u64(va), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn wild_access_panics() {
+        let mut m = space();
+        let va = m.alloc(4096);
+        m.read_u64(va + 8192);
+    }
+
+    #[test]
+    fn remote_miss_latency_exceeds_microsecond_class() {
+        let mut m = space();
+        let va = m.alloc(1 << 16);
+        let t0 = m.now();
+        m.read_u64(va);
+        let miss = m.now().since(t0);
+        assert!(miss > SimDuration::ns(800), "remote miss {miss} too fast");
+        let t1 = m.now();
+        m.read_u64(va);
+        assert_eq!(m.now().since(t1), ClusterConfig::prototype().os.cache_hit);
+        assert_eq!(m.stats().remote_reads, 1);
+        assert_eq!(m.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn one_zone_serves_many_allocations() {
+        let mut m = space();
+        for _ in 0..16 {
+            m.alloc(64 << 10);
+        }
+        assert_eq!(m.stats().reservations, 1, "zone should amortize");
+        assert_eq!(m.stats().allocations, 16);
+    }
+
+    #[test]
+    fn local_first_uses_private_memory() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.private_bytes = 1 << 20; // tiny private region
+        cfg.pool_bytes = 8 << 30;
+        let mut m = RemoteMemorySpace::with_options(
+            cfg,
+            n(1),
+            AllocPolicy::LocalFirst,
+            RemoteOptions::default(),
+        );
+        let va = m.alloc(512 << 10); // fits private
+        m.write_u64(va, 7);
+        assert_eq!(m.stats().reservations, 0);
+        // Exceed the private region: spills to remote.
+        m.alloc(2 << 20);
+        assert_eq!(m.stats().reservations, 1);
+    }
+
+    #[test]
+    fn explicit_servers_round_robin() {
+        let opts = RemoteOptions {
+            zone_frames: 256,
+            servers: Some(vec![n(2), n(5)]),
+            ..RemoteOptions::default()
+        };
+        let mut m = RemoteMemorySpace::with_options(
+            ClusterConfig::prototype(),
+            n(1),
+            AllocPolicy::AlwaysRemote,
+            opts,
+        );
+        m.alloc(3 * 256 * 4096); // three zones
+        let lenders = m.world().region(n(1)).lenders();
+        assert_eq!(lenders, vec![n(2), n(5)]);
+        assert_eq!(m.stats().reservations, 3);
+    }
+
+    #[test]
+    fn dirty_victims_write_back_remotely() {
+        // A cache-thrashing write pattern must generate remote writes.
+        let cfg = {
+            let mut c = ClusterConfig::prototype();
+            c.cache.sets = 4;
+            c.cache.ways = 2; // 512 B cache
+            c
+        };
+        let mut m = RemoteMemorySpace::with_options(
+            cfg,
+            n(1),
+            AllocPolicy::AlwaysRemote,
+            RemoteOptions::default(),
+        );
+        let va = m.alloc(1 << 20);
+        for i in 0..64 {
+            m.write_u64(va + i * 4096, i);
+        }
+        assert!(m.stats().remote_writes > 0, "expected dirty writebacks");
+    }
+
+    #[test]
+    fn flush_cache_pushes_dirty_lines_home() {
+        let mut m = space();
+        let va = m.alloc(4096);
+        m.write_u64(va, 1);
+        let before = m.stats().remote_writes;
+        m.flush_cache();
+        assert_eq!(m.stats().remote_writes, before + 1);
+        // After the flush the next read misses again.
+        let misses = m.stats().cache_misses;
+        m.read_u64(va);
+        assert_eq!(m.stats().cache_misses, misses + 1);
+    }
+
+    #[test]
+    fn uncacheable_mode_hits_the_fabric_every_time() {
+        let opts = RemoteOptions {
+            cacheable: false,
+            ..RemoteOptions::default()
+        };
+        let mut m = RemoteMemorySpace::with_options(
+            ClusterConfig::prototype(),
+            n(1),
+            AllocPolicy::AlwaysRemote,
+            opts,
+        );
+        let va = m.alloc(4096);
+        m.read_u64(va);
+        m.read_u64(va);
+        m.read_u64(va);
+        assert_eq!(m.stats().remote_reads, 3, "no caching in UC mode");
+        assert_eq!(m.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn posted_writes_accelerate_write_heavy_patterns() {
+        let run = |posted: bool| {
+            let cfg = {
+                let mut c = ClusterConfig::prototype();
+                c.cache.sets = 4;
+                c.cache.ways = 2; // tiny cache: writes spill constantly
+                c
+            };
+            let mut m = RemoteMemorySpace::with_options(
+                cfg,
+                n(1),
+                AllocPolicy::AlwaysRemote,
+                RemoteOptions {
+                    posted_writes: posted,
+                    ..RemoteOptions::default()
+                },
+            );
+            let va = m.alloc(1 << 20);
+            for i in 0..2_000u64 {
+                m.write_u64(va + (i * 4096) % (1 << 20), i);
+            }
+            m.quiesce();
+            (m.now().since(SimTime::ZERO), m.stats().remote_writes)
+        };
+        let (blocking, wb_b) = run(false);
+        let (posted, wb_p) = run(true);
+        assert_eq!(wb_b, wb_p, "same write-back traffic either way");
+        assert!(
+            posted.as_ns_f64() < blocking.as_ns_f64() * 0.8,
+            "posted {posted} should beat blocking {blocking}"
+        );
+    }
+
+    #[test]
+    fn posted_writes_preserve_functional_behaviour() {
+        let mut m = RemoteMemorySpace::with_options(
+            ClusterConfig::prototype(),
+            n(1),
+            AllocPolicy::AlwaysRemote,
+            RemoteOptions {
+                posted_writes: true,
+                ..RemoteOptions::default()
+            },
+        );
+        let va = m.alloc(1 << 20);
+        for i in 0..1_000u64 {
+            m.write_u64(va + i * 64, i * 3);
+        }
+        m.flush_cache();
+        m.quiesce();
+        for i in 0..1_000u64 {
+            assert_eq!(m.read_u64(va + i * 64), i * 3);
+        }
+    }
+
+    #[test]
+    fn prefetcher_accelerates_sequential_scans() {
+        let mk = |pf: Option<PrefetcherConfig>| {
+            let opts = RemoteOptions {
+                prefetch: pf,
+                ..RemoteOptions::default()
+            };
+            let mut m = RemoteMemorySpace::with_options(
+                ClusterConfig::prototype(),
+                n(1),
+                AllocPolicy::AlwaysRemote,
+                opts,
+            );
+            let va = m.alloc(1 << 20);
+            let mut buf = [0u8; 8];
+            for i in 0..4096u64 {
+                m.read(va + i * 64, &mut buf); // line-stride scan
+            }
+            m.now().since(SimTime::ZERO)
+        };
+        let base = mk(None);
+        let with_pf = mk(Some(PrefetcherConfig::default()));
+        assert!(
+            with_pf.as_ns_f64() < base.as_ns_f64() * 0.8,
+            "prefetching should cut sequential scan time: {with_pf} vs {base}"
+        );
+    }
+}

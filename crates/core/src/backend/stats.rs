@@ -1,0 +1,75 @@
+//! Cumulative per-process access statistics.
+
+/// Counters every backend maintains; the benches print these next to
+/// elapsed time so each figure can be explained mechanistically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Read operations (per cache-line chunk).
+    pub reads: u64,
+    /// Write operations (per cache-line chunk).
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// CPU-cache hits.
+    pub cache_hits: u64,
+    /// CPU-cache misses.
+    pub cache_misses: u64,
+    /// Page walks (TLB misses with valid mapping).
+    pub tlb_walks: u64,
+    /// Minor faults (first-touch materialization).
+    pub minor_faults: u64,
+    /// Major faults (page fetched from a backing device).
+    pub major_faults: u64,
+    /// Remote cache-line read transactions (RMC path).
+    pub remote_reads: u64,
+    /// Remote cache-line write transactions (RMC path, incl. writebacks).
+    pub remote_writes: u64,
+    /// Whole pages fetched from a backing device (swap baselines).
+    pub pages_in: u64,
+    /// Whole dirty pages written out (swap baselines).
+    pub pages_out: u64,
+    /// Allocation calls served.
+    pub allocations: u64,
+    /// Remote-zone reservations performed.
+    pub reservations: u64,
+    /// Demand accesses satisfied by the RMC prefetch buffer.
+    pub prefetch_hits: u64,
+    /// Prefetch transactions issued.
+    pub prefetch_issued: u64,
+}
+
+impl AccessStats {
+    /// Total load/store operations.
+    pub fn ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// CPU-cache hit ratio (0 when no cache traffic).
+    pub fn cache_hit_ratio(&self) -> f64 {
+        let t = self.cache_hits + self.cache_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = AccessStats::default();
+        assert_eq!(s.cache_hit_ratio(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.cache_hit_ratio() - 0.75).abs() < 1e-12);
+        s.reads = 2;
+        s.writes = 5;
+        assert_eq!(s.ops(), 7);
+    }
+}

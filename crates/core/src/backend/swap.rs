@@ -1,0 +1,699 @@
+//! The swap baselines: remote swap and disk swap.
+//!
+//! Remote swap (the paper's main comparison, Section II and Figs. 9–11)
+//! keeps a bounded set of pages in local memory; touching a non-resident
+//! page raises a major fault whose handler, *in software*,
+//!
+//! 1. picks a victim (CLOCK), writing it back to its backing slot if dirty
+//!    (a 4 KiB `PageWrite` message over the same fabric, or a disk write),
+//! 2. fetches the faulting page (4 KiB `PageReq`/`PageResp`, or disk read),
+//! 3. remaps and returns — charging the kernel fault overhead on top.
+//!
+//! Resident pages are accessed at full local speed, which is why locality
+//! decides everything for this baseline: Equation 1 of the paper.
+
+use super::stats::AccessStats;
+use super::MemSpace;
+use crate::config::ClusterConfig;
+use crate::world::World;
+use cohfree_fabric::{MsgKind, NodeId};
+use cohfree_mem::{CacheHierarchy, Level, SparseStore};
+use cohfree_os::disk::{Disk, DiskConfig};
+use cohfree_os::pagetable::{PageTable, Translation, PAGE_BYTES};
+use cohfree_os::swap::{PageCache, Touch};
+use cohfree_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// How remote-swap pages travel.
+///
+/// The remote-swap systems the paper compares against (its references
+/// \[7]\[8]\[26]\[27]) move
+/// pages over a commodity network through the kernel block layer — an
+/// Ethernet-class path, not the RMC fabric. That is the default here. The
+/// `Fabric` variant is an *idealized* swap that ships pages over the same
+/// HT fabric the RMC uses (the `abl_swap_transport` ablation).
+#[derive(Debug, Clone, Copy)]
+pub enum SwapTransport {
+    /// Kernel network path: per-page round-trip latency + wire time at the
+    /// given bandwidth, serialized at the NIC.
+    Ethernet {
+        /// Software + network round-trip base cost per page operation.
+        rtt: SimDuration,
+        /// Wire bandwidth in bytes per microsecond (1 Gb/s ⇒ 125).
+        bytes_per_us: f64,
+    },
+    /// Page messages over the RMC fabric (idealized best-case swap).
+    Fabric,
+}
+
+impl Default for SwapTransport {
+    fn default() -> Self {
+        // 2010-era 1 GbE + kernel block/network stack.
+        SwapTransport::Ethernet {
+            rtt: SimDuration::us(100),
+            bytes_per_us: 125.0,
+        }
+    }
+}
+
+/// Swap-space sizing.
+#[derive(Debug, Clone)]
+pub struct SwapConfig {
+    /// Pages the local memory can hold (the resident-set bound).
+    pub cache_pages: usize,
+    /// Explicit backing servers for fabric-transport remote swap
+    /// (round-robin); `None` lets the donor policy pick.
+    pub servers: Option<Vec<NodeId>>,
+    /// Frames per backing-zone reservation (fabric transport).
+    pub zone_frames: u64,
+    /// Transport for page movement.
+    pub transport: SwapTransport,
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig {
+            cache_pages: 65_536, // 256 MiB resident set
+            servers: None,
+            zone_frames: 16_384,
+            transport: SwapTransport::default(),
+        }
+    }
+}
+
+/// Where evicted pages live.
+enum Backing {
+    /// Remote node memory over the RMC fabric (idealized swap). The world
+    /// is boxed: it is by far the largest variant.
+    FabricRemote {
+        world: Box<World>,
+        zone: Option<(u64, u64, u64)>,
+        server_rr: usize,
+    },
+    /// Remote memory server over an Ethernet-class kernel path (the
+    /// baseline the paper compares against).
+    Ethernet {
+        nic: cohfree_sim::FifoServer,
+        rtt: SimDuration,
+        bytes_per_us: f64,
+        next_offset: u64,
+    },
+    /// A local disk (disk swap).
+    Disk { disk: Disk, next_offset: u64 },
+}
+
+/// Page residency metadata.
+#[derive(Debug, Clone, Copy)]
+struct PageHome {
+    /// Backing slot (prefixed remote address, or disk offset).
+    slot: u64,
+    /// False until first touched: first touch is a zero-fill minor fault
+    /// with no device traffic (like real demand-zero paging).
+    materialized: bool,
+}
+
+/// A process whose memory overflows into a swap device.
+pub struct SwapSpace {
+    cfg: ClusterConfig,
+    node: NodeId,
+    backing: Backing,
+    pt: PageTable,
+    cache: CacheHierarchy,
+    page_cache: PageCache,
+    homes: HashMap<u64, PageHome>,
+    frame_of: HashMap<u64, u64>,
+    next_frame: u64,
+    store: SparseStore,
+    clock: SimTime,
+    stats: AccessStats,
+    swap_cfg: SwapConfig,
+    bump_va: u64,
+    /// First virtual page number not yet assigned a backing slot.
+    next_vpn: u64,
+    /// Charged per minor (zero-fill) fault.
+    minor_fault_cost: SimDuration,
+}
+
+impl SwapSpace {
+    /// Remote swap: pages beyond `swap_cfg.cache_pages` live in another
+    /// node's memory, fetched page-at-a-time through the kernel over
+    /// `swap_cfg.transport`.
+    pub fn remote(cfg: ClusterConfig, node: NodeId, swap_cfg: SwapConfig) -> SwapSpace {
+        let backing = match swap_cfg.transport {
+            SwapTransport::Ethernet { rtt, bytes_per_us } => Backing::Ethernet {
+                nic: cohfree_sim::FifoServer::new(),
+                rtt,
+                bytes_per_us,
+                next_offset: 0,
+            },
+            SwapTransport::Fabric => Backing::FabricRemote {
+                world: Box::new(World::new(cfg)),
+                zone: None,
+                server_rr: 0,
+            },
+        };
+        Self::build(cfg, node, backing, swap_cfg)
+    }
+
+    /// Disk swap: pages beyond the resident bound live on a local disk.
+    pub fn disk(
+        cfg: ClusterConfig,
+        node: NodeId,
+        swap_cfg: SwapConfig,
+        disk: DiskConfig,
+    ) -> SwapSpace {
+        Self::build(
+            cfg,
+            node,
+            Backing::Disk {
+                disk: Disk::new(disk),
+                next_offset: 0,
+            },
+            swap_cfg,
+        )
+    }
+
+    fn build(
+        cfg: ClusterConfig,
+        node: NodeId,
+        backing: Backing,
+        swap_cfg: SwapConfig,
+    ) -> SwapSpace {
+        SwapSpace {
+            pt: PageTable::new(cfg.tlb),
+            cache: CacheHierarchy::new(cfg.l1, cfg.cache),
+            page_cache: PageCache::new(swap_cfg.cache_pages),
+            homes: HashMap::new(),
+            frame_of: HashMap::new(),
+            next_frame: 0,
+            store: SparseStore::new(),
+            clock: SimTime::ZERO,
+            stats: AccessStats::default(),
+            bump_va: 0x1000,
+            next_vpn: 1,
+            minor_fault_cost: SimDuration::us(2),
+            cfg,
+            node,
+            backing,
+            swap_cfg,
+        }
+    }
+
+    /// The node this process runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Resident-set statistics from the page cache.
+    pub fn swap_stats(&self) -> cohfree_os::swap::SwapStats {
+        self.page_cache.stats()
+    }
+
+    /// Write every dirty resident page out to its backing slot (timed) —
+    /// the equivalent of `msync`/quiescing the dirty list. Lets experiments
+    /// separate a dirty populate phase from a clean read phase.
+    pub fn flush_dirty_pages(&mut self) {
+        for vpn in self.page_cache.flush_dirty() {
+            let slot = self.homes.get(&vpn).expect("dirty page has a home").slot;
+            self.page_out(slot);
+        }
+    }
+
+    /// Assign a backing slot for one new page.
+    fn new_slot(&mut self) -> u64 {
+        match &mut self.backing {
+            Backing::FabricRemote {
+                world,
+                zone,
+                server_rr,
+            } => {
+                let need_new = match zone {
+                    Some((_, frames, used)) => used == frames,
+                    None => true,
+                };
+                if need_new {
+                    let donor = self.swap_cfg.servers.as_ref().map(|s| {
+                        let d = s[*server_rr % s.len()];
+                        *server_rr += 1;
+                        d
+                    });
+                    let resv = world.reserve_remote(self.node, self.swap_cfg.zone_frames, donor);
+                    self.clock += self.cfg.os.reservation;
+                    self.stats.reservations += 1;
+                    *zone = Some((resv.prefixed_base, resv.frames, 0));
+                }
+                let (base, _, used) = zone.as_mut().expect("zone ensured");
+                let slot = *base + *used * PAGE_BYTES;
+                *used += 1;
+                slot
+            }
+            Backing::Ethernet { next_offset, .. } | Backing::Disk { next_offset, .. } => {
+                let slot = *next_offset;
+                *next_offset += PAGE_BYTES;
+                slot
+            }
+        }
+    }
+
+    /// Timed Ethernet page operation (request/response through the NIC).
+    fn ethernet_page_op(
+        clock: SimTime,
+        nic: &mut cohfree_sim::FifoServer,
+        rtt: SimDuration,
+        bytes_per_us: f64,
+    ) -> SimTime {
+        let wire = SimDuration::ns_f64(PAGE_BYTES as f64 / bytes_per_us * 1e3);
+        nic.accept(clock, wire) + rtt
+    }
+
+    /// Timed page write-out to the backing store.
+    fn page_out(&mut self, slot: u64) {
+        self.stats.pages_out += 1;
+        match &mut self.backing {
+            Backing::Ethernet {
+                nic,
+                rtt,
+                bytes_per_us,
+                ..
+            } => {
+                self.clock = Self::ethernet_page_op(self.clock, nic, *rtt, *bytes_per_us);
+            }
+            Backing::FabricRemote { world, .. } => {
+                let (prefix, _) = cohfree_rmc::addr::split(slot);
+                let home = NodeId::new(prefix);
+                self.clock = world.blocking_transaction(
+                    self.clock,
+                    self.node,
+                    home,
+                    MsgKind::PageWrite {
+                        bytes: PAGE_BYTES as u32,
+                    },
+                    slot,
+                );
+            }
+            Backing::Disk { disk, .. } => {
+                self.clock = disk.access(self.clock, slot, PAGE_BYTES as u32);
+            }
+        }
+    }
+
+    /// Timed page fetch from the backing store.
+    fn page_in(&mut self, slot: u64) {
+        self.stats.pages_in += 1;
+        match &mut self.backing {
+            Backing::Ethernet {
+                nic,
+                rtt,
+                bytes_per_us,
+                ..
+            } => {
+                self.clock = Self::ethernet_page_op(self.clock, nic, *rtt, *bytes_per_us);
+            }
+            Backing::FabricRemote { world, .. } => {
+                let (prefix, _) = cohfree_rmc::addr::split(slot);
+                let home = NodeId::new(prefix);
+                self.clock = world.blocking_transaction(
+                    self.clock,
+                    self.node,
+                    home,
+                    MsgKind::PageReq {
+                        bytes: PAGE_BYTES as u32,
+                    },
+                    slot,
+                );
+            }
+            Backing::Disk { disk, .. } => {
+                self.clock = disk.access(self.clock, slot, PAGE_BYTES as u32);
+            }
+        }
+    }
+
+    /// Major/minor fault handler: make `vpn` resident and return its frame.
+    fn fault_in(&mut self, vpn: u64, write: bool) -> u64 {
+        let home = *self
+            .homes
+            .get(&vpn)
+            .unwrap_or_else(|| panic!("fault on unallocated vpn {vpn:#x}"));
+        let touch = self.page_cache.touch(vpn, write);
+        let frame = match touch {
+            Touch::Hit => unreachable!("fault raised for a resident page"),
+            Touch::Miss { evicted } => {
+                // Evict the victim first (its frame is reused).
+                let frame = if let Some(e) = evicted {
+                    let victim_frame = self
+                        .frame_of
+                        .remove(&e.vpage)
+                        .expect("resident victim must have a frame");
+                    let victim_home = self.homes.get(&e.vpage).expect("victim has a home").slot;
+                    self.pt.mark_swapped(e.vpage, victim_home);
+                    // Page mover copies through/around the CPU cache; drop
+                    // the victim's lines (their write-back cost is part of
+                    // the page-out below).
+                    self.cache.flush_range(victim_frame, PAGE_BYTES);
+                    if e.dirty {
+                        self.page_out(victim_home);
+                    }
+                    victim_frame
+                } else {
+                    let f = self.next_frame;
+                    self.next_frame += PAGE_BYTES;
+                    f
+                };
+                frame
+            }
+        };
+        if home.materialized {
+            // Real major fault: kernel overhead + device fetch.
+            self.stats.major_faults += 1;
+            self.clock += self.cfg.os.fault_overhead;
+            self.page_in(home.slot);
+        } else {
+            // Demand-zero: kernel overhead only.
+            self.stats.minor_faults += 1;
+            self.clock += self.minor_fault_cost;
+            self.homes.get_mut(&vpn).expect("checked").materialized = true;
+        }
+        self.frame_of.insert(vpn, frame);
+        self.pt.map(vpn, frame);
+        frame
+    }
+
+    /// One timed access covering a single cache line.
+    fn line_access(&mut self, va: u64, write: bool) {
+        let vpn = PageTable::vpn(va);
+        let phys = loop {
+            match self.pt.translate(va) {
+                Translation::TlbHit { phys } => break phys,
+                Translation::Walked { phys } => {
+                    self.stats.tlb_walks += 1;
+                    self.clock += self.cfg.os.tlb_walk;
+                    break phys;
+                }
+                Translation::MajorFault { .. } => {
+                    self.fault_in(vpn, write);
+                }
+                Translation::Unmapped => panic!("access to unallocated VA {va:#x}"),
+            }
+        };
+        // Keep CLOCK reference bits warm on resident hits.
+        if matches!(self.page_cache.touch(vpn, write), Touch::Miss { .. }) {
+            unreachable!("page translated as present but not resident");
+        }
+        let line_bytes = self.cache.line_bytes();
+        let out = self.cache.access(phys, write);
+        match out.level {
+            Level::L1 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.cfg.os.l1_hit;
+            }
+            Level::L2 => {
+                self.stats.cache_hits += 1;
+                self.clock += self.cfg.os.cache_hit;
+            }
+            Level::Memory => {
+                self.stats.cache_misses += 1;
+                self.clock += self.cfg.os.cache_hit;
+                // Demand fill from local DRAM.
+                let fill = match &mut self.backing {
+                    Backing::FabricRemote { world, .. } => {
+                        world.local_access(self.clock, self.node, phys, line_bytes)
+                    }
+                    // No fabric world on these machines: charge the
+                    // unloaded DRAM latency.
+                    Backing::Ethernet { .. } | Backing::Disk { .. } => {
+                        self.clock + SimDuration::ns(65)
+                    }
+                };
+                self.clock = fill;
+            }
+        }
+        for victim in out.memory_writebacks {
+            // All frames are local; the hardware write buffer absorbs the
+            // writeback off the critical path (the controller occupancy is
+            // accounted when a world exists).
+            if let Backing::FabricRemote { world, .. } = &mut self.backing {
+                world.local_access(self.clock, self.node, victim, line_bytes);
+            }
+        }
+    }
+
+    fn timed_range(&mut self, va: u64, len: usize, write: bool) {
+        let line = self.cache.line_bytes() as u64;
+        let mut a = va & !(line - 1);
+        let end = va + len as u64;
+        while a < end {
+            self.line_access(a, write);
+            if write {
+                self.stats.writes += 1;
+            } else {
+                self.stats.reads += 1;
+            }
+            a += line;
+        }
+    }
+}
+
+impl MemSpace for SwapSpace {
+    fn alloc(&mut self, bytes: u64) -> u64 {
+        assert!(bytes > 0, "zero-byte allocation");
+        self.clock += self.cfg.os.malloc_overhead;
+        // Packed bump allocation (16-byte aligned); backing slots are
+        // assigned as the cursor crosses page boundaries.
+        let va = self.bump_va;
+        self.bump_va = (va + bytes + 15) & !15;
+        let last_vpn = PageTable::vpn(self.bump_va - 1);
+        while self.next_vpn <= last_vpn {
+            let slot = self.new_slot();
+            self.homes.insert(
+                self.next_vpn,
+                PageHome {
+                    slot,
+                    materialized: false,
+                },
+            );
+            self.pt.mark_swapped(self.next_vpn, slot);
+            self.next_vpn += 1;
+        }
+        self.stats.allocations += 1;
+        va
+    }
+
+    fn read(&mut self, va: u64, buf: &mut [u8]) {
+        self.timed_range(va, buf.len(), false);
+        self.stats.bytes_read += buf.len() as u64;
+        self.store.read(va, buf);
+    }
+
+    fn write(&mut self, va: u64, data: &[u8]) {
+        self.timed_range(va, data.len(), true);
+        self.stats.bytes_written += data.len() as u64;
+        self.store.write(va, data);
+    }
+
+    fn compute(&mut self, d: SimDuration) {
+        self.clock += d;
+    }
+
+    fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn small_remote(cache_pages: usize) -> SwapSpace {
+        SwapSpace::remote(
+            ClusterConfig::prototype(),
+            n(1),
+            SwapConfig {
+                cache_pages,
+                ..SwapConfig::default()
+            },
+        )
+    }
+
+    fn small_fabric(cache_pages: usize) -> SwapSpace {
+        SwapSpace::remote(
+            ClusterConfig::prototype(),
+            n(1),
+            SwapConfig {
+                cache_pages,
+                zone_frames: 4096,
+                servers: Some(vec![n(2)]),
+                transport: SwapTransport::Fabric,
+            },
+        )
+    }
+
+    #[test]
+    fn data_round_trips_through_swap() {
+        let mut m = small_remote(4);
+        let va = m.alloc(32 * 4096); // 32 pages, cache holds 4
+        for i in 0..32u64 {
+            m.write_u64(va + i * 4096, i * 10);
+        }
+        for i in 0..32u64 {
+            assert_eq!(m.read_u64(va + i * 4096), i * 10, "page {i}");
+        }
+        assert!(m.stats().major_faults > 0, "must have swapped");
+        assert!(m.stats().pages_out > 0, "dirty pages written out");
+        assert!(m.stats().pages_in > 0, "pages fetched back");
+    }
+
+    #[test]
+    fn first_touch_is_minor_not_major() {
+        let mut m = small_remote(64);
+        let va = m.alloc(16 * 4096);
+        for i in 0..16u64 {
+            m.write_u64(va + i * 4096, i);
+        }
+        let s = m.stats();
+        assert_eq!(s.minor_faults, 16);
+        assert_eq!(s.major_faults, 0);
+        assert_eq!(s.pages_in, 0, "zero-fill needs no device reads");
+    }
+
+    #[test]
+    fn working_set_in_cache_runs_at_local_speed() {
+        let mut m = small_remote(64);
+        let va = m.alloc(8 * 4096);
+        for i in 0..8u64 {
+            m.write_u64(va + i * 4096, i);
+        }
+        let t0 = m.now();
+        for _ in 0..100 {
+            for i in 0..8u64 {
+                m.read_u64(va + i * 4096);
+            }
+        }
+        let per_access = m.now().since(t0).as_ns_f64() / 800.0;
+        assert!(per_access < 100.0, "resident access cost {per_access}ns");
+        assert_eq!(m.stats().major_faults, 0);
+    }
+
+    #[test]
+    fn thrashing_explodes_cost() {
+        // Sequential sweep over 4x the resident set: near 100% fault rate.
+        let mut m = small_remote(8);
+        let va = m.alloc(32 * 4096);
+        for i in 0..32u64 {
+            m.write_u64(va + i * 4096, i);
+        }
+        let before = m.stats().major_faults;
+        let t0 = m.now();
+        for _ in 0..3 {
+            for i in 0..32u64 {
+                m.read_u64(va + i * 4096);
+            }
+        }
+        let faults = m.stats().major_faults - before;
+        assert!(faults >= 90, "expected thrash, got {faults} faults");
+        let per_access = m.now().since(t0).as_us_f64() / 96.0;
+        assert!(
+            per_access > 5.0,
+            "faulting access cost {per_access}us too low"
+        );
+    }
+
+    #[test]
+    fn fabric_transport_round_trips_and_reserves() {
+        let mut m = small_fabric(4);
+        let va = m.alloc(16 * 4096);
+        for i in 0..16u64 {
+            m.write_u64(va + i * 4096, i + 1);
+        }
+        for i in 0..16u64 {
+            assert_eq!(m.read_u64(va + i * 4096), i + 1);
+        }
+        assert!(m.stats().reservations >= 1, "fabric swap reserves zones");
+    }
+
+    #[test]
+    fn ethernet_swap_is_slower_than_idealized_fabric_swap() {
+        let thrash = |mut m: SwapSpace| {
+            let va = m.alloc(32 * 4096);
+            for i in 0..32u64 {
+                m.write_u64(va + i * 4096, i);
+            }
+            for _ in 0..2 {
+                for i in 0..32u64 {
+                    m.read_u64(va + i * 4096);
+                }
+            }
+            m.now().since(SimTime::ZERO)
+        };
+        let eth = thrash(small_remote(8));
+        let fab = thrash(small_fabric(8));
+        assert!(
+            eth.as_ns_f64() > 2.0 * fab.as_ns_f64(),
+            "ethernet {eth} should be well above fabric {fab}"
+        );
+    }
+
+    #[test]
+    fn disk_swap_is_far_slower_than_remote_swap() {
+        let run = |mut m: SwapSpace| {
+            let va = m.alloc(16 * 4096);
+            for i in 0..16u64 {
+                m.write_u64(va + i * 4096, i);
+            }
+            for _ in 0..2 {
+                for i in 0..16u64 {
+                    m.read_u64(va + i * 4096);
+                }
+            }
+            m.now().since(SimTime::ZERO)
+        };
+        let remote = run(small_remote(4));
+        let disk = run(SwapSpace::disk(
+            ClusterConfig::prototype(),
+            n(1),
+            SwapConfig {
+                cache_pages: 4,
+                ..SwapConfig::default()
+            },
+            DiskConfig::default(),
+        ));
+        assert!(
+            disk.as_ns_f64() > remote.as_ns_f64() * 8.0,
+            "disk {disk} should dwarf remote {remote}"
+        );
+    }
+
+    #[test]
+    fn clean_pages_are_not_written_back() {
+        let mut m = small_remote(4);
+        let va = m.alloc(16 * 4096);
+        // Materialize all pages (writes), then sweep read-only twice.
+        for i in 0..16u64 {
+            m.write_u64(va + i * 4096, i);
+        }
+        let pages_out_after_populate = m.stats().pages_out;
+        for _ in 0..2 {
+            for i in 0..16u64 {
+                m.read_u64(va + i * 4096);
+            }
+        }
+        // Read-only sweeps evict only clean pages: pages_out grows at most
+        // by the dirty residue of the populate phase (<= cache capacity).
+        let growth = m.stats().pages_out - pages_out_after_populate;
+        assert!(growth <= 4, "read-only thrash wrote {growth} pages");
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn wild_access_panics() {
+        let mut m = small_remote(4);
+        m.read_u64(0xF000_0000);
+    }
+}

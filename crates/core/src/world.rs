@@ -1,0 +1,1278 @@
+//! The discrete-event cluster.
+//!
+//! [`World`] owns every timed component — fabric, per-node DRAM, RMC client
+//! and server datapaths, frame allocators — and the event loop that moves
+//! transactions through them:
+//!
+//! ```text
+//! core ──submit──▶ client RMC ──▶ fabric hops ──▶ server RMC ──▶ DRAM
+//!   ▲                                                             │
+//!   └── completion ◀── client RMC ◀── fabric hops ◀── response ◀──┘
+//! ```
+//!
+//! Two driving modes:
+//!
+//! * **Blocking** ([`World::blocking_transaction`]) — one transaction at a
+//!   time, used by the synchronous [`crate::backend::MemSpace`] backends
+//!   (the prototype binds memory-hungry processes to a single core with one
+//!   outstanding RMC request, so this is not a simplification — it *is* the
+//!   machine).
+//! * **Traffic threads** ([`World::spawn_thread`] / [`World::run`]) — the
+//!   multi-client random-access generators of Figs. 7 and 8, including
+//!   NACK/retry behaviour.
+//!
+//! Reservation (software, off the access path) is performed functionally via
+//! [`World::reserve_remote`], which updates the donor's frame allocator, the
+//! directory and the borrower's region, and charges the configured
+//! reservation latency to the caller's clock.
+
+use crate::config::ClusterConfig;
+use cohfree_fabric::{Fabric, Message, MsgKind, NodeId, Step};
+use cohfree_mem::NodeMemory;
+use cohfree_os::directory::Directory;
+use cohfree_os::frames::FrameAllocator;
+use cohfree_os::region::{Region, Segment};
+use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
+use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
+use cohfree_sim::{EventQueue, Rng, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Per-node timed components.
+struct NodeCtx {
+    mem: NodeMemory,
+    client: RmcClient,
+    server: RmcServer,
+    frames: FrameAllocator,
+    requester: ResvRequester,
+    donor: ResvDonor,
+    region: Region,
+}
+
+/// Events moving through the cluster.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// `msg` is at router `at` (first hop: its source node).
+    Hop { msg: Message, at: NodeId },
+    /// The home node's DRAM finished serving `msg` (which arrived at the
+    /// server RMC at `arrived`).
+    MemDone { msg: Message, arrived: SimTime },
+    /// A traffic thread should take its next step.
+    ThreadWake { id: usize },
+    /// Loss-recovery timer for transaction `tag` fired (armed only on a
+    /// lossy fabric). Stale if the transaction completed or was already
+    /// retransmitted (`attempt` mismatch).
+    Timeout { tag: u64, attempt: u32 },
+}
+
+/// Who is waiting on a transaction tag.
+#[derive(Debug, Clone, Copy)]
+enum Owner {
+    Thread(usize),
+    Sync,
+    /// Nobody waits: a posted write — the core already moved on.
+    Posted,
+}
+
+/// Bookkeeping for an in-flight transaction (needed for loss recovery).
+#[derive(Debug, Clone, Copy)]
+struct PendingTx {
+    owner: Owner,
+    msg: Message,
+    attempt: u32,
+}
+
+/// Home-side state of one coherent-DSM transaction (baseline model): the
+/// response may only leave once the DRAM read *and* every snoop response
+/// have arrived.
+#[derive(Debug, Clone, Copy)]
+struct CohState {
+    awaiting_probes: usize,
+    mem_done: Option<SimTime>,
+    req: Message,
+    arrived: SimTime,
+}
+
+/// Specification of one traffic-generator thread (Figs. 7–8 style).
+#[derive(Debug, Clone)]
+pub struct ThreadSpec {
+    /// Node whose core runs the thread.
+    pub node: NodeId,
+    /// Remote zones to target: (prefixed base, length in bytes). Each access
+    /// picks a zone uniformly, then a 64-byte-aligned offset uniformly.
+    pub zones: Vec<(u64, u64)>,
+    /// Total accesses to perform.
+    pub accesses: u64,
+    /// Bytes per access (typically one cache line).
+    pub bytes: u32,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// CPU time between completing one access and issuing the next.
+    pub think: SimDuration,
+    /// Thread-private PRNG seed.
+    pub seed: u64,
+}
+
+struct Thread {
+    spec: ThreadSpec,
+    rng: Rng,
+    /// Stream the zones in address order instead of uniformly at random
+    /// (models the read-only parallel phases of Section IV-B).
+    sequential: bool,
+    /// Issue coherent-DSM reads (the 3Leaf-style baseline) instead of the
+    /// paper's non-coherent reads.
+    coherent: bool,
+    issued: u64,
+    completed: u64,
+    /// Access generated but NACKed, awaiting retry.
+    pending: Option<(NodeId, MsgKind, u64)>,
+    started: SimTime,
+    finished: Option<SimTime>,
+    nack_retries: u64,
+}
+
+/// The simulated cluster.
+///
+/// ```
+/// use cohfree_core::{ClusterConfig, MsgKind, NodeId, SimTime, World};
+///
+/// let mut w = World::new(ClusterConfig::prototype());
+/// // Node 1 borrows 4 MiB from node 2 and reads the first line of it.
+/// let resv = w.reserve_remote(NodeId::new(1), 1024, Some(NodeId::new(2)));
+/// let done = w.blocking_transaction(
+///     SimTime::ZERO,
+///     NodeId::new(1),
+///     NodeId::new(2),
+///     MsgKind::ReadReq { bytes: 64 },
+///     resv.prefixed_base,
+/// );
+/// assert!(done.as_ns() > 800, "a remote read is ~1 us on the prototype");
+/// ```
+pub struct World {
+    cfg: ClusterConfig,
+    queue: EventQueue<Ev>,
+    fabric: Fabric,
+    nodes: Vec<NodeCtx>,
+    directory: Directory,
+    threads: Vec<Thread>,
+    pending: HashMap<u64, PendingTx>,
+    sync_done: Option<(u64, SimTime)>,
+    /// Members of the (single, experiment-wide) inter-node coherency domain
+    /// for the coherent-DSM baseline; empty = the paper's architecture.
+    coherent_domain: Vec<NodeId>,
+    coh: HashMap<u64, CohState>,
+}
+
+impl World {
+    /// Build a cluster per `cfg`.
+    pub fn new(cfg: ClusterConfig) -> World {
+        cfg.validate();
+        let n = cfg.topology.num_nodes();
+        let nodes = (1..=n)
+            .map(|i| {
+                let id = NodeId::new(i);
+                NodeCtx {
+                    mem: NodeMemory::new(cfg.dram),
+                    client: RmcClient::new(id, cfg.rmc),
+                    server: RmcServer::new(id, cfg.rmc),
+                    frames: FrameAllocator::new(cfg.private_bytes, cfg.pool_bytes),
+                    requester: ResvRequester::new(id),
+                    donor: ResvDonor::new(id),
+                    region: Region::new(id, cfg.dram.node_bytes() / 4096),
+                }
+            })
+            .collect();
+        World {
+            fabric: Fabric::new(cfg.topology, cfg.fabric),
+            nodes,
+            directory: Directory::new(cfg.topology, cfg.pool_frames_per_node(), cfg.donor_policy),
+            threads: Vec::new(),
+            pending: HashMap::new(),
+            sync_done: None,
+            coherent_domain: Vec::new(),
+            coh: HashMap::new(),
+            queue: EventQueue::new(),
+            cfg,
+        }
+    }
+
+    /// Configure the coherent-DSM baseline: every `CohReadReq` transaction
+    /// makes its home node snoop all of `domain`'s other members before
+    /// answering, modelling Opteron-style broadcast coherence stretched
+    /// across the fabric (the 3Leaf/Aqua approach of Section II).
+    ///
+    /// # Panics
+    /// Panics on a lossy fabric — the baseline's probe choreography has no
+    /// loss recovery (and the real aggregating chipsets assumed reliable
+    /// links too).
+    pub fn set_coherent_domain(&mut self, domain: Vec<NodeId>) {
+        assert!(
+            self.cfg.fabric.loss_rate == 0.0,
+            "the coherent baseline requires a lossless fabric"
+        );
+        self.coherent_domain = domain;
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time of the event engine.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The interconnect (for statistics).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The cluster free-memory directory.
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Mutable directory access (experiments pin donor orders through it).
+    pub fn directory_mut(&mut self) -> &mut Directory {
+        &mut self.directory
+    }
+
+    /// The client RMC of `node` (statistics).
+    pub fn client(&self, node: NodeId) -> &RmcClient {
+        &self.nodes[node.index()].client
+    }
+
+    /// The server RMC of `node` (statistics).
+    pub fn server(&self, node: NodeId) -> &RmcServer {
+        &self.nodes[node.index()].server
+    }
+
+    /// The DRAM of `node` (statistics).
+    pub fn memory(&self, node: NodeId) -> &NodeMemory {
+        &self.nodes[node.index()].mem
+    }
+
+    /// The memory region of `node`.
+    pub fn region(&self, node: NodeId) -> &Region {
+        &self.nodes[node.index()].region
+    }
+
+    // ------------------------------------------------------------------
+    // Reservation (software path, functional)
+    // ------------------------------------------------------------------
+
+    /// Reserve `frames` pool frames for `asker` from `donor` (or let the
+    /// directory pick one when `None`). Grows the asker's region. Returns
+    /// the reservation; the caller charges
+    /// [`crate::config::OsTiming::reservation`] to its own clock.
+    ///
+    /// # Panics
+    /// Panics if no donor can satisfy the request (callers size experiments
+    /// within the pool) or on protocol violations.
+    pub fn reserve_remote(
+        &mut self,
+        asker: NodeId,
+        frames: u64,
+        donor: Option<NodeId>,
+    ) -> Reservation {
+        let donor_id = donor
+            .or_else(|| self.directory.choose_donor(asker, frames))
+            .unwrap_or_else(|| panic!("no donor can lend {frames} frames to {asker}"));
+        assert_ne!(donor_id, asker, "reservation donor must differ from asker");
+        // Requester kernel -> donor kernel messages (functional).
+        let req_msg = self.nodes[asker.index()]
+            .requester
+            .request(donor_id, frames);
+        let ack = {
+            let donor_ctx = &mut self.nodes[donor_id.index()];
+            donor_ctx
+                .donor
+                .on_request(&req_msg, &mut donor_ctx.frames)
+                .unwrap_or_else(|e| panic!("donor {donor_id} failed: {e}"))
+        };
+        let resv = self.nodes[asker.index()].requester.on_ack(&ack);
+        self.directory.debit(donor_id, frames);
+        self.nodes[asker.index()].region.extend(Segment {
+            home: donor_id,
+            base: resv.prefixed_base,
+            frames,
+        });
+        resv
+    }
+
+    /// Release a reservation previously granted to `asker`.
+    pub fn release_remote(&mut self, asker: NodeId, resv: Reservation) {
+        let rel = self.nodes[asker.index()].requester.release(resv);
+        let freed = {
+            let donor_ctx = &mut self.nodes[resv.home.index()];
+            donor_ctx
+                .donor
+                .on_release(&rel, &mut donor_ctx.frames)
+                .expect("release of unknown grant")
+        };
+        self.directory.credit(resv.home, freed);
+        self.nodes[asker.index()]
+            .region
+            .shrink(resv.prefixed_base)
+            .expect("region segment missing on release");
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Hop { msg, at } => match self.fabric.step(now, at, &msg) {
+                Step::Forward { next, arrive } => {
+                    self.queue.schedule(arrive, Ev::Hop { msg, at: next });
+                }
+                // Lost on a link; the requester's timeout recovers it.
+                Step::Dropped => {}
+                Step::Deliver { at: t } => match msg.kind {
+                    // --- coherent-DSM baseline choreography ---
+                    MsgKind::ProbeReq => {
+                        let (resp, inject_at) =
+                            self.nodes[msg.dst.index()].server.on_probe(t, &msg);
+                        self.queue.schedule(
+                            inject_at,
+                            Ev::Hop {
+                                msg: resp,
+                                at: resp.src,
+                            },
+                        );
+                    }
+                    MsgKind::ProbeResp => {
+                        let done = self.nodes[msg.dst.index()].server.on_probe_response(t);
+                        let st = self
+                            .coh
+                            .get_mut(&msg.tag)
+                            .expect("probe response for unknown coherent transaction");
+                        st.awaiting_probes -= 1;
+                        self.try_finish_coherent(msg.tag, done);
+                    }
+                    MsgKind::CohReadReq { .. } => {
+                        let home = msg.dst;
+                        let ctx = &mut self.nodes[home.index()];
+                        let issue = ctx.server.on_request(t, &msg);
+                        let done = ctx
+                            .mem
+                            .access(issue.issue_at, issue.local_addr, issue.bytes);
+                        self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
+                        // Broadcast snoops to every other domain member.
+                        let members: Vec<NodeId> = self
+                            .coherent_domain
+                            .iter()
+                            .copied()
+                            .filter(|&m| m != home && m != msg.src)
+                            .collect();
+                        self.coh.insert(
+                            msg.tag,
+                            CohState {
+                                awaiting_probes: members.len(),
+                                mem_done: None,
+                                req: msg,
+                                arrived: t,
+                            },
+                        );
+                        for m in members {
+                            let probe =
+                                Message::with_addr(home, m, MsgKind::ProbeReq, msg.tag, msg.addr);
+                            self.queue.schedule(
+                                issue.issue_at,
+                                Ev::Hop {
+                                    msg: probe,
+                                    at: home,
+                                },
+                            );
+                        }
+                    }
+                    // --- ordinary (non-coherent) paths ---
+                    _ if msg.kind.is_response() => {
+                        // None = duplicate response under loss recovery.
+                        if let Some(comp) = self.nodes[msg.dst.index()].client.on_response(t, &msg)
+                        {
+                            self.complete(comp);
+                        }
+                    }
+                    _ => {
+                        let ctx = &mut self.nodes[msg.dst.index()];
+                        let issue = ctx.server.on_request(t, &msg);
+                        let done = ctx
+                            .mem
+                            .access(issue.issue_at, issue.local_addr, issue.bytes);
+                        self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
+                    }
+                },
+            },
+            Ev::MemDone { msg, arrived } => {
+                if matches!(msg.kind, MsgKind::CohReadReq { .. }) {
+                    let st = self
+                        .coh
+                        .get_mut(&msg.tag)
+                        .expect("memory completion for unknown coherent transaction");
+                    st.mem_done = Some(now);
+                    self.try_finish_coherent(msg.tag, now);
+                } else {
+                    let (resp, inject_at) = self.nodes[msg.dst.index()]
+                        .server
+                        .on_mem_done(now, &msg, arrived);
+                    self.queue.schedule(
+                        inject_at,
+                        Ev::Hop {
+                            msg: resp,
+                            at: resp.src,
+                        },
+                    );
+                }
+            }
+            Ev::ThreadWake { id } => self.thread_step(id),
+            Ev::Timeout { tag, attempt } => self.on_timeout(now, tag, attempt),
+        }
+    }
+
+    /// Arm the loss-recovery timer for `tag` if the fabric can lose
+    /// messages (a lossless fabric needs no timers and no timer events).
+    fn arm_timeout(&mut self, injected_at: SimTime, tag: u64, attempt: u32) {
+        if self.cfg.fabric.loss_rate > 0.0 {
+            self.queue.schedule(
+                injected_at + self.cfg.rmc.timeout,
+                Ev::Timeout { tag, attempt },
+            );
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, tag: u64, attempt: u32) {
+        let Some(p) = self.pending.get_mut(&tag) else {
+            return; // completed; stale timer
+        };
+        if p.attempt != attempt {
+            return; // already retransmitted; a newer timer is armed
+        }
+        p.attempt += 1;
+        let (msg, new_attempt) = (p.msg, p.attempt);
+        let src = msg.src;
+        let inject_at = self.nodes[src.index()].client.retransmit(now, tag);
+        self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
+        self.arm_timeout(inject_at, tag, new_attempt);
+    }
+
+    /// Release a coherent response once both the DRAM read and every snoop
+    /// response are in.
+    fn try_finish_coherent(&mut self, tag: u64, now: SimTime) {
+        let ready = {
+            let st = self.coh.get(&tag).expect("coherent state exists");
+            st.awaiting_probes == 0 && st.mem_done.is_some()
+        };
+        if !ready {
+            return;
+        }
+        let st = self.coh.remove(&tag).expect("checked above");
+        let (resp, inject_at) = self.nodes[st.req.dst.index()]
+            .server
+            .on_mem_done(now, &st.req, st.arrived);
+        self.queue.schedule(
+            inject_at,
+            Ev::Hop {
+                msg: resp,
+                at: resp.src,
+            },
+        );
+    }
+
+    fn complete(&mut self, comp: Completion) {
+        match self.pending.remove(&comp.tag).map(|p| p.owner) {
+            Some(Owner::Thread(id)) => {
+                let think = self.threads[id].spec.think;
+                self.threads[id].completed += 1;
+                if self.threads[id].completed == self.threads[id].spec.accesses {
+                    self.threads[id].finished = Some(comp.done_at);
+                } else {
+                    self.queue
+                        .schedule(comp.done_at + think, Ev::ThreadWake { id });
+                }
+            }
+            Some(Owner::Sync) => {
+                self.sync_done = Some((comp.tag, comp.done_at));
+            }
+            Some(Owner::Posted) => {} // fire-and-forget acknowledged
+            None => panic!("completion for unowned tag {:#x}", comp.tag),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Blocking (single-outstanding) transactions
+    // ------------------------------------------------------------------
+
+    /// Run one remote transaction to completion and return the instant the
+    /// issuing core observes it. `start` must not precede the engine clock.
+    ///
+    /// Models the prototype's access path exactly: one outstanding request
+    /// per core to the RMC range, NACK/retry included.
+    ///
+    /// # Panics
+    /// Panics if traffic threads are concurrently active (blocking mode is
+    /// for single-core processes; drive concurrent load with threads).
+    pub fn blocking_transaction(
+        &mut self,
+        start: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        addr: u64,
+    ) -> SimTime {
+        assert!(
+            self.threads.iter().all(|t| t.finished.is_some()),
+            "blocking_transaction while traffic threads are active"
+        );
+        let mut t = start.max(self.queue.now());
+        loop {
+            match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
+                Submit::Accepted { msg, inject_at } => {
+                    self.pending.insert(
+                        msg.tag,
+                        PendingTx {
+                            owner: Owner::Sync,
+                            msg,
+                            attempt: 0,
+                        },
+                    );
+                    self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
+                    self.arm_timeout(inject_at, msg.tag, 0);
+                    break;
+                }
+                Submit::Nacked { retry_at } => {
+                    // Slots may be held by in-flight posted writes; pump the
+                    // queue up to the retry instant so they can drain.
+                    while self.queue.peek_time().is_some_and(|pt| pt <= retry_at) {
+                        let (at, ev) = self.queue.pop().expect("peeked");
+                        self.handle(at, ev);
+                    }
+                    t = retry_at;
+                }
+            }
+        }
+        loop {
+            if let Some((_, done)) = self.sync_done.take() {
+                return done;
+            }
+            let (at, ev) = self
+                .queue
+                .pop()
+                .expect("blocking transaction lost (queue drained)");
+            self.handle(at, ev);
+        }
+    }
+
+    /// Issue a *posted* transaction: the core is released as soon as the
+    /// RMC accepts the write (HyperTransport posted semantics); the
+    /// transaction still occupies a request slot, the fabric and the home
+    /// node until its acknowledgement returns. Returns the instant the core
+    /// may continue.
+    ///
+    /// Pending posted traffic drains whenever the event queue is pumped; a
+    /// backend that needs everything settled calls
+    /// [`World::drain_background`].
+    pub fn posted_transaction(
+        &mut self,
+        start: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        addr: u64,
+    ) -> SimTime {
+        let mut t = start.max(self.queue.now());
+        loop {
+            match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
+                Submit::Accepted { msg, inject_at } => {
+                    self.pending.insert(
+                        msg.tag,
+                        PendingTx {
+                            owner: Owner::Posted,
+                            msg,
+                            attempt: 0,
+                        },
+                    );
+                    self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
+                    self.arm_timeout(inject_at, msg.tag, 0);
+                    return inject_at;
+                }
+                // All slots busy: even a posted write stalls at the
+                // interface until a slot frees. Pump the queue so slots can
+                // actually free while we wait.
+                Submit::Nacked { retry_at } => {
+                    while self.queue.peek_time().is_some_and(|pt| pt <= retry_at) {
+                        let (at, ev) = self.queue.pop().expect("peeked");
+                        self.handle(at, ev);
+                    }
+                    t = retry_at;
+                }
+            }
+        }
+    }
+
+    /// Run the event queue dry (no sync waiter may be outstanding): settles
+    /// all posted traffic. Returns the instant the last event fired.
+    pub fn drain_background(&mut self) -> SimTime {
+        assert!(
+            self.sync_done.is_none(),
+            "drain during a blocking transaction"
+        );
+        while let Some((at, ev)) = self.queue.pop() {
+            self.handle(at, ev);
+        }
+        self.queue.now()
+    }
+
+    /// Timed *local* access on `node` (used by backends for non-remote
+    /// physical addresses).
+    pub fn local_access(&mut self, now: SimTime, node: NodeId, addr: u64, bytes: u32) -> SimTime {
+        self.nodes[node.index()].mem.access(now, addr, bytes)
+    }
+
+    /// Allocate one frame from `node`'s private region (local OS memory).
+    pub fn alloc_private_frame(&mut self, node: NodeId) -> Option<u64> {
+        self.nodes[node.index()].frames.alloc_private()
+    }
+
+    /// Unloaded estimate of a remote read round trip from `src` to `dst`
+    /// fetching `bytes` (used by the prefetcher's readiness model and the
+    /// analytic equations; ignores queueing).
+    pub fn estimate_remote_read_latency(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+    ) -> SimDuration {
+        let hops = self.cfg.topology.hops(src, dst);
+        let req = MsgKind::ReadReq { bytes };
+        let resp = MsgKind::ReadResp { bytes };
+        self.cfg.rmc.proc_time * 2
+            + self.cfg.rmc.server_proc_time * 2
+            + self.fabric.unloaded_latency(req.wire_bytes(), hops)
+            + self.fabric.unloaded_latency(resp.wire_bytes(), hops)
+            + self.nodes[dst.index()].mem.unloaded_latency(bytes)
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic threads (Figs. 7-8)
+    // ------------------------------------------------------------------
+
+    /// Spawn a traffic thread; it begins issuing at `start`.
+    pub fn spawn_thread(&mut self, spec: ThreadSpec, start: SimTime) -> usize {
+        self.spawn(spec, start, false)
+    }
+
+    /// Spawn a thread whose reads go through the coherent-DSM baseline
+    /// (every miss snoops the domain set via [`World::set_coherent_domain`]).
+    /// Reads only; the study isolates the protocol's cost, not write races.
+    pub fn spawn_coherent_thread(&mut self, spec: ThreadSpec, start: SimTime) -> usize {
+        assert!(
+            !self.coherent_domain.is_empty(),
+            "call set_coherent_domain() before spawning coherent threads"
+        );
+        let id = self.spawn(spec, start, false);
+        self.threads[id].coherent = true;
+        id
+    }
+
+    /// Spawn a thread that streams its zones *sequentially* by line —
+    /// the access pattern of a read-only parallel phase (Section IV-B:
+    /// after a flush, several threads may scan shared data with no
+    /// coherency traffic).
+    pub fn spawn_sequential_thread(&mut self, spec: ThreadSpec, start: SimTime) -> usize {
+        self.spawn(spec, start, true)
+    }
+
+    fn spawn(&mut self, spec: ThreadSpec, start: SimTime, sequential: bool) -> usize {
+        assert!(
+            !spec.zones.is_empty(),
+            "thread needs at least one target zone"
+        );
+        assert!(spec.accesses > 0, "thread needs at least one access");
+        let id = self.threads.len();
+        let rng = Rng::new(spec.seed);
+        self.threads.push(Thread {
+            rng,
+            spec,
+            sequential,
+            coherent: false,
+            issued: 0,
+            completed: 0,
+            pending: None,
+            started: start,
+            finished: None,
+            nack_retries: 0,
+        });
+        self.queue.schedule(start, Ev::ThreadWake { id });
+        id
+    }
+
+    fn thread_step(&mut self, id: usize) {
+        let now = self.queue.now();
+        // Take the pending (NACKed) access or generate a fresh one.
+        let (dst, kind, addr) = {
+            let th = &mut self.threads[id];
+            if let Some(p) = th.pending.take() {
+                p
+            } else {
+                if th.issued == th.spec.accesses {
+                    return; // nothing left to issue
+                }
+                th.issued += 1;
+                let (base, len, slot) = if th.sequential {
+                    // Walk all zones end-to-end in order, wrapping.
+                    let per_zone: u64 = th.spec.zones[0].1 / th.spec.bytes as u64;
+                    let k = (th.issued - 1) / per_zone.max(1) % th.spec.zones.len() as u64;
+                    let (base, len) = th.spec.zones[k as usize];
+                    let slots = (len / th.spec.bytes as u64).max(1);
+                    (base, len, (th.issued - 1) % slots)
+                } else {
+                    let zi = if th.spec.zones.len() == 1 {
+                        0
+                    } else {
+                        th.rng.below(th.spec.zones.len() as u64) as usize
+                    };
+                    let (base, len) = th.spec.zones[zi];
+                    let slots = (len / th.spec.bytes as u64).max(1);
+                    (base, len, th.rng.below(slots))
+                };
+                let _ = len;
+                let addr = base + slot * th.spec.bytes as u64;
+                let write = !th.coherent && th.rng.chance(th.spec.write_fraction);
+                let kind = if th.coherent {
+                    MsgKind::CohReadReq {
+                        bytes: th.spec.bytes,
+                    }
+                } else if write {
+                    MsgKind::WriteReq {
+                        bytes: th.spec.bytes,
+                    }
+                } else {
+                    MsgKind::ReadReq {
+                        bytes: th.spec.bytes,
+                    }
+                };
+                let (prefix, _) = cohfree_rmc::addr::split(addr);
+                (NodeId::new(prefix), kind, addr)
+            }
+        };
+        let node = self.threads[id].spec.node;
+        match self.nodes[node.index()].client.submit(now, dst, kind, addr) {
+            Submit::Accepted { msg, inject_at } => {
+                self.pending.insert(
+                    msg.tag,
+                    PendingTx {
+                        owner: Owner::Thread(id),
+                        msg,
+                        attempt: 0,
+                    },
+                );
+                self.queue.schedule(inject_at, Ev::Hop { msg, at: node });
+                self.arm_timeout(inject_at, msg.tag, 0);
+            }
+            Submit::Nacked { retry_at } => {
+                let th = &mut self.threads[id];
+                th.pending = Some((dst, kind, addr));
+                th.nack_retries += 1;
+                self.queue.schedule(retry_at, Ev::ThreadWake { id });
+            }
+        }
+    }
+
+    /// Run the event loop until every event has drained (all threads done).
+    ///
+    /// # Panics
+    /// Panics if the loop exceeds a safety limit proportional to the total
+    /// work (indicates a livelock bug).
+    pub fn run(&mut self) {
+        let total_accesses: u64 = self.threads.iter().map(|t| t.spec.accesses).sum();
+        // Generous bound: hops + retries per access.
+        let limit = 1_000 + total_accesses.saturating_mul(2_000);
+        while let Some((at, ev)) = self.queue.pop() {
+            self.handle(at, ev);
+            assert!(
+                self.queue.processed() <= limit,
+                "event budget exceeded: livelock at {at}"
+            );
+        }
+    }
+
+    /// Wall-clock (simulated) duration of thread `id`, once [`World::run`]
+    /// has drained.
+    ///
+    /// # Panics
+    /// Panics if the thread has not finished.
+    pub fn thread_elapsed(&self, id: usize) -> SimDuration {
+        let th = &self.threads[id];
+        th.finished
+            .expect("thread not finished; call run() first")
+            .since(th.started)
+    }
+
+    /// NACK retries suffered by thread `id`.
+    pub fn thread_nacks(&self, id: usize) -> u64 {
+        self.threads[id].nack_retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn world() -> World {
+        World::new(ClusterConfig::prototype())
+    }
+
+    #[test]
+    fn reservation_grows_region_and_debits_directory() {
+        let mut w = world();
+        let before = w.directory().free_frames(n(2));
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        assert_eq!(resv.home, n(2));
+        assert_eq!(w.directory().free_frames(n(2)), before - 1024);
+        assert_eq!(w.region(n(1)).borrowed_bytes(), 1024 * 4096);
+        // The zone base carries node 2's prefix above the pool base.
+        assert_eq!(resv.prefixed_base >> 34, 2);
+        w.release_remote(n(1), resv);
+        assert_eq!(w.directory().free_frames(n(2)), before);
+        assert_eq!(w.region(n(1)).borrowed_bytes(), 0);
+    }
+
+    #[test]
+    fn directory_policy_used_when_no_explicit_donor() {
+        let mut w = world();
+        // Nearest policy from corner node 1 picks node 2.
+        let resv = w.reserve_remote(n(1), 16, None);
+        assert_eq!(resv.home, n(2));
+    }
+
+    #[test]
+    fn blocking_read_round_trip_makes_sense() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let done = w.blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        let lat = done.since(SimTime::ZERO);
+        // Must cover at least: 4 RMC passes + 2 fabric traversals + DRAM.
+        let floor = w.config().rmc.proc_time * 2 + w.config().rmc.server_proc_time * 2;
+        assert!(lat > floor, "latency {lat} below component floor {floor}");
+        assert!(lat < SimDuration::us(20), "latency {lat} absurdly high");
+        assert_eq!(w.client(n(1)).completions(), 1);
+        assert_eq!(w.server(n(2)).requests(), 1);
+        assert_eq!(w.memory(n(2)).accesses(), 1);
+    }
+
+    #[test]
+    fn blocking_latency_grows_with_hops() {
+        // Fig. 6's core property, now through the full stack.
+        let mut prev = SimDuration::ZERO;
+        for dst in [2u16, 3, 4, 8, 12, 16] {
+            let mut w = world();
+            let resv = w.reserve_remote(n(1), 16, Some(n(dst)));
+            let done = w.blocking_transaction(
+                SimTime::ZERO,
+                n(1),
+                n(dst),
+                MsgKind::ReadReq { bytes: 64 },
+                resv.prefixed_base,
+            );
+            let lat = done.since(SimTime::ZERO);
+            assert!(lat > prev, "dst {dst}: {lat} !> {prev}");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn consecutive_blocking_transactions_are_serial() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let t1 = w.blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        let t2 = w.blocking_transaction(
+            t1,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base + 64,
+        );
+        assert!(
+            t2.since(t1) >= t1.since(SimTime::ZERO) / 2,
+            "second txn unreasonably fast"
+        );
+        assert_eq!(w.client(n(1)).completions(), 2);
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 100,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 7,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let elapsed = w.thread_elapsed(id);
+        assert!(
+            elapsed > SimDuration::us(50),
+            "100 remote reads in {elapsed}?"
+        );
+        assert_eq!(w.client(n(1)).completions(), 100);
+        assert_eq!(w.server(n(2)).requests(), 100);
+    }
+
+    #[test]
+    fn two_threads_roughly_halve_time() {
+        // Fig. 7 left group, 1 -> 2 threads: "the required time ... becomes
+        // half the time".
+        let total = 400u64;
+        let elapsed_for = |threads: u64| {
+            let mut w = world();
+            let resv = w.reserve_remote(n(1), 2048, Some(n(2)));
+            let ids: Vec<usize> = (0..threads)
+                .map(|k| {
+                    w.spawn_thread(
+                        ThreadSpec {
+                            node: n(1),
+                            zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                            accesses: total / threads,
+                            bytes: 64,
+                            write_fraction: 0.0,
+                            think: SimDuration::ns(5),
+                            seed: 100 + k,
+                        },
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            w.run();
+            ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap()
+        };
+        let t1 = elapsed_for(1);
+        let t2 = elapsed_for(2);
+        let ratio = t2.as_ns_f64() / t1.as_ns_f64();
+        assert!(
+            (0.45..0.70).contains(&ratio),
+            "2-thread ratio {ratio} not near half (t1={t1}, t2={t2})"
+        );
+    }
+
+    #[test]
+    fn four_threads_hit_the_client_rmc_wall() {
+        // Fig. 7: "the time does not get reduced in the expected proportion"
+        // for four threads.
+        let total = 800u64;
+        let elapsed_for = |threads: u64| {
+            let mut w = world();
+            let resv = w.reserve_remote(n(1), 2048, Some(n(2)));
+            let ids: Vec<usize> = (0..threads)
+                .map(|k| {
+                    w.spawn_thread(
+                        ThreadSpec {
+                            node: n(1),
+                            zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                            accesses: total / threads,
+                            bytes: 64,
+                            write_fraction: 0.0,
+                            think: SimDuration::ns(5),
+                            seed: 200 + k,
+                        },
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            w.run();
+            ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap()
+        };
+        let t2 = elapsed_for(2);
+        let t4 = elapsed_for(4);
+        let ratio = t4.as_ns_f64() / t2.as_ns_f64();
+        assert!(
+            ratio > 0.7,
+            "4 threads should NOT halve again (t4/t2 = {ratio})"
+        );
+    }
+
+    #[test]
+    fn writes_are_acknowledged() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let done = w.blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::WriteReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        assert!(done > SimTime::ZERO);
+        assert_eq!(w.client(n(1)).writes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no donor")]
+    fn impossible_reservation_panics() {
+        let mut w = world();
+        w.reserve_remote(n(1), u64::MAX / 4096, None);
+    }
+
+    #[test]
+    fn scales_to_a_64_node_cluster() {
+        // The architecture is not tied to the 4x4 prototype: an 8x8 mesh
+        // builds, reserves across the diagonal, and transacts correctly.
+        let mut cfg = ClusterConfig::prototype();
+        cfg.topology = cohfree_fabric::Topology::Mesh2D {
+            width: 8,
+            height: 8,
+        };
+        let mut w = World::new(cfg);
+        let client = n(1);
+        let server = n(64); // opposite corner: 14 hops
+        assert_eq!(cfg.topology.hops(client, server), 14);
+        let resv = w.reserve_remote(client, 1024, Some(server));
+        assert_eq!(resv.prefixed_base >> 34, 64);
+        let near = w.reserve_remote(client, 1024, Some(n(2)));
+        let t_far = w.blocking_transaction(
+            SimTime::ZERO,
+            client,
+            server,
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        let t0 = t_far;
+        let t_near = w.blocking_transaction(
+            t0,
+            client,
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            near.prefixed_base,
+        );
+        assert!(
+            t_far.since(SimTime::ZERO) > t_near.since(t0) * 2,
+            "14 hops must cost far more than 1"
+        );
+        assert_eq!(
+            w.directory().total_free(),
+            64 * cfg.pool_frames_per_node() - 2048
+        );
+    }
+
+    fn coherent_run(domain_nodes: &[u16], accesses: u64) -> (SimDuration, u64) {
+        let mut w = world();
+        let domain: Vec<NodeId> = domain_nodes.iter().map(|&i| n(i)).collect();
+        w.set_coherent_domain(domain);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_coherent_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 99,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let probes: u64 = (1..=16).map(|i| w.server(n(i)).probes()).sum();
+        (w.thread_elapsed(id), probes)
+    }
+
+    #[test]
+    fn coherent_baseline_completes_and_probes_every_member() {
+        // Domain {1, 2, 5, 6}: home 2 must probe 5 and 6 per miss (not the
+        // requester 1, not itself).
+        let (elapsed, probes) = coherent_run(&[1, 2, 5, 6], 100);
+        assert_eq!(probes, 200, "2 members probed per access");
+        assert!(elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn coherency_overhead_grows_with_domain_size() {
+        // THE paper's thesis, quantified: the same single-node application
+        // pays more per access as the coherency domain grows — while the
+        // non-coherent architecture is flat by construction.
+        let (d2, _) = coherent_run(&[1, 2], 200);
+        let (d8, _) = coherent_run(&[1, 2, 3, 4, 5, 6, 7, 8], 200);
+        let (d16, _) = coherent_run(&(1..=16).collect::<Vec<u16>>(), 200);
+        assert!(
+            d8.as_ns_f64() > d2.as_ns_f64() * 1.1,
+            "8-node domain {d8} must cost more than 2-node {d2}"
+        );
+        assert!(
+            d16.as_ns_f64() > d8.as_ns_f64() * 1.05,
+            "16-node domain {d16} must cost more than 8-node {d8}"
+        );
+        // And the minimal coherent domain is itself no cheaper than the
+        // paper's non-coherent access (extra protocol state, same path).
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 200,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 99,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let noncoh = w.thread_elapsed(id);
+        assert!(
+            d2.as_ns_f64() >= noncoh.as_ns_f64() * 0.99,
+            "coh {d2} vs noncoh {noncoh}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "set_coherent_domain")]
+    fn coherent_thread_requires_a_domain() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 64, Some(n(2)));
+        w.spawn_coherent_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 1,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 1,
+            },
+            SimTime::ZERO,
+        );
+    }
+
+    fn lossy_world(loss_rate: f64) -> World {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.fabric.loss_rate = loss_rate;
+        World::new(cfg)
+    }
+
+    #[test]
+    fn lossy_fabric_still_completes_every_transaction() {
+        let mut w = lossy_world(0.05); // brutal: 5% per link traversal
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 300,
+                bytes: 64,
+                write_fraction: 0.3,
+                think: SimDuration::ns(5),
+                seed: 5150,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.client(n(1)).completions(), 300, "all must complete");
+        assert!(w.fabric().dropped() > 0, "losses must actually occur at 5%");
+        assert!(w.client(n(1)).retransmissions() > 0, "recovery must engage");
+        assert!(w.thread_elapsed(id) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loss_increases_mean_latency() {
+        let run = |loss: f64| {
+            let mut w = lossy_world(loss);
+            let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+            let id = w.spawn_thread(
+                ThreadSpec {
+                    node: n(1),
+                    zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                    accesses: 400,
+                    bytes: 64,
+                    write_fraction: 0.0,
+                    think: SimDuration::ns(5),
+                    seed: 6,
+                },
+                SimTime::ZERO,
+            );
+            w.run();
+            w.thread_elapsed(id)
+        };
+        let clean = run(0.0);
+        let lossy = run(0.02);
+        assert!(
+            lossy.as_ns_f64() > clean.as_ns_f64() * 1.05,
+            "2% loss must cost time: {clean} vs {lossy}"
+        );
+    }
+
+    #[test]
+    fn blocking_transactions_survive_loss() {
+        let mut w = lossy_world(0.1);
+        let resv = w.reserve_remote(n(1), 64, Some(n(2)));
+        let mut t = SimTime::ZERO;
+        for i in 0..50 {
+            t = w.blocking_transaction(
+                t,
+                n(1),
+                n(2),
+                MsgKind::ReadReq { bytes: 64 },
+                resv.prefixed_base + i * 64,
+            );
+        }
+        assert_eq!(w.client(n(1)).completions(), 50);
+    }
+
+    #[test]
+    fn duplicate_responses_are_harmless() {
+        // With heavy loss and an aggressively short timeout, retransmitted
+        // requests race their own slow responses; duplicates must be
+        // discarded, not double-completed.
+        let mut cfg = ClusterConfig::prototype();
+        cfg.fabric.loss_rate = 0.05;
+        cfg.rmc.timeout = SimDuration::ns(1_000); // shorter than the 6-hop RTT
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(16))); // 6 hops: long RTT
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 200,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 7,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let _ = id;
+        assert_eq!(
+            w.client(n(1)).completions(),
+            200,
+            "exactly one completion each"
+        );
+        assert!(
+            w.client(n(1)).duplicates() > 0,
+            "the short timeout should have produced duplicate responses"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests over the assembled cluster: conservation laws that
+//! must hold for any traffic mix, and determinism.
+
+use cohfree_core::world::{ThreadSpec, World};
+use cohfree_core::{ClusterConfig, NodeId, SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+/// A compact random thread description.
+#[derive(Debug, Clone)]
+struct Spec {
+    node: u16,
+    donor: u16,
+    accesses: u64,
+    write_fraction: f64,
+    seed: u64,
+}
+
+fn arb_specs() -> impl Strategy<Value = Vec<Spec>> {
+    prop::collection::vec(
+        (1u16..=16, 1u16..=16, 1u64..150, 0.0f64..1.0, any::<u64>()).prop_map(
+            |(node, donor, accesses, write_fraction, seed)| Spec {
+                node,
+                donor,
+                accesses,
+                write_fraction,
+                seed,
+            },
+        ),
+        1..6,
+    )
+}
+
+fn build_and_run(specs: &[Spec], loss_rate: f64) -> World {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.fabric.loss_rate = loss_rate;
+    let mut w = World::new(cfg);
+    for s in specs {
+        let node = n(s.node);
+        let donor = if s.donor == s.node {
+            n(s.donor % 16 + 1)
+        } else {
+            n(s.donor)
+        };
+        let resv = w.reserve_remote(node, 256, Some(donor));
+        w.spawn_thread(
+            ThreadSpec {
+                node,
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: s.accesses,
+                bytes: 64,
+                write_fraction: s.write_fraction,
+                think: SimDuration::ns(5),
+                seed: s.seed,
+            },
+            SimTime::ZERO,
+        );
+    }
+    w.run();
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every issued access completes exactly once; server requests equal
+    /// client submissions; fabric deliveries are exactly two per
+    /// transaction (request + response) on a lossless fabric.
+    #[test]
+    fn transaction_conservation(specs in arb_specs()) {
+        let w = build_and_run(&specs, 0.0);
+        let total: u64 = specs.iter().map(|s| s.accesses).sum();
+        let completions: u64 = (1..=16).map(|i| w.client(n(i)).completions()).sum();
+        prop_assert_eq!(completions, total);
+        let served: u64 = (1..=16).map(|i| w.server(n(i)).requests()).sum();
+        prop_assert_eq!(served, total);
+        prop_assert_eq!(w.fabric().delivered(), 2 * total);
+        let mem_accesses: u64 = (1..=16).map(|i| w.memory(n(i)).accesses()).sum();
+        prop_assert_eq!(mem_accesses, total);
+        // No loss, no recovery machinery engaged.
+        let retx: u64 = (1..=16).map(|i| w.client(n(i)).retransmissions()).sum();
+        prop_assert_eq!(retx, 0);
+    }
+
+    /// Under loss, completions are still exact (each access completes once)
+    /// and deliveries + drops account for every injected hop sequence.
+    #[test]
+    fn lossy_conservation(specs in arb_specs(), loss in 0.001f64..0.05) {
+        let w = build_and_run(&specs, loss);
+        let total: u64 = specs.iter().map(|s| s.accesses).sum();
+        let completions: u64 = (1..=16).map(|i| w.client(n(i)).completions()).sum();
+        prop_assert_eq!(completions, total, "loss must never lose or duplicate completions");
+        // Each server request produced a response; duplicates were discarded.
+        let served: u64 = (1..=16).map(|i| w.server(n(i)).requests()).sum();
+        prop_assert!(served >= total, "every access served at least once");
+    }
+
+    /// The full cluster simulation is a pure function of its inputs.
+    #[test]
+    fn whole_world_determinism(specs in arb_specs()) {
+        let a = build_and_run(&specs, 0.0);
+        let b = build_and_run(&specs, 0.0);
+        for i in 0..specs.len() {
+            prop_assert_eq!(a.thread_elapsed(i).as_ps(), b.thread_elapsed(i).as_ps());
+        }
+        prop_assert_eq!(a.fabric().total_hops(), b.fabric().total_hops());
+    }
+
+    /// Directory/allocator conservation under arbitrary reserve/release
+    /// interleavings: total pool frames are invariant and regions always
+    /// account exactly for what the directory lent out.
+    #[test]
+    fn reservation_conservation(
+        ops in prop::collection::vec((1u16..=16, 1u16..=16, 1u64..512, prop::bool::ANY), 1..40)
+    ) {
+        let mut w = World::new(ClusterConfig::prototype());
+        let pool_total = w.directory().total_free();
+        let mut held: Vec<(NodeId, cohfree_os::resv::Reservation)> = Vec::new();
+        for (asker, donor, frames, release_first) in ops {
+            if release_first && !held.is_empty() {
+                let (node, r) = held.swap_remove(0);
+                w.release_remote(node, r);
+            }
+            let asker = n(asker);
+            let donor = if donor == asker.get() { n(donor % 16 + 1) } else { n(donor) };
+            if w.directory().free_frames(donor) >= frames {
+                let r = w.reserve_remote(asker, frames, Some(donor));
+                held.push((asker, r));
+            }
+            let lent: u64 = held.iter().map(|(_, r)| r.frames).sum();
+            prop_assert_eq!(w.directory().total_free() + lent, pool_total);
+            // Per-node region borrowed bytes match its held reservations.
+            for node_id in 1..=16u16 {
+                let node = n(node_id);
+                let expect: u64 = held
+                    .iter()
+                    .filter(|(a, _)| *a == node)
+                    .map(|(_, r)| r.frames * 4096)
+                    .sum();
+                prop_assert_eq!(w.region(node).borrowed_bytes(), expect);
+            }
+        }
+        for (node, r) in held {
+            w.release_remote(node, r);
+        }
+        prop_assert_eq!(w.directory().total_free(), pool_total);
+    }
+}

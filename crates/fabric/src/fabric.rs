@@ -1,0 +1,379 @@
+//! Packet forwarding with link contention.
+//!
+//! [`Fabric`] holds one FIFO-contended serializer per directed physical link
+//! plus a fixed router traversal delay per hop. The owning event loop drives
+//! a message across the network by repeatedly calling [`Fabric::step`]:
+//!
+//! ```text
+//! inject at src ── step(src) ──▶ Forward{next, arrive}
+//!                  step(next) ─▶ Forward{...}
+//!                  step(dst)  ─▶ Deliver           (hand to the local RMC)
+//! ```
+//!
+//! Each `step` charges the router delay, then queues the message's wire bytes
+//! on the outgoing link's serializer (FIFO among all traffic sharing that
+//! link) and adds the propagation latency. Because steps happen in global
+//! simulated-time order, link FIFO order is exact.
+
+use crate::msg::{Message, NodeId};
+use crate::topology::Topology;
+use cohfree_sim::queueing::FifoServer;
+use cohfree_sim::stats::Counter;
+use cohfree_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Physical-layer timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Fixed switch/router traversal time per hop (FPGA-class by default).
+    pub router_delay: SimDuration,
+    /// Signal propagation + SerDes latency per link.
+    pub link_latency: SimDuration,
+    /// Link payload bandwidth in bytes per nanosecond (16-bit HT link
+    /// ≈ 8 B/ns per direction at prototype clocks).
+    pub bytes_per_ns: f64,
+    /// Probability that a link traversal loses the message (bit error /
+    /// buffer overrun). 0.0 (default) models the prototype's reliable
+    /// board-to-board links; non-zero values drive the reliability study
+    /// (`abl_reliability`), with recovery by RMC timeout/retransmission.
+    pub loss_rate: f64,
+    /// Seed for the deterministic loss process.
+    pub loss_seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            router_delay: SimDuration::ns(60),
+            link_latency: SimDuration::ns(20),
+            bytes_per_ns: 8.0,
+            loss_rate: 0.0,
+            loss_seed: 0x10551055,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Time to clock `bytes` onto a link.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        SimDuration::ns_f64(bytes as f64 / self.bytes_per_ns)
+    }
+}
+
+/// Outcome of one routing step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The message has reached its destination router; hand it to the local
+    /// endpoint (RMC / OS) at the contained instant.
+    Deliver {
+        /// Delivery instant at the destination router.
+        at: SimTime,
+    },
+    /// The message leaves on a link; call `step` again at `arrive` with
+    /// position `next`.
+    Forward {
+        /// Router the message travels to.
+        next: NodeId,
+        /// Arrival instant at that router.
+        arrive: SimTime,
+    },
+    /// The link lost the message (only with a non-zero
+    /// [`FabricConfig::loss_rate`]); recovery is the requester's problem.
+    Dropped,
+}
+
+/// Per-directed-link state and statistics.
+#[derive(Debug, Default)]
+struct Link {
+    server: FifoServer,
+    messages: Counter,
+    bytes: Counter,
+}
+
+/// The interconnect: topology + contended links.
+#[derive(Debug)]
+pub struct Fabric {
+    topo: Topology,
+    cfg: FabricConfig,
+    links: HashMap<(NodeId, NodeId), Link>,
+    delivered: Counter,
+    total_hops: Counter,
+    dropped: Counter,
+    loss_rng: cohfree_sim::Rng,
+}
+
+impl Fabric {
+    /// Build a fabric over `topo` with physical parameters `cfg`.
+    pub fn new(topo: Topology, cfg: FabricConfig) -> Fabric {
+        let links = topo
+            .links()
+            .into_iter()
+            .map(|l| (l, Link::default()))
+            .collect();
+        Fabric {
+            topo,
+            links,
+            delivered: Counter::new(),
+            total_hops: Counter::new(),
+            dropped: Counter::new(),
+            loss_rng: cohfree_sim::Rng::new(cfg.loss_seed),
+            cfg,
+        }
+    }
+
+    /// The topology this fabric implements.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The physical configuration.
+    pub fn config(&self) -> FabricConfig {
+        self.cfg
+    }
+
+    /// Advance `msg`, currently at router `at` at time `now`, by one step.
+    ///
+    /// # Panics
+    /// Panics if the route requires a link that does not exist (would
+    /// indicate a routing bug — property tests pin this down).
+    pub fn step(&mut self, now: SimTime, at: NodeId, msg: &Message) -> Step {
+        if at == msg.dst {
+            self.delivered.inc();
+            return Step::Deliver { at: now };
+        }
+        let next = self.topo.next_hop(at, msg.dst);
+        let wire = msg.wire_bytes();
+        let ser = self.cfg.serialization(wire);
+        let link = self
+            .links
+            .get_mut(&(at, next))
+            .unwrap_or_else(|| panic!("no physical link {at}->{next}"));
+        // Router traversal, then FIFO on the link serializer, then flight time.
+        let enq = now + self.cfg.router_delay;
+        let depart = link.server.accept(enq, ser);
+        link.messages.inc();
+        link.bytes.add(wire as u64);
+        self.total_hops.inc();
+        if self.cfg.loss_rate > 0.0 && self.loss_rng.chance(self.cfg.loss_rate) {
+            self.dropped.inc();
+            return Step::Dropped;
+        }
+        Step::Forward {
+            next,
+            arrive: depart + self.cfg.link_latency,
+        }
+    }
+
+    /// Unloaded end-to-end traversal time for a message of `wire_bytes`
+    /// over `hops` hops (no queueing). Used by the analytic model and as a
+    /// lower bound in tests.
+    pub fn unloaded_latency(&self, wire_bytes: u32, hops: u32) -> SimDuration {
+        let per_hop =
+            self.cfg.router_delay + self.cfg.serialization(wire_bytes) + self.cfg.link_latency;
+        per_hop * hops as u64
+    }
+
+    /// Messages delivered to their destination so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Total link traversals (sum of per-message hop counts).
+    pub fn total_hops(&self) -> u64 {
+        self.total_hops.get()
+    }
+
+    /// Messages lost to link errors so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Bytes carried by the directed link `u -> v` so far.
+    pub fn link_bytes(&self, u: NodeId, v: NodeId) -> u64 {
+        self.links.get(&(u, v)).map_or(0, |l| l.bytes.get())
+    }
+
+    /// Messages carried by the directed link `u -> v` so far.
+    pub fn link_messages(&self, u: NodeId, v: NodeId) -> u64 {
+        self.links.get(&(u, v)).map_or(0, |l| l.messages.get())
+    }
+
+    /// Utilization of the busiest directed link over `[0, horizon]`.
+    pub fn max_link_utilization(&self, horizon: SimTime) -> f64 {
+        self.links
+            .values()
+            .map(|l| l.server.utilization(horizon))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean queueing wait on the directed link `u -> v`.
+    pub fn link_mean_wait(&self, u: NodeId, v: NodeId) -> SimDuration {
+        self.links
+            .get(&(u, v))
+            .map_or(SimDuration::ZERO, |l| l.server.mean_wait())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::MsgKind;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn mk_fabric() -> Fabric {
+        Fabric::new(Topology::prototype(), FabricConfig::default())
+    }
+
+    /// Walk a message all the way to delivery, returning (delivery time, hops).
+    fn walk(f: &mut Fabric, start: SimTime, msg: Message) -> (SimTime, u32) {
+        let mut at = msg.src;
+        let mut now = start;
+        let mut hops = 0;
+        loop {
+            match f.step(now, at, &msg) {
+                Step::Deliver { at: t } => return (t, hops),
+                Step::Forward { next, arrive } => {
+                    at = next;
+                    now = arrive;
+                    hops += 1;
+                }
+                Step::Dropped => panic!("unexpected drop on a lossless fabric"),
+            }
+        }
+    }
+
+    #[test]
+    fn delivery_time_matches_unloaded_model_when_idle() {
+        let mut f = mk_fabric();
+        let msg = Message::new(n(1), n(16), MsgKind::ReadReq { bytes: 64 }, 0);
+        let (t, hops) = walk(&mut f, SimTime::ZERO, msg);
+        assert_eq!(hops, 6);
+        let expected = f.unloaded_latency(msg.wire_bytes(), 6);
+        assert_eq!(t, SimTime::ZERO + expected);
+        assert_eq!(f.delivered(), 1);
+        assert_eq!(f.total_hops(), 6);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        // Core of the paper's Fig. 6: farther servers -> higher latency.
+        let mut prev = SimDuration::ZERO;
+        for dst in [2u16, 3, 4, 8, 12, 16] {
+            let mut f = mk_fabric();
+            let msg = Message::new(n(1), n(dst), MsgKind::ReadReq { bytes: 64 }, 0);
+            let (t, _) = walk(&mut f, SimTime::ZERO, msg);
+            let lat = t.since(SimTime::ZERO);
+            assert!(lat > prev, "dst {dst}: {lat} !> {prev}");
+            prev = lat;
+        }
+    }
+
+    #[test]
+    fn contention_on_shared_link_serializes() {
+        let mut f = mk_fabric();
+        let m1 = Message::new(n(1), n(2), MsgKind::ReadResp { bytes: 4096 }, 1);
+        let m2 = Message::new(n(1), n(2), MsgKind::ReadResp { bytes: 4096 }, 2);
+        let (t1, _) = walk(&mut f, SimTime::ZERO, m1);
+        let (t2, _) = walk(&mut f, SimTime::ZERO, m2);
+        // Second message waits for the first's ~513ns serialization.
+        let ser = f.config().serialization(m1.wire_bytes());
+        assert_eq!(t2.since(t1), ser);
+        assert_eq!(f.link_messages(n(1), n(2)), 2);
+        assert_eq!(f.link_bytes(n(1), n(2)), 2 * m1.wire_bytes() as u64);
+    }
+
+    #[test]
+    fn disjoint_links_do_not_interfere() {
+        let mut f = mk_fabric();
+        let m1 = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, 1);
+        let m2 = Message::new(n(5), n(6), MsgKind::ReadReq { bytes: 64 }, 2);
+        let (t1, _) = walk(&mut f, SimTime::ZERO, m1);
+        let (t2, _) = walk(&mut f, SimTime::ZERO, m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn responses_travel_the_reverse_path() {
+        let mut f = mk_fabric();
+        let req = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, 7);
+        let (t_req, _) = walk(&mut f, SimTime::ZERO, req);
+        let resp = req.reply(MsgKind::ReadResp { bytes: 64 });
+        let (t_resp, hops) = walk(&mut f, t_req, resp);
+        assert_eq!(hops, 2);
+        assert!(t_resp > t_req);
+        // Request used 1->2->3; response uses 3->2->1.
+        assert_eq!(f.link_messages(n(1), n(2)), 1);
+        assert_eq!(f.link_messages(n(3), n(2)), 1);
+        assert_eq!(f.link_messages(n(2), n(1)), 1);
+    }
+
+    #[test]
+    fn utilization_reflects_traffic() {
+        let mut f = mk_fabric();
+        let horizon = SimTime::ZERO + SimDuration::us(10);
+        for tag in 0..50 {
+            let m = Message::new(n(1), n(2), MsgKind::ReadResp { bytes: 4096 }, tag);
+            walk(&mut f, SimTime::ZERO, m);
+        }
+        let u = f.max_link_utilization(horizon);
+        assert!(u > 0.1, "utilization {u} unexpectedly low");
+        assert!(f.link_mean_wait(n(1), n(2)) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unloaded_latency_is_linear_in_hops() {
+        let f = mk_fabric();
+        let one = f.unloaded_latency(76, 1);
+        let six = f.unloaded_latency(76, 6);
+        assert_eq!(six, one * 6);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let cfg = FabricConfig {
+            loss_rate: 1.0,
+            ..FabricConfig::default()
+        };
+        let mut f = Fabric::new(Topology::prototype(), cfg);
+        let msg = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, 0);
+        assert_eq!(f.step(SimTime::ZERO, n(1), &msg), Step::Dropped);
+        assert_eq!(f.dropped(), 1);
+        assert_eq!(f.delivered(), 0);
+    }
+
+    #[test]
+    fn partial_loss_is_deterministic_and_partial() {
+        let run = || {
+            let cfg = FabricConfig {
+                loss_rate: 0.3,
+                ..FabricConfig::default()
+            };
+            let mut f = Fabric::new(Topology::prototype(), cfg);
+            let mut outcomes = Vec::new();
+            for tag in 0..200 {
+                let msg = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, tag);
+                outcomes.push(matches!(f.step(SimTime::ZERO, n(1), &msg), Step::Dropped));
+            }
+            (outcomes, f.dropped())
+        };
+        let (o1, d1) = run();
+        let (o2, d2) = run();
+        assert_eq!(o1, o2, "loss process must be deterministic");
+        assert_eq!(d1, d2);
+        assert!(d1 > 20 && d1 < 120, "drop count {d1} implausible for p=0.3");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut f = mk_fabric();
+        for tag in 0..100 {
+            let msg = Message::new(n(1), n(16), MsgKind::ReadReq { bytes: 64 }, tag);
+            walk(&mut f, SimTime::ZERO, msg);
+        }
+        assert_eq!(f.dropped(), 0);
+        assert_eq!(f.delivered(), 100);
+    }
+}

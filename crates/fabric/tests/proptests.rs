@@ -1,0 +1,125 @@
+//! Property-based tests for topologies, routing and the fabric model.
+
+use cohfree_fabric::{Fabric, FabricConfig, Message, MsgKind, NodeId, Step, Topology};
+use cohfree_sim::SimTime;
+use proptest::prelude::*;
+
+fn arb_grid_topology() -> impl Strategy<Value = Topology> {
+    (2u16..6, 2u16..6, prop::bool::ANY).prop_map(|(w, h, torus)| {
+        if torus {
+            Topology::Torus2D {
+                width: w,
+                height: h,
+            }
+        } else {
+            Topology::Mesh2D {
+                width: w,
+                height: h,
+            }
+        }
+    })
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        arb_grid_topology(),
+        (2u16..20).prop_map(|n| Topology::Ring { nodes: n }),
+        (2u16..20).prop_map(|n| Topology::FullyConnected { nodes: n }),
+    ]
+}
+
+proptest! {
+    /// Routes exist between every pair, are loop-free, and their length
+    /// equals the advertised hop count.
+    #[test]
+    fn routes_are_minimal_and_loop_free(topo in arb_topology(), a_raw: u16, b_raw: u16) {
+        let n = topo.num_nodes();
+        let a = NodeId::new(a_raw % n + 1);
+        let b = NodeId::new(b_raw % n + 1);
+        prop_assume!(a != b);
+        let route = topo.route(a, b);
+        prop_assert_eq!(route.len() as u32, topo.hops(a, b));
+        prop_assert_eq!(*route.last().unwrap(), b);
+        // Loop-free: no node repeats.
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(a);
+        for &hop in &route {
+            prop_assert!(seen.insert(hop), "route revisits {hop}");
+        }
+        // Every step follows a physical link.
+        let links: std::collections::HashSet<_> = topo.links().into_iter().collect();
+        let mut prev = a;
+        for &hop in &route {
+            prop_assert!(links.contains(&(prev, hop)), "no link {prev}->{hop}");
+            prev = hop;
+        }
+    }
+
+    /// Grid hop counts are symmetric (mesh and torus links are bidirectional).
+    #[test]
+    fn grid_hops_symmetric(topo in arb_grid_topology(), a_raw: u16, b_raw: u16) {
+        let n = topo.num_nodes();
+        let a = NodeId::new(a_raw % n + 1);
+        let b = NodeId::new(b_raw % n + 1);
+        prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+    }
+
+    /// Torus never routes longer than the mesh of the same dimensions.
+    #[test]
+    fn torus_no_worse_than_mesh(w in 2u16..6, h in 2u16..6, a_raw: u16, b_raw: u16) {
+        let mesh = Topology::Mesh2D { width: w, height: h };
+        let torus = Topology::Torus2D { width: w, height: h };
+        let n = mesh.num_nodes();
+        let a = NodeId::new(a_raw % n + 1);
+        let b = NodeId::new(b_raw % n + 1);
+        prop_assert!(torus.hops(a, b) <= mesh.hops(a, b));
+    }
+
+    /// Walking a message through an idle fabric delivers it in exactly
+    /// `hops` steps at the unloaded latency.
+    #[test]
+    fn idle_fabric_delivery_matches_model(
+        topo in arb_grid_topology(),
+        a_raw: u16,
+        b_raw: u16,
+        bytes in 1u32..4096,
+    ) {
+        let n = topo.num_nodes();
+        let a = NodeId::new(a_raw % n + 1);
+        let b = NodeId::new(b_raw % n + 1);
+        prop_assume!(a != b);
+        let mut fabric = Fabric::new(topo, FabricConfig::default());
+        let msg = Message::new(a, b, MsgKind::ReadResp { bytes }, 1);
+        let mut at = a;
+        let mut now = SimTime::ZERO;
+        let mut steps = 0;
+        let deliver = loop {
+            match fabric.step(now, at, &msg) {
+                Step::Deliver { at: t } => break t,
+                Step::Forward { next, arrive } => {
+                    at = next;
+                    now = arrive;
+                    steps += 1;
+                }
+                Step::Dropped => unreachable!("lossless fabric dropped"),
+            }
+        };
+        prop_assert_eq!(steps, topo.hops(a, b));
+        let expect = fabric.unloaded_latency(msg.wire_bytes(), steps);
+        prop_assert_eq!(deliver, SimTime::ZERO + expect);
+    }
+
+    /// nodes_at_distance partitions all other nodes.
+    #[test]
+    fn distance_classes_partition(topo in arb_topology(), from_raw: u16) {
+        let n = topo.num_nodes();
+        let from = NodeId::new(from_raw % n + 1);
+        let mut seen = std::collections::HashSet::new();
+        for d in 1..=(2 * n as u32) {
+            for node in topo.nodes_at_distance(from, d) {
+                prop_assert!(seen.insert(node), "{node} in two distance classes");
+            }
+        }
+        prop_assert_eq!(seen.len(), n as usize - 1);
+    }
+}

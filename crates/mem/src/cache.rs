@@ -1,0 +1,445 @@
+//! Set-associative write-back cache (timing filter).
+//!
+//! One cache instance models the cache hierarchy a single application core
+//! sees (the prototype binds memory-hungry processes to one core). It caches
+//! *physical* lines — both local DRAM and RMC-mapped remote ranges, because
+//! the prototype configures remote memory write-back cacheable. It tracks
+//! tags, dirtiness and LRU order only; data lives in the functional store
+//! (see the crate docs for why that is exact here).
+//!
+//! The owner asks `access(addr, write)` and receives hit/miss plus any
+//! victim writeback it must perform; `flush*` returns the dirty lines that a
+//! read-only parallel phase must push out before other cores may share the
+//! region (Section IV-B of the paper).
+
+use cohfree_sim::stats::Counter;
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 2 MiB, 16-way, 64 B lines — an Opteron-era L2/L3 aggregate.
+        CacheConfig {
+            line_bytes: 64,
+            sets: 2048,
+            ways: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.line_bytes as u64 * self.sets as u64 * self.ways as u64
+    }
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; it has been filled. If a dirty victim was displaced, its
+    /// line-aligned address is returned and the caller must write it back.
+    Miss {
+        /// Line-aligned address of a displaced dirty victim the caller
+        /// must write back, if any.
+        victim_writeback: Option<u64>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+}
+
+/// A set-associative write-back cache over physical addresses.
+#[derive(Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    hits: Counter,
+    misses: Counter,
+    writebacks: Counter,
+}
+
+impl Cache {
+    /// Build a cache with the given geometry.
+    ///
+    /// # Panics
+    /// Panics unless `line_bytes` and `sets` are powers of two and `ways ≥ 1`.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            cfg.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        assert!(cfg.ways >= 1, "cache needs at least one way");
+        Cache {
+            sets: (0..cfg.sets)
+                .map(|_| Vec::with_capacity(cfg.ways as usize))
+                .collect(),
+            cfg,
+            clock: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            writebacks: Counter::new(),
+        }
+    }
+
+    /// The geometry in force.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    #[inline]
+    fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line_bytes as u64 - 1)
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / self.cfg.line_bytes as u64) & (self.cfg.sets as u64 - 1)) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, line_addr: u64) -> u64 {
+        line_addr / self.cfg.line_bytes as u64 / self.cfg.sets as u64
+    }
+
+    /// Reconstruct a line-aligned address from (set, tag).
+    fn addr_of(&self, set: usize, tag: u64) -> u64 {
+        (tag * self.cfg.sets as u64 + set as u64) * self.cfg.line_bytes as u64
+    }
+
+    /// Look up the line containing `addr`; fill on miss. `write` marks the
+    /// line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let la = self.line_addr(addr);
+        let set_idx = self.set_of(la);
+        let tag = self.tag_of(la);
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty |= write;
+            self.hits.inc();
+            return CacheOutcome::Hit;
+        }
+
+        self.misses.inc();
+        let victim_writeback = if set.len() < ways {
+            set.push(Line {
+                tag,
+                dirty: write,
+                lru: self.clock,
+            });
+            None
+        } else {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty set");
+            let victim = set[vi];
+            set[vi] = Line {
+                tag,
+                dirty: write,
+                lru: self.clock,
+            };
+            if victim.dirty {
+                self.writebacks.inc();
+                Some(self.addr_of(set_idx, victim.tag))
+            } else {
+                None
+            }
+        };
+        CacheOutcome::Miss { victim_writeback }
+    }
+
+    /// Install the line containing `addr` as dirty *without* counting a
+    /// demand access — the path a lower cache level uses to absorb an upper
+    /// level's dirty victim. Returns a displaced dirty victim, if any.
+    pub fn install_dirty(&mut self, addr: u64) -> Option<u64> {
+        self.clock += 1;
+        let la = self.line_addr(addr);
+        let set_idx = self.set_of(la);
+        let tag = self.tag_of(la);
+        let ways = self.cfg.ways as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty = true;
+            return None;
+        }
+        if set.len() < ways {
+            set.push(Line {
+                tag,
+                dirty: true,
+                lru: self.clock,
+            });
+            return None;
+        }
+        let (vi, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .expect("non-empty set");
+        let victim = set[vi];
+        set[vi] = Line {
+            tag,
+            dirty: true,
+            lru: self.clock,
+        };
+        if victim.dirty {
+            self.writebacks.inc();
+            Some(self.addr_of(set_idx, victim.tag))
+        } else {
+            None
+        }
+    }
+
+    /// True if the line containing `addr` is present (no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let la = self.line_addr(addr);
+        let tag = self.tag_of(la);
+        self.sets[self.set_of(la)].iter().any(|l| l.tag == tag)
+    }
+
+    /// Drop every line, returning the addresses of dirty ones (the caller
+    /// must write them back). Models the explicit flush before a read-only
+    /// parallel phase.
+    pub fn flush_all(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for set_idx in 0..self.sets.len() {
+            for line in std::mem::take(&mut self.sets[set_idx]) {
+                if line.dirty {
+                    dirty.push(self.addr_of(set_idx, line.tag));
+                }
+            }
+        }
+        self.writebacks.add(dirty.len() as u64);
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Drop all lines within `[base, base+len)`, returning dirty addresses.
+    pub fn flush_range(&mut self, base: u64, len: u64) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        let lb = self.cfg.line_bytes as u64;
+        let nsets = self.cfg.sets as u64;
+        for set_idx in 0..self.sets.len() {
+            let set = &mut self.sets[set_idx];
+            let mut kept = Vec::with_capacity(set.len());
+            for line in set.drain(..) {
+                let addr = (line.tag * nsets + set_idx as u64) * lb;
+                if addr >= base && addr < base + len {
+                    if line.dirty {
+                        dirty.push(addr);
+                    }
+                } else {
+                    kept.push(line);
+                }
+            }
+            self.sets[set_idx] = kept;
+        }
+        self.writebacks.add(dirty.len() as u64);
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Dirty-victim writebacks so far (including flushes).
+    pub fn writebacks(&self) -> u64 {
+        self.writebacks.get()
+    }
+
+    /// Hit ratio over all accesses (0 when untouched).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B = 512B — easy to reason about.
+        Cache::new(CacheConfig {
+            line_bytes: 64,
+            sets: 4,
+            ways: 2,
+        })
+    }
+
+    #[test]
+    fn geometry_round_trips() {
+        let c = tiny();
+        for addr in [0u64, 64, 4096, 123_456, 1 << 40] {
+            let la = c.line_addr(addr);
+            let set = c.set_of(la);
+            let tag = c.tag_of(la);
+            assert_eq!(c.addr_of(set, tag), la, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = tiny();
+        assert_eq!(
+            c.access(100, false),
+            CacheOutcome::Miss {
+                victim_writeback: None
+            }
+        );
+        assert_eq!(c.access(100, false), CacheOutcome::Hit);
+        assert_eq!(c.access(127, false), CacheOutcome::Hit, "same line");
+        assert_eq!(
+            c.access(128, false),
+            CacheOutcome::Miss {
+                victim_writeback: None
+            }
+        );
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        // Three lines mapping to set 0: line addresses 0, 256, 512 (stride = sets*line).
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // refresh 0; 256 is now LRU
+        match c.access(512, false) {
+            CacheOutcome::Miss {
+                victim_writeback: None,
+            } => {}
+            other => panic!("clean victim expected, got {other:?}"),
+        }
+        assert!(c.probe(0), "refreshed line survives");
+        assert!(!c.probe(256), "LRU line evicted");
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn dirty_victim_reports_writeback() {
+        let mut c = tiny();
+        c.access(0, true); // dirty
+        c.access(256, false);
+        let out = c.access(512, false); // evicts line 0 (LRU, dirty)
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                victim_writeback: Some(0)
+            }
+        );
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // hit-for-write dirties the line
+        c.access(256, false);
+        let out = c.access(512, false);
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                victim_writeback: Some(0)
+            }
+        );
+    }
+
+    #[test]
+    fn flush_all_returns_exactly_dirty_lines() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, false);
+        c.access(128, true);
+        let dirty = c.flush_all();
+        assert_eq!(dirty, vec![0, 128]);
+        assert_eq!(c.resident_lines(), 0);
+        // After flush, everything misses again.
+        assert!(matches!(c.access(64, false), CacheOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn flush_range_is_selective() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, true);
+        c.access(128, true);
+        let dirty = c.flush_range(64, 64);
+        assert_eq!(dirty, vec![64]);
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = tiny();
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity() {
+        assert_eq!(CacheConfig::default().capacity_bytes(), 2 << 20);
+        assert_eq!(tiny().config().capacity_bytes(), 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        Cache::new(CacheConfig {
+            line_bytes: 48,
+            sets: 4,
+            ways: 1,
+        });
+    }
+}

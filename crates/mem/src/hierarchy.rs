@@ -1,0 +1,309 @@
+//! Optional two-level cache hierarchy.
+//!
+//! The baseline model uses one cache as the aggregate hierarchy a core
+//! sees. [`CacheHierarchy`] refines that with a small, fast L1 in front of
+//! the L2 (non-inclusive/non-exclusive — "NINE" — the Opteron family's
+//! policy): fills populate both levels, an L1 dirty victim is absorbed by
+//! the L2, and only L2 dirty victims reach memory. With `l1: None` the
+//! hierarchy degenerates *exactly* to the single-cache baseline, so the
+//! refinement is opt-in and never perturbs existing calibration.
+
+use crate::cache::{Cache, CacheConfig, CacheOutcome};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Hit in the (optional) level-1 cache.
+    L1,
+    /// Hit in the level-2 cache (L1 filled on the way, when present).
+    L2,
+    /// Missed the whole hierarchy; the backing memory must be accessed.
+    Memory,
+}
+
+/// Outcome of a hierarchy access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Level that satisfied the access.
+    pub level: Level,
+    /// Dirty lines displaced all the way out of the hierarchy; the owner
+    /// must write them back to their home memory.
+    pub memory_writebacks: Vec<u64>,
+}
+
+/// A two-level (or degenerate single-level) write-back cache hierarchy.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    l1: Option<Cache>,
+    l2: Cache,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy; `l1 = None` gives the single-cache baseline.
+    ///
+    /// # Panics
+    /// Panics if the two levels disagree on line size (mixed-line
+    /// hierarchies need sectoring, which the Opteron did not use).
+    pub fn new(l1: Option<CacheConfig>, l2: CacheConfig) -> CacheHierarchy {
+        if let Some(c1) = l1 {
+            assert_eq!(
+                c1.line_bytes, l2.line_bytes,
+                "L1 and L2 must share a line size"
+            );
+        }
+        CacheHierarchy {
+            l1: l1.map(Cache::new),
+            l2: Cache::new(l2),
+        }
+    }
+
+    /// Line size of the hierarchy.
+    pub fn line_bytes(&self) -> u32 {
+        self.l2.config().line_bytes
+    }
+
+    /// Access the line containing `addr`; `write` dirties it.
+    pub fn access(&mut self, addr: u64, write: bool) -> HierarchyOutcome {
+        let mut memory_writebacks = Vec::new();
+        // L1 first (when present).
+        if let Some(l1) = self.l1.as_mut() {
+            match l1.access(addr, write) {
+                CacheOutcome::Hit => {
+                    return HierarchyOutcome {
+                        level: Level::L1,
+                        memory_writebacks,
+                    };
+                }
+                CacheOutcome::Miss { victim_writeback } => {
+                    if let Some(v) = victim_writeback {
+                        // L2 absorbs the L1 dirty victim (NINE policy).
+                        if let Some(spilled) = self.l2.install_dirty(v) {
+                            memory_writebacks.push(spilled);
+                        }
+                    }
+                }
+            }
+        }
+        // L2 (the demand access; on an L1 hit we never get here).
+        match self.l2.access(addr, write) {
+            CacheOutcome::Hit => HierarchyOutcome {
+                level: Level::L2,
+                memory_writebacks,
+            },
+            CacheOutcome::Miss { victim_writeback } => {
+                if let Some(v) = victim_writeback {
+                    memory_writebacks.push(v);
+                }
+                HierarchyOutcome {
+                    level: Level::Memory,
+                    memory_writebacks,
+                }
+            }
+        }
+    }
+
+    /// Flush everything; returns the deduplicated dirty lines that must be
+    /// written back to memory.
+    pub fn flush_all(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        if let Some(l1) = self.l1.as_mut() {
+            dirty.extend(l1.flush_all());
+        }
+        dirty.extend(self.l2.flush_all());
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// Drop all lines in `[base, base+len)`, returning deduplicated dirty
+    /// lines for write-back.
+    pub fn flush_range(&mut self, base: u64, len: u64) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        if let Some(l1) = self.l1.as_mut() {
+            dirty.extend(l1.flush_range(base, len));
+        }
+        dirty.extend(self.l2.flush_range(base, len));
+        dirty.sort_unstable();
+        dirty.dedup();
+        dirty
+    }
+
+    /// L1 hits so far (0 without an L1).
+    pub fn l1_hits(&self) -> u64 {
+        self.l1.as_ref().map_or(0, Cache::hits)
+    }
+
+    /// L2 demand hits so far.
+    pub fn l2_hits(&self) -> u64 {
+        self.l2.hits()
+    }
+
+    /// Full-hierarchy misses so far.
+    pub fn misses(&self) -> u64 {
+        self.l2.misses()
+    }
+
+    /// The L2 (aggregate) cache, for geometry queries.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_sim::Rng;
+    use std::collections::HashSet;
+
+    fn small() -> CacheHierarchy {
+        CacheHierarchy::new(
+            Some(CacheConfig {
+                line_bytes: 64,
+                sets: 2,
+                ways: 2,
+            }), // 256 B L1
+            CacheConfig {
+                line_bytes: 64,
+                sets: 8,
+                ways: 2,
+            }, // 1 KiB L2
+        )
+    }
+
+    #[test]
+    fn l1_hit_after_fill() {
+        let mut h = small();
+        assert_eq!(h.access(0, false).level, Level::Memory);
+        assert_eq!(h.access(0, false).level, Level::L1);
+        assert_eq!(h.l1_hits(), 1);
+    }
+
+    #[test]
+    fn l2_serves_l1_victims() {
+        let mut h = small();
+        // Fill lines 0, 128, 256 — all map to L1 set 0 (2 ways): line 0 is
+        // evicted from L1 but stays in L2.
+        h.access(0, false);
+        h.access(128, false);
+        h.access(256, false);
+        assert_eq!(h.access(0, false).level, Level::L2);
+    }
+
+    #[test]
+    fn dirty_l1_victims_are_absorbed_not_lost() {
+        let mut h = small();
+        h.access(0, true); // dirty in L1
+        h.access(128, false);
+        let out = h.access(256, false); // evicts line 0 from L1 (dirty)
+                                        // The dirty line moved into L2, not to memory.
+        assert!(out.memory_writebacks.is_empty());
+        // Flushing must still surface it exactly once.
+        let dirty = h.flush_all();
+        assert_eq!(dirty, vec![0]);
+    }
+
+    #[test]
+    fn degenerate_hierarchy_matches_single_cache() {
+        let cfg = CacheConfig {
+            line_bytes: 64,
+            sets: 4,
+            ways: 2,
+        };
+        let mut h = CacheHierarchy::new(None, cfg);
+        let mut c = Cache::new(cfg);
+        let mut rng = Rng::new(9);
+        for _ in 0..2_000 {
+            let addr = rng.below(1 << 16);
+            let write = rng.chance(0.3);
+            let hout = h.access(addr, write);
+            let cout = c.access(addr, write);
+            match cout {
+                CacheOutcome::Hit => {
+                    assert_eq!(hout.level, Level::L2);
+                    assert!(hout.memory_writebacks.is_empty());
+                }
+                CacheOutcome::Miss { victim_writeback } => {
+                    assert_eq!(hout.level, Level::Memory);
+                    assert_eq!(
+                        hout.memory_writebacks,
+                        victim_writeback.into_iter().collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        assert_eq!(h.l2_hits(), c.hits());
+        assert_eq!(h.misses(), c.misses());
+        assert_eq!(h.flush_all(), c.flush_all());
+    }
+
+    #[test]
+    fn no_dirty_line_is_ever_lost() {
+        // Random op stream: every line ever dirtied must either appear in a
+        // memory writeback or in the final flush (at least once).
+        let mut h = small();
+        let mut rng = Rng::new(11);
+        let mut dirtied: HashSet<u64> = HashSet::new();
+        let mut written_back: HashSet<u64> = HashSet::new();
+        for _ in 0..3_000 {
+            let addr = rng.below(1 << 12) & !63;
+            let write = rng.chance(0.5);
+            let out = h.access(addr, write);
+            written_back.extend(out.memory_writebacks);
+            if write {
+                dirtied.insert(addr);
+            }
+        }
+        written_back.extend(h.flush_all());
+        for line in dirtied {
+            assert!(written_back.contains(&line), "lost dirty line {line:#x}");
+        }
+    }
+
+    #[test]
+    fn l1_filters_repeat_traffic_from_l2() {
+        let mut with_l1 = small();
+        let mut without = CacheHierarchy::new(
+            None,
+            CacheConfig {
+                line_bytes: 64,
+                sets: 8,
+                ways: 2,
+            },
+        );
+        // Hammer one hot line.
+        for _ in 0..100 {
+            with_l1.access(0, false);
+            without.access(0, false);
+        }
+        assert!(with_l1.l1_hits() >= 99);
+        assert_eq!(with_l1.l2_hits(), 0, "L1 absorbed the stream");
+        assert_eq!(without.l2_hits(), 99);
+    }
+
+    #[test]
+    fn flush_range_spans_both_levels() {
+        let mut h = small();
+        h.access(0, true);
+        h.access(128, true);
+        h.access(256, true); // pushes 0's dirty copy into L2
+        let dirty = h.flush_range(0, 192);
+        assert_eq!(dirty, vec![0, 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a line size")]
+    fn mismatched_line_sizes_rejected() {
+        CacheHierarchy::new(
+            Some(CacheConfig {
+                line_bytes: 32,
+                sets: 2,
+                ways: 1,
+            }),
+            CacheConfig {
+                line_bytes: 64,
+                sets: 2,
+                ways: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Functional contents of physical memory.
+//!
+//! [`SparseStore`] is a byte-addressable store backed by 4 KiB pages that are
+//! materialized on first touch (zero-filled, like real DRAM handed out by an
+//! OS). The prototype aggregates 128 GiB across the cluster; a dense model
+//! would be unusable, while the sparse model costs memory proportional to the
+//! bytes actually written.
+
+use std::collections::HashMap;
+
+/// Page size used by the backing store and by the OS model (x86-64 base pages).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Sparse byte-addressable memory.
+///
+/// Reads of never-written locations return zeroes without materializing a
+/// page, so read-mostly probes stay cheap.
+#[derive(Debug, Default)]
+pub struct SparseStore {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+}
+
+impl SparseStore {
+    /// An empty (all-zero) store.
+    pub fn new() -> SparseStore {
+        SparseStore {
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Number of pages materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes of backing memory actually in use.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_BYTES
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut addr = addr;
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let page = addr / PAGE_BYTES;
+            let off = (addr % PAGE_BYTES) as usize;
+            let n = rest.len().min(PAGE_BYTES as usize - off);
+            let (chunk, tail) = rest.split_at_mut(n);
+            match self.pages.get(&page) {
+                Some(p) => chunk.copy_from_slice(&p[off..off + n]),
+                None => chunk.fill(0),
+            }
+            rest = tail;
+            addr += n as u64;
+        }
+    }
+
+    /// Write `data` starting at `addr`, materializing pages as needed.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut addr = addr;
+        let mut rest = data;
+        while !rest.is_empty() {
+            let page = addr / PAGE_BYTES;
+            let off = (addr % PAGE_BYTES) as usize;
+            let n = rest.len().min(PAGE_BYTES as usize - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES as usize]));
+            p[off..off + n].copy_from_slice(&rest[..n]);
+            rest = &rest[n..];
+            addr += n as u64;
+        }
+    }
+
+    /// Read a little-endian `u64` at `addr`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Write a little-endian `u64` at `addr`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (ranges may overlap).
+    pub fn copy(&mut self, src: u64, dst: u64, len: usize) {
+        let mut buf = vec![0u8; len];
+        self.read(src, &mut buf);
+        self.write(dst, &buf);
+    }
+
+    /// Drop the page containing `addr`, returning it to the all-zero state.
+    pub fn discard_page(&mut self, addr: u64) {
+        self.pages.remove(&(addr / PAGE_BYTES));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero_without_materializing() {
+        let s = SparseStore::new();
+        let mut buf = [0xAAu8; 64];
+        s.read(1 << 40, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(s.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = SparseStore::new();
+        let data: Vec<u8> = (0..=255).collect();
+        s.write(123, &data);
+        let mut back = vec![0u8; 256];
+        s.read(123, &mut back);
+        assert_eq!(back, data);
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn writes_spanning_pages() {
+        let mut s = SparseStore::new();
+        let data = vec![7u8; 3 * PAGE_BYTES as usize];
+        let addr = PAGE_BYTES - 100; // straddles 4 pages
+        s.write(addr, &data);
+        assert_eq!(s.resident_pages(), 4);
+        let mut back = vec![0u8; data.len()];
+        s.read(addr, &mut back);
+        assert_eq!(back, data);
+        // Bytes just outside the write remain zero.
+        let mut edge = [0u8; 1];
+        s.read(addr - 1, &mut edge);
+        assert_eq!(edge[0], 0);
+        s.read(addr + data.len() as u64, &mut edge);
+        assert_eq!(edge[0], 0);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut s = SparseStore::new();
+        s.write_u64(PAGE_BYTES - 4, 0xDEAD_BEEF_CAFE_F00D); // straddles a page
+        assert_eq!(s.read_u64(PAGE_BYTES - 4), 0xDEAD_BEEF_CAFE_F00D);
+    }
+
+    #[test]
+    fn copy_moves_bytes() {
+        let mut s = SparseStore::new();
+        s.write(0, b"hello cluster");
+        s.copy(0, 10_000, 13);
+        let mut back = [0u8; 13];
+        s.read(10_000, &mut back);
+        assert_eq!(&back, b"hello cluster");
+    }
+
+    #[test]
+    fn discard_page_zeroes() {
+        let mut s = SparseStore::new();
+        s.write_u64(0, 42);
+        s.write_u64(PAGE_BYTES, 43);
+        s.discard_page(0);
+        assert_eq!(s.read_u64(0), 0);
+        assert_eq!(s.read_u64(PAGE_BYTES), 43);
+        assert_eq!(s.resident_pages(), 1);
+    }
+
+    #[test]
+    fn resident_bytes_tracks_pages() {
+        let mut s = SparseStore::new();
+        s.write(0, &[1]);
+        s.write(PAGE_BYTES * 10, &[1]);
+        assert_eq!(s.resident_bytes(), 2 * PAGE_BYTES);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the memory models.
+
+use cohfree_mem::{Cache, CacheConfig, CacheOutcome, SparseStore};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// SparseStore behaves exactly like a flat byte array under arbitrary
+    /// interleavings of reads and writes.
+    #[test]
+    fn sparse_store_matches_flat_oracle(
+        ops in prop::collection::vec(
+            (0usize..8_192, prop::collection::vec(any::<u8>(), 1..64), prop::bool::ANY),
+            1..100
+        )
+    ) {
+        let mut store = SparseStore::new();
+        let mut oracle = vec![0u8; 16_384];
+        for (addr, data, is_write) in ops {
+            let len = data.len().min(oracle.len() - addr);
+            if is_write {
+                store.write(addr as u64, &data[..len]);
+                oracle[addr..addr + len].copy_from_slice(&data[..len]);
+            } else {
+                let mut buf = vec![0u8; len];
+                store.read(addr as u64, &mut buf);
+                prop_assert_eq!(&buf[..], &oracle[addr..addr + len]);
+            }
+        }
+        // Final full sweep.
+        let mut full = vec![0u8; oracle.len()];
+        store.read(0, &mut full);
+        prop_assert_eq!(full, oracle);
+    }
+
+    /// The cache never exceeds its configured capacity and probe() agrees
+    /// with a shadow set of resident lines.
+    #[test]
+    fn cache_residency_invariants(
+        sets_pow in 1u32..5,
+        ways in 1u32..5,
+        addrs in prop::collection::vec((0u64..1_000_000, prop::bool::ANY), 1..300)
+    ) {
+        let cfg = CacheConfig { line_bytes: 64, sets: 1 << sets_pow, ways };
+        let capacity = (cfg.sets * cfg.ways) as usize;
+        let mut cache = Cache::new(cfg);
+        // `dirty` is exact: every dirty eviction is reported by contract, so
+        // the shadow stays in sync. Residency truth comes from probe(),
+        // which must agree with access() outcomes.
+        let mut dirty: HashSet<u64> = HashSet::new();
+        for (addr, write) in addrs {
+            let line = addr & !63;
+            let was_resident = cache.probe(addr);
+            match cache.access(addr, write) {
+                CacheOutcome::Hit => {
+                    prop_assert!(was_resident, "hit on non-resident {line:#x}");
+                }
+                CacheOutcome::Miss { victim_writeback } => {
+                    prop_assert!(!was_resident, "miss on resident {line:#x}");
+                    if let Some(victim) = victim_writeback {
+                        prop_assert!(dirty.remove(&victim), "clean victim {victim:#x} written back");
+                        prop_assert!(!cache.probe(victim), "victim still resident");
+                    }
+                }
+            }
+            if write {
+                dirty.insert(line);
+            }
+            prop_assert!(cache.probe(addr), "accessed line must be resident");
+            prop_assert!(cache.resident_lines() <= capacity);
+        }
+        // Whatever the flush returns must have been dirtied at some point
+        // and never written back since.
+        let flushed: HashSet<u64> = cache.flush_all().into_iter().collect();
+        for line in &flushed {
+            prop_assert!(dirty.contains(line), "flush returned clean line {line:#x}");
+        }
+        prop_assert_eq!(cache.resident_lines(), 0);
+    }
+
+    /// Every dirty line written is eventually accounted: it either comes
+    /// back as a victim write-back or in the final flush.
+    #[test]
+    fn cache_never_loses_dirty_lines(
+        addrs in prop::collection::vec(0u64..100_000, 1..200)
+    ) {
+        let cfg = CacheConfig { line_bytes: 64, sets: 4, ways: 2 };
+        let mut cache = Cache::new(cfg);
+        let mut dirtied: HashSet<u64> = HashSet::new();
+        let mut written_back: Vec<u64> = Vec::new();
+        for addr in addrs {
+            if let CacheOutcome::Miss { victim_writeback: Some(v) } = cache.access(addr, true) {
+                written_back.push(v);
+            }
+            dirtied.insert(addr & !63);
+        }
+        written_back.extend(cache.flush_all());
+        let wb: HashSet<u64> = written_back.iter().copied().collect();
+        for line in dirtied {
+            prop_assert!(wb.contains(&line), "dirty line {line:#x} vanished");
+        }
+    }
+}

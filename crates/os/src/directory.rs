@@ -1,0 +1,175 @@
+//! Cluster free-memory directory.
+//!
+//! The paper's Section III lists "augmenting the OS services so that
+//! knowledge of the location of free memory across the cluster is achieved"
+//! as a required component. This module is that service: a (logically
+//! distributed, here centralized-for-determinism) view of how many pool
+//! frames every node still has free, plus donor-selection policies.
+
+use cohfree_fabric::{NodeId, Topology};
+
+/// How a node in need chooses a donor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DonorPolicy {
+    /// Closest node (in fabric hops) with enough free frames; ties broken
+    /// by lower node id. Minimizes remote-access latency.
+    Nearest,
+    /// Node with the most free frames; spreads load and leaves big zones
+    /// intact. Ties broken by lower node id.
+    MostFree,
+    /// Fixed explicit order (useful for experiments that place memory
+    /// servers deliberately, like Figs. 6–8).
+    Fixed,
+}
+
+/// The directory of free pool frames per node.
+#[derive(Debug)]
+pub struct Directory {
+    topo: Topology,
+    free: Vec<u64>,
+    policy: DonorPolicy,
+    /// Preference order for [`DonorPolicy::Fixed`].
+    fixed_order: Vec<NodeId>,
+}
+
+impl Directory {
+    /// Build a directory where every node starts with `frames_per_node`
+    /// free pool frames.
+    pub fn new(topo: Topology, frames_per_node: u64, policy: DonorPolicy) -> Directory {
+        Directory {
+            free: vec![frames_per_node; topo.num_nodes() as usize],
+            topo,
+            policy,
+            fixed_order: Vec::new(),
+        }
+    }
+
+    /// Set the explicit donor order used by [`DonorPolicy::Fixed`].
+    pub fn set_fixed_order(&mut self, order: Vec<NodeId>) {
+        self.fixed_order = order;
+    }
+
+    /// Free frames recorded for `node`.
+    pub fn free_frames(&self, node: NodeId) -> u64 {
+        self.free[node.index()]
+    }
+
+    /// Total free frames across the cluster.
+    pub fn total_free(&self) -> u64 {
+        self.free.iter().sum()
+    }
+
+    /// Choose a donor able to lend `frames` to `asker` (never `asker`
+    /// itself), per the active policy. Returns `None` if no node can.
+    pub fn choose_donor(&self, asker: NodeId, frames: u64) -> Option<NodeId> {
+        let candidates = || {
+            (1..=self.topo.num_nodes())
+                .map(NodeId::new)
+                .filter(|&n| n != asker && self.free[n.index()] >= frames)
+        };
+        match self.policy {
+            DonorPolicy::Nearest => {
+                candidates().min_by_key(|&n| (self.topo.hops(asker, n), n.get()))
+            }
+            DonorPolicy::MostFree => {
+                candidates().max_by_key(|&n| (self.free[n.index()], std::cmp::Reverse(n.get())))
+            }
+            DonorPolicy::Fixed => self
+                .fixed_order
+                .iter()
+                .copied()
+                .find(|&n| n != asker && self.free[n.index()] >= frames),
+        }
+    }
+
+    /// Record that `donor` lent `frames`.
+    ///
+    /// # Panics
+    /// Panics if the directory believes `donor` lacks the frames — callers
+    /// must go through [`Directory::choose_donor`] or verify first.
+    pub fn debit(&mut self, donor: NodeId, frames: u64) {
+        let f = &mut self.free[donor.index()];
+        assert!(*f >= frames, "directory underflow for {donor}");
+        *f -= frames;
+    }
+
+    /// Record that `donor` got `frames` back.
+    pub fn credit(&mut self, donor: NodeId, frames: u64) {
+        self.free[donor.index()] += frames;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn dir(policy: DonorPolicy) -> Directory {
+        Directory::new(Topology::prototype(), 100, policy)
+    }
+
+    #[test]
+    fn nearest_prefers_neighbors() {
+        let d = dir(DonorPolicy::Nearest);
+        // From corner node 1, neighbors are 2 and 5 (both 1 hop); lower id wins.
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(2)));
+    }
+
+    #[test]
+    fn nearest_skips_exhausted_neighbors() {
+        let mut d = dir(DonorPolicy::Nearest);
+        d.debit(n(2), 100);
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(5)));
+        d.debit(n(5), 95);
+        // 5 has only 5 left; need 10 -> next ring: 3, 6, 9 (2 hops).
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(3)));
+    }
+
+    #[test]
+    fn most_free_prefers_largest() {
+        let mut d = dir(DonorPolicy::MostFree);
+        d.debit(n(2), 50);
+        d.credit(n(9), 40); // node 9 now has 140
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(9)));
+    }
+
+    #[test]
+    fn fixed_order_followed() {
+        let mut d = dir(DonorPolicy::Fixed);
+        d.set_fixed_order(vec![n(7), n(3)]);
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(7)));
+        d.debit(n(7), 100);
+        assert_eq!(d.choose_donor(n(1), 10), Some(n(3)));
+        d.debit(n(3), 100);
+        assert_eq!(d.choose_donor(n(1), 10), None);
+    }
+
+    #[test]
+    fn asker_never_chosen() {
+        let mut d = dir(DonorPolicy::MostFree);
+        for i in 2..=16 {
+            d.debit(n(i), 100);
+        }
+        // Only the asker has frames left.
+        assert_eq!(d.choose_donor(n(1), 1), None);
+    }
+
+    #[test]
+    fn accounting_round_trips() {
+        let mut d = dir(DonorPolicy::Nearest);
+        assert_eq!(d.total_free(), 1600);
+        d.debit(n(4), 25);
+        assert_eq!(d.free_frames(n(4)), 75);
+        d.credit(n(4), 25);
+        assert_eq!(d.total_free(), 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn over_debit_panics() {
+        dir(DonorPolicy::Nearest).debit(n(2), 101);
+    }
+}

@@ -1,0 +1,132 @@
+//! Rotational-disk timing model (the motivation baseline).
+//!
+//! The paper's introduction: disk swapping makes thrashing "increase
+//! execution time to prohibitive levels". We model a 2010-era SATA disk:
+//! positioning (seek + rotational) cost for non-sequential requests, a
+//! streaming transfer rate, and FIFO queueing at the device.
+
+use cohfree_sim::queueing::FifoServer;
+use cohfree_sim::stats::Counter;
+use cohfree_sim::{SimDuration, SimTime};
+
+/// Disk timing parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskConfig {
+    /// Average positioning time (seek + half-rotation) for a random request.
+    pub positioning: SimDuration,
+    /// Sustained transfer rate in bytes per microsecond (100 MB/s ⇒ 100).
+    pub bytes_per_us: f64,
+}
+
+impl Default for DiskConfig {
+    fn default() -> Self {
+        DiskConfig {
+            positioning: SimDuration::us(8_000), // 8 ms
+            bytes_per_us: 100.0,
+        }
+    }
+}
+
+/// One disk device.
+#[derive(Debug)]
+pub struct Disk {
+    cfg: DiskConfig,
+    device: FifoServer,
+    /// Byte offset right after the last transferred request (sequential
+    /// follow-ons skip positioning).
+    head_pos: Option<u64>,
+    requests: Counter,
+    sequential: Counter,
+}
+
+impl Disk {
+    /// A new idle disk.
+    pub fn new(cfg: DiskConfig) -> Disk {
+        Disk {
+            cfg,
+            device: FifoServer::new(),
+            head_pos: None,
+            requests: Counter::new(),
+            sequential: Counter::new(),
+        }
+    }
+
+    /// Issue a transfer of `bytes` at disk offset `offset` at time `now`;
+    /// returns the completion instant.
+    pub fn access(&mut self, now: SimTime, offset: u64, bytes: u32) -> SimTime {
+        let sequential = self.head_pos == Some(offset);
+        let positioning = if sequential {
+            self.sequential.inc();
+            SimDuration::ZERO
+        } else {
+            self.cfg.positioning
+        };
+        let transfer = SimDuration::ns_f64(bytes as f64 / self.cfg.bytes_per_us * 1e3);
+        self.head_pos = Some(offset + bytes as u64);
+        self.requests.inc();
+        self.device.accept(now, positioning + transfer)
+    }
+
+    /// Requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Requests that were sequential with their predecessor.
+    pub fn sequential_hits(&self) -> u64 {
+        self.sequential.get()
+    }
+
+    /// Unloaded random-access service time for `bytes`.
+    pub fn random_service(&self, bytes: u32) -> SimDuration {
+        self.cfg.positioning + SimDuration::ns_f64(bytes as f64 / self.cfg.bytes_per_us * 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_access_pays_positioning() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t = d.access(SimTime::ZERO, 0, 4096);
+        // 8ms + 4096B / 100MB/s ≈ 8ms + 41us
+        let expect = SimDuration::us(8_000) + SimDuration::ns_f64(40_960.0);
+        assert_eq!(t.since(SimTime::ZERO), expect);
+    }
+
+    #[test]
+    fn sequential_access_skips_positioning() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t1 = d.access(SimTime::ZERO, 0, 4096);
+        let t2 = d.access(t1, 4096, 4096);
+        assert_eq!(t2.since(t1), SimDuration::ns_f64(40_960.0));
+        assert_eq!(d.sequential_hits(), 1);
+    }
+
+    #[test]
+    fn non_sequential_after_sequential_seeks_again() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t1 = d.access(SimTime::ZERO, 0, 4096);
+        let t2 = d.access(t1, 1 << 30, 4096);
+        assert!(t2.since(t1) > SimDuration::us(8_000));
+        assert_eq!(d.sequential_hits(), 0);
+        assert_eq!(d.requests(), 2);
+    }
+
+    #[test]
+    fn requests_queue_at_the_device() {
+        let mut d = Disk::new(DiskConfig::default());
+        let t1 = d.access(SimTime::ZERO, 0, 4096);
+        let t2 = d.access(SimTime::ZERO, 1 << 30, 4096);
+        assert!(t2 > t1, "second request must wait for the device");
+    }
+
+    #[test]
+    fn disk_is_orders_of_magnitude_slower_than_memory() {
+        let d = Disk::new(DiskConfig::default());
+        // One random page ≈ 8ms vs ~1.x us remote memory: factor > 1000.
+        assert!(d.random_service(4096) > SimDuration::us(1_000));
+    }
+}

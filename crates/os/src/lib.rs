@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # cohfree-os — operating-system substrate
+//!
+//! The paper keeps software *off the access path* but needs OS machinery
+//! around it: hot-pluggable physical memory, cluster-wide knowledge of free
+//! memory, a reservation protocol, and (for the baseline) a swap subsystem.
+//! This crate implements those pieces as deterministic models:
+//!
+//! * [`frames`] — per-node physical frame accounting: a private region for
+//!   the local OS and a *pool* region that can be lent to other nodes
+//!   (8 GiB + 8 GiB in the prototype), with contiguous-zone reservation and
+//!   a lender ledger (granted frames are pinned: never swapped, never given
+//!   to local processes),
+//! * [`pagetable`] — per-process virtual memory: page table, TLB with LRU
+//!   replacement, page-walk cost hooks, and page states (resident local,
+//!   mapped remote, swapped out),
+//! * [`directory`] — the cluster free-memory directory and donor-selection
+//!   policies used to decide *which* node lends memory,
+//! * [`region`] — memory regions (Fig. 1): one per node, listing the local
+//!   and borrowed segments that form that node's coherency domain,
+//! * [`resv`] — the reservation protocol: request/ack/release message flows
+//!   whose *functional* effect lands in [`frames`] and [`region`],
+//! * [`swap`] — the remote-swap / disk-swap baseline: a bounded page cache
+//!   with LRU eviction and dirty write-back, plus fault-cost accounting,
+//! * [`disk`] — a rotational-disk timing model for the disk-swap baseline,
+//! * [`balloon`] — the hot-plug/hot-remove watermark policy deciding when a
+//!   node borrows or returns zones.
+
+pub mod balloon;
+pub mod directory;
+pub mod disk;
+pub mod frames;
+pub mod pagetable;
+pub mod region;
+pub mod resv;
+pub mod swap;
+
+pub use balloon::{Balloon, BalloonAction, BalloonConfig};
+pub use directory::{Directory, DonorPolicy};
+pub use disk::{Disk, DiskConfig};
+pub use frames::{FrameAllocator, FrameError, PAGE_FRAME_BYTES};
+pub use pagetable::{PageFlags, PageTable, Tlb, TlbConfig, Translation};
+pub use region::{Region, Segment};
+pub use resv::{ResvDonor, ResvRequester};
+pub use swap::{PageCache, SwapStats};

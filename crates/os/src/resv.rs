@@ -1,0 +1,286 @@
+//! The remote-memory reservation protocol (Section III-B, Figure 4).
+//!
+//! Reservation is software: kernels exchange messages over the same fabric
+//! the RMCs use. The flow for "node 1 borrows 4 GiB from node 3" is:
+//!
+//! 1. requester kernel sends `ResvReq { frames }` to the donor,
+//! 2. donor kernel reserves a **contiguous physical zone**, pins it (never
+//!    swapped, never given to local processes — both enforced by
+//!    [`crate::frames::FrameAllocator`]), and replies `ResvAck` whose
+//!    address field is the zone base **with the 14 prefix bits set to the
+//!    donor's node id**,
+//! 3. requester writes virtual→prefixed-physical translations into its page
+//!    table; from then on access is pure hardware.
+//!
+//! Release reverses the grant. The protocol is deliberately not
+//! time-critical; the paper's point is that it happens *once per zone*, off
+//! the access path.
+
+use crate::frames::{FrameAllocator, FrameError};
+use cohfree_fabric::{Message, MsgKind, NodeId};
+use cohfree_rmc::addr::encode;
+use std::collections::HashMap;
+
+/// A granted reservation as seen by the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reservation {
+    /// Donor node.
+    pub home: NodeId,
+    /// Prefixed physical base address usable directly in page tables.
+    pub prefixed_base: u64,
+    /// Frames granted.
+    pub frames: u64,
+}
+
+/// Requester-side protocol state for one node's kernel.
+#[derive(Debug)]
+pub struct ResvRequester {
+    node: NodeId,
+    next_tag: u64,
+    pending: HashMap<u64, u64>, // tag -> frames requested
+    granted: Vec<Reservation>,
+}
+
+impl ResvRequester {
+    /// Protocol endpoint for `node`.
+    pub fn new(node: NodeId) -> ResvRequester {
+        ResvRequester {
+            node,
+            next_tag: (node.get() as u64) << 48 | 1 << 40, // disjoint from RMC tags
+            pending: HashMap::new(),
+            granted: Vec::new(),
+        }
+    }
+
+    /// Build the request message for `frames` frames from `donor`.
+    pub fn request(&mut self, donor: NodeId, frames: u64) -> Message {
+        assert_ne!(donor, self.node, "cannot reserve remote memory from self");
+        assert!(frames > 0, "zero-frame reservation");
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, frames);
+        Message::new(self.node, donor, MsgKind::ResvReq { frames }, tag)
+    }
+
+    /// Handle the donor's acknowledgement; returns the usable reservation.
+    ///
+    /// # Panics
+    /// Panics on an ack that matches no pending request, or whose address
+    /// prefix does not name the donor (a broken donor would corrupt the
+    /// no-translation-table scheme).
+    pub fn on_ack(&mut self, msg: &Message) -> Reservation {
+        assert_eq!(msg.kind, MsgKind::ResvAck, "expected ResvAck");
+        let frames = self
+            .pending
+            .remove(&msg.tag)
+            .unwrap_or_else(|| panic!("unsolicited ResvAck tag {:#x}", msg.tag));
+        let (prefix, _) = cohfree_rmc::addr::split(msg.addr);
+        assert_eq!(
+            prefix,
+            msg.src.get(),
+            "donor {} acked with prefix {} — reservation address must carry \
+             the donor's node id",
+            msg.src,
+            prefix
+        );
+        let r = Reservation {
+            home: msg.src,
+            prefixed_base: msg.addr,
+            frames,
+        };
+        self.granted.push(r);
+        r
+    }
+
+    /// Build the release message for a previously granted reservation.
+    ///
+    /// # Panics
+    /// Panics if the reservation is not currently held.
+    pub fn release(&mut self, resv: Reservation) -> Message {
+        let i = self
+            .granted
+            .iter()
+            .position(|r| *r == resv)
+            .expect("releasing a reservation that is not held");
+        self.granted.remove(i);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        Message::with_addr(
+            self.node,
+            resv.home,
+            MsgKind::ResvRelease,
+            tag,
+            resv.prefixed_base,
+        )
+    }
+
+    /// Reservations currently held.
+    pub fn held(&self) -> &[Reservation] {
+        &self.granted
+    }
+
+    /// Requests awaiting an ack.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Donor-side protocol handler for one node's kernel.
+#[derive(Debug)]
+pub struct ResvDonor {
+    node: NodeId,
+}
+
+impl ResvDonor {
+    /// Protocol endpoint for `node`.
+    pub fn new(node: NodeId) -> ResvDonor {
+        ResvDonor { node }
+    }
+
+    /// Handle an incoming `ResvReq`: carve a zone out of the local pool and
+    /// build the ack whose address carries this node's prefix.
+    pub fn on_request(
+        &self,
+        msg: &Message,
+        frames_alloc: &mut FrameAllocator,
+    ) -> Result<Message, FrameError> {
+        let frames = match msg.kind {
+            MsgKind::ResvReq { frames } => frames,
+            other => panic!("donor got non-request {other:?}"),
+        };
+        assert_eq!(msg.dst, self.node, "misrouted reservation request");
+        let local_base = frames_alloc.reserve(frames, msg.src)?;
+        let mut ack = msg.reply(MsgKind::ResvAck);
+        // "One modification is done to that physical address before sending
+        // it back: the 14 most significant bits are changed to reflect the
+        // identifier of node 3."
+        ack.addr = encode(self.node, local_base);
+        Ok(ack)
+    }
+
+    /// Handle a `ResvRelease`: return the zone to the local pool.
+    pub fn on_release(
+        &self,
+        msg: &Message,
+        frames_alloc: &mut FrameAllocator,
+    ) -> Result<u64, FrameError> {
+        assert_eq!(msg.kind, MsgKind::ResvRelease, "expected ResvRelease");
+        let local_base = cohfree_rmc::addr::strip_prefix(msg.addr);
+        frames_alloc.release(local_base).map(|g| g.frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::PAGE_FRAME_BYTES;
+
+    fn n(i: u16) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn donor_alloc() -> FrameAllocator {
+        FrameAllocator::new(1 << 20, 1 << 20) // 256-frame pool at 1 MiB
+    }
+
+    #[test]
+    fn full_grant_release_cycle() {
+        let mut req = ResvRequester::new(n(1));
+        let donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+
+        let m = req.request(n(3), 16);
+        assert_eq!(m.kind, MsgKind::ResvReq { frames: 16 });
+        assert_eq!(req.pending(), 1);
+
+        let ack = donor.on_request(&m, &mut alloc).unwrap();
+        assert_eq!(ack.dst, n(1));
+        // Address carries donor's prefix over the zone base.
+        assert_eq!(ack.addr >> 34, 3);
+        assert_eq!(alloc.granted_frames(), 16);
+
+        let resv = req.on_ack(&ack);
+        assert_eq!(resv.home, n(3));
+        assert_eq!(resv.frames, 16);
+        assert_eq!(req.held().len(), 1);
+        assert_eq!(req.pending(), 0);
+
+        let rel = req.release(resv);
+        let freed = donor.on_release(&rel, &mut alloc).unwrap();
+        assert_eq!(freed, 16);
+        assert_eq!(alloc.granted_frames(), 0);
+        assert!(req.held().is_empty());
+    }
+
+    #[test]
+    fn paper_figure4_addresses() {
+        // Donor pool is placed so the first zone lands at a recognizable
+        // base; the requester sees it with node 3's prefix.
+        let mut req = ResvRequester::new(n(1));
+        let donor = ResvDonor::new(n(3));
+        let mut alloc = FrameAllocator::new(0x4100_0000, 4 << 30);
+        let m = req.request(n(3), (4u64 << 30) / PAGE_FRAME_BYTES);
+        let ack = donor.on_request(&m, &mut alloc).unwrap();
+        let resv = req.on_ack(&ack);
+        assert_eq!(resv.prefixed_base, (3u64 << 34) | 0x4100_0000);
+        // The requester's CPU later emits prefixed addresses; the donor RMC
+        // strips back to the local zone.
+        assert_eq!(
+            cohfree_rmc::addr::strip_prefix(resv.prefixed_base + 0xB0),
+            0x4100_00B0
+        );
+    }
+
+    #[test]
+    fn donor_exhaustion_propagates() {
+        let mut req = ResvRequester::new(n(1));
+        let donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let m = req.request(n(3), 10_000);
+        assert!(donor.on_request(&m, &mut alloc).is_err());
+        assert_eq!(alloc.granted_frames(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsolicited")]
+    fn unsolicited_ack_panics() {
+        let mut req = ResvRequester::new(n(1));
+        let bogus = Message::with_addr(n(3), n(1), MsgKind::ResvAck, 0xBAD, encode(n(3), 0));
+        req.on_ack(&bogus);
+    }
+
+    #[test]
+    #[should_panic(expected = "donor's node id")]
+    fn ack_with_wrong_prefix_panics() {
+        let mut req = ResvRequester::new(n(1));
+        let donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let m = req.request(n(3), 4);
+        let mut ack = donor.on_request(&m, &mut alloc).unwrap();
+        ack.addr = encode(n(7), 0x1000); // corrupted prefix
+        req.on_ack(&ack);
+    }
+
+    #[test]
+    #[should_panic(expected = "from self")]
+    fn self_reservation_rejected() {
+        ResvRequester::new(n(1)).request(n(1), 4);
+    }
+
+    #[test]
+    fn two_borrowers_get_disjoint_zones() {
+        let donor = ResvDonor::new(n(4));
+        let mut alloc = donor_alloc();
+        let mut r3 = ResvRequester::new(n(3));
+        let mut r5 = ResvRequester::new(n(5));
+        let a3 = donor.on_request(&r3.request(n(4), 8), &mut alloc).unwrap();
+        let a5 = donor.on_request(&r5.request(n(4), 8), &mut alloc).unwrap();
+        let z3 = r3.on_ack(&a3);
+        let z5 = r5.on_ack(&a5);
+        let end3 = z3.prefixed_base + z3.frames * PAGE_FRAME_BYTES;
+        assert!(
+            z5.prefixed_base >= end3
+                || z3.prefixed_base >= z5.prefixed_base + z5.frames * PAGE_FRAME_BYTES
+        );
+    }
+}

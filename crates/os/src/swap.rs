@@ -1,0 +1,292 @@
+//! The swap-baseline page cache.
+//!
+//! Remote swap (and classic disk swap) keep only a bounded number of pages
+//! in local DRAM; the rest live on a backing device — a remote node's memory
+//! reached by page-granularity messages, or a disk. [`PageCache`] models the
+//! resident set with the CLOCK (second-chance) replacement policy: O(1)
+//! amortized, deterministic, and a faithful stand-in for what 2010-era Linux
+//! did with its active/inactive lists.
+//!
+//! The *cost* of a fault (OS overhead, fetch, dirty write-back) is charged
+//! by the owning backend in `cohfree-core`; this module decides *which*
+//! page moves and keeps the accounting.
+
+use std::collections::HashMap;
+
+/// A page evicted to make room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Virtual page number that lost residency.
+    pub vpage: u64,
+    /// True if the page was modified and must be written back to the
+    /// backing store before its frame is reused.
+    pub dirty: bool,
+}
+
+/// Outcome of touching a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Touch {
+    /// Page resident: minor cost only.
+    Hit,
+    /// Page not resident: a major fault. The page has been made resident;
+    /// if a victim had to be displaced it is reported for write-back.
+    Miss {
+        /// Victim displaced to make room, if the cache was full.
+        evicted: Option<Evicted>,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    vpage: u64,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// Cumulative swap-activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Resident hits.
+    pub hits: u64,
+    /// Major faults (pages fetched from the backing store).
+    pub major_faults: u64,
+    /// Dirty evictions (pages written back).
+    pub writebacks: u64,
+    /// Clean evictions (frames silently reused).
+    pub clean_evictions: u64,
+}
+
+/// Bounded resident-set model with CLOCK replacement.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    slots: Vec<Slot>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    stats: SwapStats,
+}
+
+impl PageCache {
+    /// A cache holding at most `capacity` pages.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> PageCache {
+        assert!(capacity > 0, "page cache needs capacity >= 1");
+        PageCache {
+            capacity,
+            slots: Vec::with_capacity(capacity),
+            map: HashMap::new(),
+            hand: 0,
+            stats: SwapStats::default(),
+        }
+    }
+
+    /// Capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pages currently resident.
+    pub fn resident(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if `vpage` is resident (no state change).
+    pub fn contains(&self, vpage: u64) -> bool {
+        self.map.contains_key(&vpage)
+    }
+
+    /// Touch `vpage` (write access dirties it). Makes the page resident.
+    pub fn touch(&mut self, vpage: u64, write: bool) -> Touch {
+        if let Some(&i) = self.map.get(&vpage) {
+            let s = &mut self.slots[i];
+            s.referenced = true;
+            s.dirty |= write;
+            self.stats.hits += 1;
+            return Touch::Hit;
+        }
+        self.stats.major_faults += 1;
+        let evicted = if self.slots.len() < self.capacity {
+            self.slots.push(Slot {
+                vpage,
+                referenced: true,
+                dirty: write,
+            });
+            self.map.insert(vpage, self.slots.len() - 1);
+            None
+        } else {
+            // CLOCK: advance the hand, clearing reference bits, until an
+            // unreferenced victim is found.
+            let victim_idx = loop {
+                let s = &mut self.slots[self.hand];
+                if s.referenced {
+                    s.referenced = false;
+                    self.hand = (self.hand + 1) % self.capacity;
+                } else {
+                    break self.hand;
+                }
+            };
+            let victim = self.slots[victim_idx];
+            self.map.remove(&victim.vpage);
+            self.slots[victim_idx] = Slot {
+                vpage,
+                referenced: true,
+                dirty: write,
+            };
+            self.map.insert(vpage, victim_idx);
+            self.hand = (victim_idx + 1) % self.capacity;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            } else {
+                self.stats.clean_evictions += 1;
+            }
+            Some(Evicted {
+                vpage: victim.vpage,
+                dirty: victim.dirty,
+            })
+        };
+        Touch::Miss { evicted }
+    }
+
+    /// Write back every dirty page (e.g. at program exit); returns the
+    /// vpages that were dirty. Residency is preserved.
+    pub fn flush_dirty(&mut self) -> Vec<u64> {
+        let mut dirty = Vec::new();
+        for s in &mut self.slots {
+            if s.dirty {
+                dirty.push(s.vpage);
+                s.dirty = false;
+            }
+        }
+        self.stats.writebacks += dirty.len() as u64;
+        dirty.sort_unstable();
+        dirty
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_without_eviction_up_to_capacity() {
+        let mut c = PageCache::new(3);
+        for v in 0..3 {
+            assert_eq!(c.touch(v, false), Touch::Miss { evicted: None });
+        }
+        assert_eq!(c.resident(), 3);
+        assert_eq!(c.stats().major_faults, 3);
+        assert_eq!(c.touch(1, false), Touch::Hit);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut c = PageCache::new(3);
+        c.touch(0, false);
+        c.touch(1, false);
+        c.touch(2, false);
+        // All referenced; hand sweeps clearing bits, evicting slot 0 (vpage 0).
+        match c.touch(3, false) {
+            Touch::Miss { evicted: Some(e) } => assert_eq!(e.vpage, 0),
+            other => panic!("{other:?}"),
+        }
+        // vpage 1's bit was cleared by the sweep; re-reference it.
+        assert_eq!(c.touch(1, false), Touch::Hit);
+        // Next eviction should skip vpage 1 (referenced) and take vpage 2.
+        match c.touch(4, false) {
+            Touch::Miss { evicted: Some(e) } => assert_eq!(e.vpage, 2),
+            other => panic!("{other:?}"),
+        }
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn dirty_pages_report_writeback() {
+        let mut c = PageCache::new(1);
+        c.touch(0, true);
+        match c.touch(1, false) {
+            Touch::Miss { evicted: Some(e) } => {
+                assert_eq!(
+                    e,
+                    Evicted {
+                        vpage: 0,
+                        dirty: true
+                    }
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().clean_evictions, 0);
+    }
+
+    #[test]
+    fn write_hit_dirties_resident_page() {
+        let mut c = PageCache::new(2);
+        c.touch(0, false);
+        c.touch(0, true); // dirty it
+        c.touch(1, false);
+        // Evict 0: must be dirty.
+        c.touch(2, false); // sweeps: clears 0, clears 1, evicts 0
+        let st = c.stats();
+        assert_eq!(st.writebacks + st.clean_evictions, 1);
+        assert_eq!(st.writebacks, 1);
+    }
+
+    #[test]
+    fn flush_dirty_lists_and_cleans() {
+        let mut c = PageCache::new(4);
+        c.touch(10, true);
+        c.touch(11, false);
+        c.touch(12, true);
+        assert_eq!(c.flush_dirty(), vec![10, 12]);
+        assert_eq!(c.flush_dirty(), Vec::<u64>::new(), "now clean");
+        assert_eq!(c.resident(), 3, "residency preserved");
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_faulting() {
+        let mut c = PageCache::new(8);
+        for round in 0..10 {
+            for v in 0..8 {
+                let t = c.touch(v, false);
+                if round > 0 {
+                    assert_eq!(t, Touch::Hit, "round {round} vpage {v}");
+                }
+            }
+        }
+        assert_eq!(c.stats().major_faults, 8);
+        assert_eq!(c.stats().hits, 72);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes() {
+        // Sequential sweep over capacity+1 pages with CLOCK ≈ every touch
+        // faults — the classic thrashing syndrome the paper invokes.
+        let mut c = PageCache::new(4);
+        let mut faults = 0;
+        for _ in 0..5 {
+            for v in 0..5 {
+                if matches!(c.touch(v, false), Touch::Miss { .. }) {
+                    faults += 1;
+                }
+            }
+        }
+        assert!(
+            faults >= 20,
+            "expected heavy thrashing, got {faults} faults"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        PageCache::new(0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the OS substrate: frame accounting, page
+//! tables, the page cache and the reservation protocol.
+
+use cohfree_fabric::NodeId;
+use cohfree_os::frames::{FrameAllocator, PAGE_FRAME_BYTES};
+use cohfree_os::pagetable::{PageTable, TlbConfig, Translation, PAGE_BYTES};
+use cohfree_os::resv::{ResvDonor, ResvRequester};
+use cohfree_os::swap::{PageCache, Touch};
+use proptest::prelude::*;
+
+proptest! {
+    /// Frame accounting is conserved and grants never overlap, under any
+    /// interleaving of reserves and releases.
+    #[test]
+    fn frame_allocator_conservation(
+        ops in prop::collection::vec((1u64..64, prop::bool::ANY), 1..100)
+    ) {
+        let pool_frames = 512u64;
+        let mut a = FrameAllocator::new(1 << 20, pool_frames * PAGE_FRAME_BYTES);
+        let mut held: Vec<u64> = Vec::new();
+        for (frames, release_first) in ops {
+            if release_first && !held.is_empty() {
+                let base = held.swap_remove(0);
+                a.release(base).unwrap();
+            }
+            if let Ok(base) = a.reserve(frames, NodeId::new(2)) {
+                held.push(base);
+            }
+            // Conservation.
+            prop_assert_eq!(a.free_frames() + a.granted_frames(), pool_frames);
+            // Disjointness: sort grants and check pairwise.
+            let mut grants: Vec<(u64, u64)> = a.grants().map(|g| (g.base, g.frames)).collect();
+            grants.sort_unstable();
+            for w in grants.windows(2) {
+                prop_assert!(
+                    w[0].0 + w[0].1 * PAGE_FRAME_BYTES <= w[1].0,
+                    "grants overlap"
+                );
+            }
+        }
+        // Release everything: a full-pool reservation must then succeed.
+        for base in held {
+            a.release(base).unwrap();
+        }
+        prop_assert_eq!(a.free_frames(), pool_frames);
+        prop_assert!(a.reserve(pool_frames, NodeId::new(3)).is_ok());
+    }
+
+    /// The page table agrees with a HashMap oracle under arbitrary
+    /// map/unmap/swap transitions.
+    #[test]
+    fn page_table_matches_oracle(
+        ops in prop::collection::vec((0u64..64, 0u8..3), 1..200)
+    ) {
+        #[derive(Clone, Copy, PartialEq)]
+        enum St { Mapped(u64), Swapped(u64), None }
+        let mut pt = PageTable::new(TlbConfig { entries: 8 });
+        let mut oracle: std::collections::HashMap<u64, St> = Default::default();
+        for (i, (vpn, op)) in ops.into_iter().enumerate() {
+            match op {
+                0 => {
+                    let phys = (i as u64 + 1) * PAGE_BYTES;
+                    pt.map(vpn, phys);
+                    oracle.insert(vpn, St::Mapped(phys));
+                }
+                1 => {
+                    pt.mark_swapped(vpn, i as u64);
+                    oracle.insert(vpn, St::Swapped(i as u64));
+                }
+                _ => {
+                    pt.unmap(vpn);
+                    oracle.insert(vpn, St::None);
+                }
+            }
+            // Probe a few addresses after each mutation.
+            for probe in [vpn, (vpn + 1) % 64] {
+                let got = pt.translate(probe * PAGE_BYTES + 5);
+                let want = oracle.get(&probe).copied().unwrap_or(St::None);
+                match (got, want) {
+                    (Translation::TlbHit { phys } | Translation::Walked { phys }, St::Mapped(p)) => {
+                        prop_assert_eq!(phys, p + 5);
+                    }
+                    (Translation::MajorFault { slot }, St::Swapped(s)) => {
+                        prop_assert_eq!(slot, s);
+                    }
+                    (Translation::Unmapped, St::None) => {}
+                    (got, _) => prop_assert!(false, "vpn {probe}: mismatch {got:?}"),
+                }
+            }
+        }
+    }
+
+    /// Page-cache residency: bounded, hit iff resident, dirty write-backs
+    /// exactly for pages written since they became resident.
+    #[test]
+    fn page_cache_matches_oracle(
+        capacity in 1usize..16,
+        ops in prop::collection::vec((0u64..48, prop::bool::ANY), 1..300)
+    ) {
+        let mut cache = PageCache::new(capacity);
+        let mut resident: std::collections::HashMap<u64, bool> = Default::default();
+        for (vpage, write) in ops {
+            match cache.touch(vpage, write) {
+                Touch::Hit => {
+                    prop_assert!(resident.contains_key(&vpage), "hit on non-resident");
+                    if write {
+                        resident.insert(vpage, true);
+                    }
+                }
+                Touch::Miss { evicted } => {
+                    prop_assert!(!resident.contains_key(&vpage), "miss on resident");
+                    if let Some(e) = evicted {
+                        let was_dirty = resident.remove(&e.vpage)
+                            .expect("evicted page must be resident");
+                        prop_assert_eq!(e.dirty, was_dirty, "dirty flag wrong");
+                    }
+                    resident.insert(vpage, write);
+                }
+            }
+            prop_assert!(cache.resident() <= capacity);
+            prop_assert_eq!(cache.resident(), resident.len());
+        }
+        let mut flushed = cache.flush_dirty();
+        flushed.sort_unstable();
+        let mut dirty: Vec<u64> = resident.iter().filter(|(_, &d)| d).map(|(&v, _)| v).collect();
+        dirty.sort_unstable();
+        prop_assert_eq!(flushed, dirty);
+    }
+
+    /// Reservation protocol: any sequence of grants from one donor yields
+    /// disjoint prefixed zones, and releasing all of them restores the pool.
+    #[test]
+    fn reservation_protocol_disjoint_zones(sizes in prop::collection::vec(1u64..32, 1..20)) {
+        let donor_node = NodeId::new(4);
+        let donor = ResvDonor::new(donor_node);
+        let mut alloc = FrameAllocator::new(1 << 20, 1 << 20);
+        let mut req = ResvRequester::new(NodeId::new(1));
+        let mut granted = Vec::new();
+        for frames in sizes {
+            let m = req.request(donor_node, frames);
+            if let Ok(ack) = donor.on_request(&m, &mut alloc) {
+                granted.push(req.on_ack(&ack));
+            }
+        }
+        let mut zones: Vec<(u64, u64)> =
+            granted.iter().map(|r| (r.prefixed_base, r.frames)).collect();
+        zones.sort_unstable();
+        for w in zones.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 * PAGE_FRAME_BYTES <= w[1].0, "zones overlap");
+        }
+        for r in granted {
+            let rel = req.release(r);
+            donor.on_release(&rel, &mut alloc).unwrap();
+        }
+        prop_assert_eq!(alloc.granted_frames(), 0);
+        prop_assert_eq!(alloc.free_frames(), 256);
+    }
+}

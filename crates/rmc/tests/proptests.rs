@@ -1,0 +1,114 @@
+//! Property-based tests for the RMC: address codec, client slot discipline,
+//! prefetcher bounds.
+
+use cohfree_fabric::{MsgKind, NodeId};
+use cohfree_rmc::addr::{decode, encode, split, strip_prefix, RemoteRef};
+use cohfree_rmc::{Prefetcher, PrefetcherConfig, RmcClient, RmcConfig, Submit};
+use cohfree_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// encode/split/strip round-trip for the whole prefix and offset space.
+    #[test]
+    fn addr_codec_round_trip(home in 1u16..16_384, offset in 0u64..(1 << 34)) {
+        let home = NodeId::new(home);
+        let addr = encode(home, offset);
+        let (p, o) = split(addr);
+        prop_assert_eq!(p, home.get());
+        prop_assert_eq!(o, offset);
+        prop_assert_eq!(strip_prefix(addr), offset);
+        // Decoding from any *other* node sees a remote reference.
+        let me = NodeId::new(if home.get() == 1 { 2 } else { 1 });
+        prop_assert_eq!(decode(me, addr), RemoteRef::Remote { home, offset });
+        // Decoding from the home node itself sees loopback.
+        prop_assert_eq!(decode(home, addr), RemoteRef::Loopback { offset });
+    }
+
+    /// Prefix 0 is always local, whatever the offset.
+    #[test]
+    fn prefix_zero_is_local(me in 1u16..16_384, offset in 0u64..(1 << 34)) {
+        prop_assert_eq!(
+            decode(NodeId::new(me), offset),
+            RemoteRef::Local { offset }
+        );
+    }
+
+    /// The client never tracks more in-flight transactions than its slots,
+    /// tags never repeat, and every response retires exactly one slot.
+    #[test]
+    fn client_slot_discipline(
+        slots in 1usize..8,
+        script in prop::collection::vec(prop::bool::ANY, 1..200)
+    ) {
+        let cfg = RmcConfig { request_slots: slots, ..RmcConfig::default() };
+        let mut c = RmcClient::new(NodeId::new(1), cfg);
+        let mut now = SimTime::ZERO;
+        let mut outstanding: Vec<cohfree_fabric::Message> = Vec::new();
+        let mut seen_tags = std::collections::HashSet::new();
+        for submit in script {
+            now += SimDuration::ns(10);
+            if submit {
+                match c.submit(now, NodeId::new(2), MsgKind::ReadReq { bytes: 64 }, 0) {
+                    Submit::Accepted { msg, inject_at } => {
+                        prop_assert!(inject_at >= now);
+                        prop_assert!(seen_tags.insert(msg.tag), "tag reuse");
+                        outstanding.push(msg);
+                    }
+                    Submit::Nacked { retry_at } => {
+                        prop_assert_eq!(c.in_flight(), slots, "NACK while slots free");
+                        prop_assert!(retry_at > now);
+                    }
+                }
+            } else if let Some(msg) = outstanding.pop() {
+                let before = c.in_flight();
+                c.on_response(now, &msg.reply(MsgKind::ReadResp { bytes: 64 }));
+                prop_assert_eq!(c.in_flight(), before - 1);
+            }
+            prop_assert!(c.in_flight() <= slots);
+            prop_assert_eq!(c.in_flight(), outstanding.len());
+        }
+    }
+
+    /// The prefetch buffer never exceeds its capacity, and every buffer hit
+    /// was a previously filled line.
+    #[test]
+    fn prefetcher_buffer_bounded(
+        buffer_lines in 1usize..16,
+        accesses in prop::collection::vec(0u64..10_000, 1..300)
+    ) {
+        let cfg = PrefetcherConfig { buffer_lines, ..PrefetcherConfig::default() };
+        let mut p = Prefetcher::new(cfg);
+        let mut filled = std::collections::HashSet::new();
+        for addr in accesses {
+            let d = p.access(addr * 64);
+            if d.buffer_hit {
+                prop_assert!(filled.contains(&(addr * 64)), "hit on never-filled line");
+            }
+            for l in d.issue {
+                p.fill(l);
+                filled.insert(l);
+            }
+        }
+        prop_assert!(p.buffer_hits() <= p.issued());
+    }
+
+    /// Strictly sequential streams eventually make almost every access a
+    /// buffer hit (steady-state coverage).
+    #[test]
+    fn sequential_stream_coverage(start in 0u64..1_000_000, len in 32u64..200) {
+        let mut p = Prefetcher::new(PrefetcherConfig::default());
+        let base = start * 64;
+        let mut hits = 0;
+        for i in 0..len {
+            let d = p.access(base + i * 64);
+            if d.buffer_hit {
+                hits += 1;
+            }
+            for l in d.issue {
+                p.fill(l);
+            }
+        }
+        // After the 2-access training prefix, everything should hit.
+        prop_assert!(hits as u64 >= len - 3, "only {hits} hits in {len} sequential accesses");
+    }
+}

@@ -1,0 +1,271 @@
+//! The pending-event set.
+//!
+//! [`EventQueue`] is a time-ordered priority queue of application-defined
+//! events with a strictly deterministic total order: events fire in
+//! increasing timestamp order, and events scheduled for the same instant fire
+//! in the order they were scheduled (FIFO). Determinism is essential — every
+//! experiment in this repository must be exactly reproducible from its seed.
+//!
+//! The queue owns the simulation clock: popping an event advances `now` to
+//! the event's timestamp. Scheduling in the past is a logic error and panics.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry: ordered by `(time, seq)` ascending.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Time-ordered pending-event set with a deterministic total order.
+///
+/// ```
+/// use cohfree_sim::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<&'static str> = EventQueue::new();
+/// q.schedule_in(SimDuration::ns(10), "b");
+/// q.schedule_in(SimDuration::ns(5), "a");
+/// q.schedule_in(SimDuration::ns(10), "c"); // same instant as "b", after it
+///
+/// assert_eq!(q.pop(), Some((SimTime::ZERO + SimDuration::ns(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::ZERO + SimDuration::ns(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::ZERO + SimDuration::ns(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time (timestamp of the last popped event).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `event` at absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock — the engine never
+    /// travels backwards.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} < now={now}",
+            at = at,
+            now = self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedule `event` after `delay` from the current clock.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current instant (fires after all events
+    /// already scheduled for this instant).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule(self.now, event);
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue clock regression");
+        self.now = entry.at;
+        self.processed += 1;
+        Some((entry.at, entry.event))
+    }
+
+    /// Drain and drop all pending events without advancing the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Run the event loop to completion: pop every event and feed it to
+    /// `handler`, which may schedule further events. Returns the number of
+    /// events processed by this call.
+    ///
+    /// The `step_limit` guards against accidental non-termination (a model
+    /// bug that endlessly reschedules); exceeding it panics with the current
+    /// simulated time to aid debugging.
+    pub fn run<F>(&mut self, step_limit: u64, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, E, &mut Self),
+    {
+        let mut steps = 0;
+        while let Some((at, ev)) = self.pop() {
+            handler(at, ev, self);
+            steps += 1;
+            assert!(
+                steps <= step_limit,
+                "event loop exceeded step limit {step_limit} at {at}"
+            );
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), 3u32);
+        q.schedule(SimTime(10), 1);
+        q.schedule(SimTime(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_instant_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime(42), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_and_is_monotone() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(5), ());
+        q.schedule(SimTime(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(5));
+        q.pop();
+        assert_eq!(q.now(), SimTime(9));
+        assert_eq!(q.processed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(10), ());
+        q.pop();
+        q.schedule(SimTime(5), ());
+    }
+
+    #[test]
+    fn schedule_now_fires_after_existing_same_instant_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, "first");
+        q.schedule_now("second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn run_drives_cascading_events() {
+        // A chain: each event below 10 schedules its successor 1ns later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u64);
+        let mut seen = Vec::new();
+        let steps = q.run(1_000, |_, ev, q| {
+            seen.push(ev);
+            if ev < 10 {
+                q.schedule_in(SimDuration::ns(1), ev + 1);
+            }
+        });
+        assert_eq!(steps, 11);
+        assert_eq!(seen, (0..=10).collect::<Vec<_>>());
+        assert_eq!(q.now().as_ns(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "step limit")]
+    fn run_panics_past_step_limit() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, ());
+        q.run(10, |_, _, q| q.schedule_in(SimDuration::ns(1), ()));
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime(7), 1u8);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

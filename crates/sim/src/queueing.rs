@@ -1,0 +1,284 @@
+//! Analytic queueing primitives.
+//!
+//! Many contended resources in the model — DRAM controllers, the RMC
+//! front-end, fabric links — are well described as single servers with FIFO
+//! discipline and deterministic per-item service times. [`FifoServer`]
+//! computes departure times in O(1) without materializing queue entries,
+//! while tracking utilization statistics. [`BoundedFifoServer`] adds a finite
+//! queue with explicit rejection, which the RMC model uses to produce
+//! NACK/retry behaviour under overload.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A single-server FIFO queue with deterministic service times.
+///
+/// `accept(now, service)` returns the instant the item's service *completes*,
+/// assuming the item arrives at `now`, waits for all previously accepted items
+/// and is then served for `service`. The server is work-conserving.
+///
+/// ```
+/// use cohfree_sim::{FifoServer, SimDuration, SimTime};
+/// let mut s = FifoServer::new();
+/// let t0 = SimTime::ZERO;
+/// // Empty server: departure = arrival + service.
+/// assert_eq!(s.accept(t0, SimDuration::ns(10)), t0 + SimDuration::ns(10));
+/// // Second arrival at the same instant queues behind the first.
+/// assert_eq!(s.accept(t0, SimDuration::ns(10)), t0 + SimDuration::ns(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FifoServer {
+    /// Instant the server finishes its last accepted item.
+    busy_until: SimTime,
+    /// Total service time accepted (for utilization accounting).
+    busy_time: SimDuration,
+    /// Items accepted.
+    accepted: u64,
+    /// Cumulative queueing delay experienced by accepted items.
+    total_wait: SimDuration,
+    /// Maximum instantaneous backlog observed, expressed as time-to-drain.
+    max_backlog: SimDuration,
+}
+
+impl FifoServer {
+    /// A new idle server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accept an item arriving at `now` requiring `service`; returns its
+    /// departure (service-completion) instant.
+    pub fn accept(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let start = self.busy_until.max(now);
+        let wait = start.since(now.min(start));
+        let depart = start + service;
+        self.busy_until = depart;
+        self.busy_time += service;
+        self.accepted += 1;
+        self.total_wait += wait;
+        let backlog = depart.since(now);
+        if backlog > self.max_backlog {
+            self.max_backlog = backlog;
+        }
+        depart
+    }
+
+    /// Time-to-drain of the current backlog as seen at `now` (zero if idle).
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.busy_until.saturating_since(now)
+    }
+
+    /// True if the server would start a new item immediately at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.busy_until <= now
+    }
+
+    /// Instant the server drains completely.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Items accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Mean queueing delay (excluding service) over accepted items.
+    pub fn mean_wait(&self) -> SimDuration {
+        SimDuration(
+            self.total_wait
+                .as_ps()
+                .checked_div(self.accepted)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Largest time-to-drain backlog observed at any acceptance.
+    pub fn max_backlog(&self) -> SimDuration {
+        self.max_backlog
+    }
+
+    /// Fraction of `[0, horizon]` the server spent serving (can exceed 1.0 if
+    /// the backlog extends past the horizon — i.e. offered load > capacity).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_time.as_ps() as f64 / horizon.as_ps() as f64
+        }
+    }
+
+    /// Reset to idle, clearing statistics.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Outcome of offering an item to a [`BoundedFifoServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Item accepted; service completes at the contained instant.
+    Accepted(SimTime),
+    /// Queue full; retry no earlier than the contained instant (when a slot
+    /// is guaranteed to have freed).
+    Rejected {
+        /// Earliest instant a slot is guaranteed free.
+        retry_at: SimTime,
+    },
+}
+
+/// A FIFO server with a bounded queue.
+///
+/// Models a hardware unit with `depth` request slots (including the one in
+/// service). An item offered while all slots are full is rejected — the
+/// caller must retry, which is how HyperTransport-style NACK/retry
+/// arbitration is modelled. Rejections are counted: heavy rejection traffic
+/// is itself a throughput drag the RMC model charges for.
+#[derive(Debug, Clone)]
+pub struct BoundedFifoServer {
+    inner: FifoServer,
+    /// Departure times of items currently occupying slots.
+    slots: std::collections::VecDeque<SimTime>,
+    depth: usize,
+    rejected: u64,
+}
+
+impl BoundedFifoServer {
+    /// A server with `depth` total slots (must be ≥ 1).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "BoundedFifoServer requires depth >= 1");
+        BoundedFifoServer {
+            inner: FifoServer::new(),
+            slots: std::collections::VecDeque::with_capacity(depth),
+            depth,
+            rejected: 0,
+        }
+    }
+
+    /// Offer an item arriving at `now` with the given `service` demand.
+    pub fn offer(&mut self, now: SimTime, service: SimDuration) -> Offer {
+        // Free slots whose items have departed by `now`.
+        while let Some(&front) = self.slots.front() {
+            if front <= now {
+                self.slots.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.slots.len() >= self.depth {
+            self.rejected += 1;
+            // The earliest slot frees when the oldest resident departs.
+            let retry_at = *self.slots.front().expect("full queue has a front");
+            return Offer::Rejected { retry_at };
+        }
+        let depart = self.inner.accept(now, service);
+        self.slots.push_back(depart);
+        Offer::Accepted(depart)
+    }
+
+    /// Occupied slots as seen at `now`.
+    pub fn occupancy(&self, now: SimTime) -> usize {
+        self.slots.iter().filter(|&&d| d > now).count()
+    }
+
+    /// Total rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Access to the underlying server's statistics.
+    pub fn stats(&self) -> &FifoServer {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::ns(ns)
+    }
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut s = FifoServer::new();
+        assert!(s.is_idle(t(0)));
+        let d = s.accept(t(5), SimDuration::ns(10));
+        assert_eq!(d, t(15));
+        assert_eq!(s.mean_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_arrivals_queue() {
+        let mut s = FifoServer::new();
+        let d1 = s.accept(t(0), SimDuration::ns(10));
+        let d2 = s.accept(t(0), SimDuration::ns(10));
+        let d3 = s.accept(t(0), SimDuration::ns(10));
+        assert_eq!((d1, d2, d3), (t(10), t(20), t(30)));
+        // Waits: 0, 10, 20 -> mean 10.
+        assert_eq!(s.mean_wait(), SimDuration::ns(10));
+        assert_eq!(s.max_backlog(), SimDuration::ns(30));
+    }
+
+    #[test]
+    fn idle_gap_resets_wait() {
+        let mut s = FifoServer::new();
+        s.accept(t(0), SimDuration::ns(10));
+        let d = s.accept(t(100), SimDuration::ns(10));
+        assert_eq!(d, t(110));
+        assert_eq!(s.backlog(t(100)), SimDuration::ns(10));
+        assert!(s.is_idle(t(200)));
+    }
+
+    #[test]
+    fn utilization_accounts_service_only() {
+        let mut s = FifoServer::new();
+        s.accept(t(0), SimDuration::ns(10));
+        s.accept(t(50), SimDuration::ns(10));
+        let u = s.utilization(t(100));
+        assert!((u - 0.2).abs() < 1e-12, "{u}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut s = FifoServer::new();
+        s.accept(t(0), SimDuration::ns(10));
+        s.reset();
+        assert_eq!(s.accepted(), 0);
+        assert!(s.is_idle(t(0)));
+    }
+
+    #[test]
+    fn bounded_rejects_when_full() {
+        let mut s = BoundedFifoServer::new(2);
+        let a = s.offer(t(0), SimDuration::ns(10));
+        let b = s.offer(t(0), SimDuration::ns(10));
+        assert_eq!(a, Offer::Accepted(t(10)));
+        assert_eq!(b, Offer::Accepted(t(20)));
+        // Both slots held; third offer at t=0 is rejected, retry when the
+        // first departs (t=10).
+        match s.offer(t(0), SimDuration::ns(10)) {
+            Offer::Rejected { retry_at } => assert_eq!(retry_at, t(10)),
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.occupancy(t(0)), 2);
+    }
+
+    #[test]
+    fn bounded_frees_slots_over_time() {
+        let mut s = BoundedFifoServer::new(1);
+        assert_eq!(s.offer(t(0), SimDuration::ns(10)), Offer::Accepted(t(10)));
+        // At t=10 the slot has freed.
+        assert_eq!(s.offer(t(10), SimDuration::ns(10)), Offer::Accepted(t(20)));
+        assert_eq!(s.rejected(), 0);
+        assert_eq!(s.occupancy(t(15)), 1);
+        assert_eq!(s.occupancy(t(25)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth >= 1")]
+    fn bounded_zero_depth_panics() {
+        let _ = BoundedFifoServer::new(0);
+    }
+}

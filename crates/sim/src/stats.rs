@@ -1,0 +1,412 @@
+//! Measurement primitives.
+//!
+//! Every model component exposes its behaviour through these types:
+//!
+//! * [`Counter`] — monotonically increasing event counts,
+//! * [`OnlineSummary`] — numerically stable streaming mean/variance/min/max
+//!   (Welford's algorithm),
+//! * [`LatencyHistogram`] — log₂-bucketed latency distribution with
+//!   approximate quantiles, cheap enough to keep per component,
+//! * [`TimeWeighted`] — time-weighted average of a piecewise-constant signal
+//!   (queue depth, occupancy).
+
+use crate::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean / variance / extrema via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineSummary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineSummary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        OnlineSummary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for < 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Log₂-bucketed latency histogram over nanosecond values.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` ns, with bucket 0 covering `[0, 2)` ns.
+/// Quantile queries interpolate linearly inside a bucket, giving ≤ 2×
+/// relative error — ample for latency-distribution shape comparisons.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    summary: OnlineSummary,
+}
+
+const HIST_BUCKETS: usize = 40; // up to ~2^39 ns ≈ 9 minutes
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; HIST_BUCKETS],
+            summary: OnlineSummary::new(),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < 2 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_ns();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.summary.record(d.as_ns_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.summary.count()
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        self.summary.mean()
+    }
+
+    /// Largest recorded latency in nanoseconds.
+    pub fn max_ns(&self) -> f64 {
+        self.summary.max().unwrap_or(0.0)
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`) in nanoseconds.
+    pub fn quantile_ns(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if acc + c >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = (1u64 << (i + 1)) as f64;
+                let frac = (target - acc) as f64 / c as f64;
+                return lo + frac * (hi - lo);
+            }
+            acc += c;
+        }
+        self.max_ns()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        // Rebuild summary moments via weighted combination.
+        let n1 = self.summary.count() as f64;
+        let n2 = other.summary.count() as f64;
+        if n2 == 0.0 {
+            return;
+        }
+        if n1 == 0.0 {
+            self.summary = other.summary.clone();
+            return;
+        }
+        let mean = (self.summary.mean() * n1 + other.summary.mean() * n2) / (n1 + n2);
+        let delta = other.summary.mean() - self.summary.mean();
+        let m2 = self.summary.m2 + other.summary.m2 + delta * delta * n1 * n2 / (n1 + n2);
+        self.summary = OnlineSummary {
+            n: (n1 + n2) as u64,
+            mean,
+            m2,
+            min: self.summary.min.min(other.summary.min),
+            max: self.summary.max.max(other.summary.max),
+        };
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the accumulator
+/// weights each value by how long it was held.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    peak: f64,
+}
+
+impl Default for TimeWeighted {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeighted {
+    /// A signal starting at 0 at time 0.
+    pub fn new() -> Self {
+        TimeWeighted {
+            value: 0.0,
+            last_change: SimTime::ZERO,
+            weighted_sum: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Record that the signal takes `value` from `now` onwards.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change, "TimeWeighted: time regression");
+        let held = now.saturating_since(self.last_change);
+        self.weighted_sum += self.value * held.as_ns_f64();
+        self.value = value;
+        self.last_change = now;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// Adjust the signal by `delta` at `now` (convenience for queue depths).
+    pub fn adjust(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Peak value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[0, horizon]`.
+    pub fn mean(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let tail = horizon.saturating_since(self.last_change);
+        let total = self.weighted_sum + self.value * tail.as_ns_f64();
+        total / horizon.as_ns_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(format!("{c}"), "5");
+    }
+
+    #[test]
+    fn summary_matches_closed_form() {
+        let mut s = OnlineSummary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = OnlineSummary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 1);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1023), 9);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_truth() {
+        let mut h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(SimDuration::ns(ns));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ns(0.5);
+        // True median is 500; log-bucket interpolation keeps us within 2x.
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        let p100 = h.quantile_ns(1.0);
+        assert!(p100 >= 512.0, "p100 {p100}");
+        assert!((h.mean_ns() - 500.5).abs() < 1e-9);
+        assert_eq!(h.max_ns(), 1000.0);
+    }
+
+    #[test]
+    fn histogram_merge_combines_moments() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for ns in [10u64, 20, 30] {
+            a.record(SimDuration::ns(ns));
+        }
+        for ns in [100u64, 200] {
+            b.record(SimDuration::ns(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert!((a.mean_ns() - 72.0).abs() < 1e-9, "{}", a.mean_ns());
+        assert_eq!(a.max_ns(), 200.0);
+        // Merging an empty histogram is a no-op.
+        let before = a.mean_ns();
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.mean_ns(), before);
+    }
+
+    #[test]
+    fn time_weighted_mean_and_peak() {
+        let mut w = TimeWeighted::new();
+        let t = |ns| SimTime::ZERO + SimDuration::ns(ns);
+        w.set(t(0), 2.0);
+        w.set(t(10), 4.0); // 2.0 held for 10ns
+        w.set(t(20), 0.0); // 4.0 held for 10ns
+                           // Over [0, 40]: (2*10 + 4*10 + 0*20) / 40 = 1.5
+        assert!((w.mean(t(40)) - 1.5).abs() < 1e-12);
+        assert_eq!(w.peak(), 4.0);
+        assert_eq!(w.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_adjust() {
+        let mut w = TimeWeighted::new();
+        let t = |ns| SimTime::ZERO + SimDuration::ns(ns);
+        w.adjust(t(0), 1.0);
+        w.adjust(t(5), 1.0);
+        w.adjust(t(10), -2.0);
+        assert_eq!(w.current(), 0.0);
+        // (1*5 + 2*5) / 20 = 0.75
+        assert!((w.mean(t(20)) - 0.75).abs() < 1e-12);
+    }
+}

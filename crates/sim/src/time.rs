@@ -1,0 +1,360 @@
+//! Simulated time.
+//!
+//! Time is measured in integer **picoseconds** from simulation start. A
+//! `u64` of picoseconds covers ~213 simulated days, far beyond any experiment
+//! in this repository, while still resolving sub-nanosecond link-serialization
+//! steps without rounding drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant in simulated time (picoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (picoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Picoseconds since simulation start.
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds since simulation start (truncating).
+    #[inline]
+    pub fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional nanoseconds since simulation start.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional microseconds since simulation start.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional milliseconds since simulation start.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional seconds since simulation start.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier <= self, "SimTime::since: earlier > self");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `n` picoseconds.
+    #[inline]
+    pub const fn ps(n: u64) -> SimDuration {
+        SimDuration(n)
+    }
+
+    /// A span of `n` nanoseconds.
+    #[inline]
+    pub const fn ns(n: u64) -> SimDuration {
+        SimDuration(n * 1_000)
+    }
+
+    /// A span of `n` microseconds.
+    #[inline]
+    pub const fn us(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000)
+    }
+
+    /// A span of `n` milliseconds.
+    #[inline]
+    pub const fn ms(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000_000)
+    }
+
+    /// A span of `n` seconds.
+    #[inline]
+    pub const fn secs(n: u64) -> SimDuration {
+        SimDuration(n * 1_000_000_000_000)
+    }
+
+    /// A span from fractional nanoseconds, rounded to the nearest picosecond.
+    #[inline]
+    pub fn ns_f64(n: f64) -> SimDuration {
+        debug_assert!(n >= 0.0, "negative duration");
+        SimDuration((n * 1e3).round() as u64)
+    }
+
+    /// Picoseconds in this span.
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds in this span (truncating).
+    #[inline]
+    pub fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional nanoseconds in this span.
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional microseconds in this span.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Fractional milliseconds in this span.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional seconds in this span.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// True for the zero-length span.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs <= self, "SimDuration subtraction underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+fn fmt_ps(ps: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ps == u64::MAX {
+        write!(f, "inf")
+    } else if ps >= 1_000_000_000_000 {
+        write!(f, "{:.3}s", ps as f64 / 1e12)
+    } else if ps >= 1_000_000_000 {
+        write!(f, "{:.3}ms", ps as f64 / 1e9)
+    } else if ps >= 1_000_000 {
+        write!(f, "{:.3}us", ps as f64 / 1e6)
+    } else if ps >= 1_000 {
+        write!(f, "{:.3}ns", ps as f64 / 1e3)
+    } else {
+        write!(f, "{ps}ps")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_ps(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimDuration::ps(7).as_ps(), 7);
+        assert_eq!(SimDuration::ns(7).as_ps(), 7_000);
+        assert_eq!(SimDuration::us(7).as_ps(), 7_000_000);
+        assert_eq!(SimDuration::ms(7).as_ps(), 7_000_000_000);
+        assert_eq!(SimDuration::secs(7).as_ps(), 7_000_000_000_000);
+    }
+
+    #[test]
+    fn ns_f64_rounds_to_nearest_ps() {
+        assert_eq!(SimDuration::ns_f64(0.0004).as_ps(), 0);
+        assert_eq!(SimDuration::ns_f64(0.0006).as_ps(), 1);
+        assert_eq!(SimDuration::ns_f64(1.5).as_ps(), 1_500);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::ZERO + SimDuration::ns(100);
+        assert_eq!(t.as_ns(), 100);
+        let t2 = t + SimDuration::ns(50);
+        assert_eq!((t2 - t).as_ns(), 50);
+        assert_eq!(t2.since(t), SimDuration::ns(50));
+        assert_eq!(t.saturating_since(t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::ns(10) * 3;
+        assert_eq!(d.as_ns(), 30);
+        assert_eq!((d / 2).as_ns(), 15);
+        assert_eq!((d - SimDuration::ns(5)).as_ns(), 25);
+        assert_eq!(d.saturating_sub(SimDuration::us(1)), SimDuration::ZERO);
+        let total: SimDuration = (0..4).map(|_| SimDuration::ns(2)).sum();
+        assert_eq!(total.as_ns(), 8);
+    }
+
+    #[test]
+    fn conversions_to_float() {
+        let d = SimDuration::us(2) + SimDuration::ns(500);
+        assert!((d.as_us_f64() - 2.5).abs() < 1e-12);
+        assert!((d.as_ns_f64() - 2500.0).abs() < 1e-9);
+        let t = SimTime::ZERO + SimDuration::ms(1);
+        assert!((t.as_ms_f64() - 1.0).abs() < 1e-12);
+        assert!((t.as_secs_f64() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimDuration::ps(5)), "5ps");
+        assert_eq!(format!("{}", SimDuration::ns(5)), "5.000ns");
+        assert_eq!(format!("{}", SimDuration::us(5)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::ms(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::secs(5)), "5.000s");
+        assert_eq!(format!("{}", SimTime::MAX), "inf");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::ZERO < SimTime::ZERO + SimDuration::ps(1));
+        assert!(SimDuration::ns(1) < SimDuration::us(1));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for the DES engine primitives.
+
+use cohfree_sim::queueing::{BoundedFifoServer, Offer};
+use cohfree_sim::stats::{LatencyHistogram, OnlineSummary, TimeWeighted};
+use cohfree_sim::{EventQueue, FifoServer, Rng, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in nondecreasing time order, FIFO within a timestamp.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert_eq!(at, SimTime(times[idx]));
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt, "time went backwards");
+                if at == lt {
+                    prop_assert!(idx > lidx, "same-instant FIFO violated");
+                }
+            }
+            last = Some((at, idx));
+        }
+        prop_assert_eq!(q.processed(), times.len() as u64);
+    }
+
+    /// FIFO server: departures are strictly ordered by acceptance order,
+    /// never earlier than arrival + service, and total busy time is the sum
+    /// of services.
+    #[test]
+    fn fifo_server_conservation(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..500), 1..100)
+    ) {
+        let mut s = FifoServer::new();
+        let mut arrivals: Vec<(SimTime, SimDuration)> = jobs
+            .iter()
+            .map(|&(a, d)| (SimTime(a), SimDuration(d)))
+            .collect();
+        arrivals.sort_by_key(|&(a, _)| a);
+        let mut prev_depart = SimTime::ZERO;
+        let mut total_service = 0u64;
+        for &(arrive, service) in &arrivals {
+            let depart = s.accept(arrive, service);
+            prop_assert!(depart >= arrive + service, "service shortchanged");
+            prop_assert!(depart >= prev_depart, "FIFO order violated");
+            prev_depart = depart;
+            total_service += service.as_ps();
+        }
+        // Work conservation: the server is never busy longer than the span
+        // from first arrival to last departure.
+        let first_arrival = arrivals[0].0;
+        prop_assert!(
+            SimDuration(total_service) <= prev_depart.since(first_arrival),
+            "busy longer than the schedule allows"
+        );
+    }
+
+    /// Bounded server never exceeds its depth and rejections always come
+    /// with a usable retry hint.
+    #[test]
+    fn bounded_server_respects_depth(
+        depth in 1usize..8,
+        offers in prop::collection::vec((0u64..1_000, 1u64..200), 1..100)
+    ) {
+        let mut s = BoundedFifoServer::new(depth);
+        let mut sorted = offers.clone();
+        sorted.sort_by_key(|&(a, _)| a);
+        for &(a, d) in &sorted {
+            let now = SimTime(a);
+            match s.offer(now, SimDuration(d)) {
+                Offer::Accepted(t) => prop_assert!(t >= now + SimDuration(d)),
+                Offer::Rejected { retry_at } => prop_assert!(retry_at > now),
+            }
+            prop_assert!(s.occupancy(now) <= depth);
+        }
+    }
+
+    /// Lemire sampling stays in range for arbitrary bounds.
+    #[test]
+    fn rng_below_in_range(seed: u64, bound in 1u64..u64::MAX) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    /// range() respects both endpoints.
+    #[test]
+    fn rng_range_in_range(seed: u64, lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let v = rng.range(lo, lo + span);
+            prop_assert!(v >= lo && v < lo + span);
+        }
+    }
+
+    /// Online summary matches a direct two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = OnlineSummary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), xs.len() as u64);
+    }
+
+    /// Histogram quantiles are monotone in q and bounded by the max.
+    #[test]
+    fn histogram_quantiles_monotone(ns in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let mut h = LatencyHistogram::new();
+        for &v in &ns {
+            h.record(SimDuration::ns(v));
+        }
+        let mut prev = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile_ns(q);
+            prop_assert!(v >= prev, "quantiles must be monotone");
+            prev = v;
+        }
+        // Log-bucket quantiles can overshoot the true max by < 2x.
+        let max = *ns.iter().max().unwrap() as f64;
+        prop_assert!(prev <= max * 2.0 + 2.0);
+    }
+
+    /// Time-weighted mean is bounded by the signal's extremes.
+    #[test]
+    fn time_weighted_mean_bounded(
+        changes in prop::collection::vec((1u64..1_000, 0f64..100.0), 1..50)
+    ) {
+        let mut w = TimeWeighted::new();
+        let mut t = 0u64;
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0; // signal starts at 0
+        lo = lo.min(0.0);
+        for &(dt, v) in &changes {
+            t += dt;
+            w.set(SimTime(t * 1_000), v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let horizon = SimTime((t + 10) * 1_000);
+        let mean = w.mean(horizon);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,733 @@
+//! A B-tree stored in simulated memory (the paper's database-index study).
+//!
+//! Section V-B: "databases and file-systems do not use a binary search tree
+//! but a generalization: b-tree". Each node holds a sorted array of up to
+//! `max_keys` keys and `max_keys + 1` children; finding a key costs
+//! `O(log₂ n)` comparisons total, but the *page locality* of those
+//! comparisons depends entirely on the fanout — which is exactly the knob
+//! Fig. 9 sweeps under remote swap.
+//!
+//! The tree lives in [`MemSpace`] memory: every key probe is a timed load,
+//! so search cost emerges from the memory system rather than being modelled.
+//!
+//! Node layout (little-endian u64 fields):
+//!
+//! ```text
+//! +0   num_keys
+//! +8   is_leaf (0/1)
+//! +16  keys[max_keys]
+//! +16+8·max_keys  children[max_keys+1]   (virtual addresses)
+//! ```
+//!
+//! Construction offers both the paper's *population* method — a bulk load
+//! producing a tree whose levels are all full except the last, filled left
+//! to right ("the best case for the remote swap technique") — and standard
+//! top-down insertion with preemptive node splitting.
+
+use cohfree_core::{MemSpace, SimDuration};
+
+/// Per-comparison CPU cost charged during searches.
+const CMP_COST: SimDuration = SimDuration(1_500); // 1.5 ns
+
+/// A B-tree handle (the tree itself lives in the memory space).
+///
+/// ```
+/// use cohfree_core::{ClusterConfig, LocalMachine};
+/// use cohfree_workloads::BTree;
+///
+/// let mut mem = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+/// let keys: Vec<u64> = (0..1_000).map(|i| i * 2).collect();
+/// let tree = BTree::bulk_load(&mut mem, &keys, 167); // the paper's fanout
+/// assert!(tree.search(&mut mem, 500).found);
+/// assert!(!tree.search(&mut mem, 501).found);
+/// assert_eq!(tree.collect_range(&mut mem, 10, 20), vec![10, 12, 14, 16, 18, 20]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BTree {
+    root: u64,
+    max_keys: usize,
+    height: u32,
+    len: u64,
+}
+
+/// Search outcome with the cost drivers Fig. 9 discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchOutcome {
+    /// Whether the key is present.
+    pub found: bool,
+    /// Nodes visited (tree levels inspected).
+    pub nodes_visited: u32,
+    /// Key slots probed across all binary searches.
+    pub probes: u32,
+}
+
+impl BTree {
+    /// Bytes occupied by one node for a given `max_keys`.
+    pub fn node_bytes(max_keys: usize) -> u64 {
+        24 + 16 * max_keys as u64
+    }
+
+    /// Number of children an internal node may have (the paper's `m`).
+    pub fn fanout(&self) -> usize {
+        self.max_keys + 1
+    }
+
+    /// Keys stored.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in levels (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Keys capacity of a tree of `height` levels: `(max_keys+1)^h − 1`.
+    pub fn capacity(max_keys: usize, height: u32) -> u64 {
+        (max_keys as u64 + 1).pow(height) - 1
+    }
+
+    // ------------------------------------------------------------------
+    // Node accessors (each is a timed memory operation)
+    // ------------------------------------------------------------------
+
+    fn alloc_node<M: MemSpace + ?Sized>(mem: &mut M, max_keys: usize) -> u64 {
+        mem.alloc(Self::node_bytes(max_keys))
+    }
+
+    fn num_keys<M: MemSpace + ?Sized>(mem: &mut M, node: u64) -> u64 {
+        mem.read_u64(node)
+    }
+
+    fn set_num_keys<M: MemSpace + ?Sized>(mem: &mut M, node: u64, n: u64) {
+        mem.write_u64(node, n);
+    }
+
+    fn is_leaf<M: MemSpace + ?Sized>(mem: &mut M, node: u64) -> bool {
+        mem.read_u64(node + 8) != 0
+    }
+
+    fn set_is_leaf<M: MemSpace + ?Sized>(mem: &mut M, node: u64, leaf: bool) {
+        mem.write_u64(node + 8, leaf as u64);
+    }
+
+    fn key_addr(&self, node: u64, i: usize) -> u64 {
+        node + 16 + 8 * i as u64
+    }
+
+    fn child_addr(&self, node: u64, i: usize) -> u64 {
+        node + 16 + 8 * self.max_keys as u64 + 8 * i as u64
+    }
+
+    fn key<M: MemSpace + ?Sized>(&self, mem: &mut M, node: u64, i: usize) -> u64 {
+        mem.read_u64(self.key_addr(node, i))
+    }
+
+    fn set_key<M: MemSpace + ?Sized>(&self, mem: &mut M, node: u64, i: usize, k: u64) {
+        mem.write_u64(self.key_addr(node, i), k);
+    }
+
+    fn child<M: MemSpace + ?Sized>(&self, mem: &mut M, node: u64, i: usize) -> u64 {
+        mem.read_u64(self.child_addr(node, i))
+    }
+
+    fn set_child<M: MemSpace + ?Sized>(&self, mem: &mut M, node: u64, i: usize, c: u64) {
+        mem.write_u64(self.child_addr(node, i), c);
+    }
+
+    // ------------------------------------------------------------------
+    // Bulk load (the paper's population method)
+    // ------------------------------------------------------------------
+
+    /// Build a tree from `keys` (strictly ascending) where every level but
+    /// the last is full and the last level fills left to right.
+    ///
+    /// # Panics
+    /// Panics if `max_keys < 3` or `keys` is not strictly ascending.
+    pub fn bulk_load<M: MemSpace + ?Sized>(mem: &mut M, keys: &[u64], max_keys: usize) -> BTree {
+        assert!(max_keys >= 3, "max_keys must be >= 3");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "bulk_load requires strictly ascending keys"
+        );
+        if keys.is_empty() {
+            return Self::new(mem, max_keys);
+        }
+        let mut height = 1u32;
+        while Self::capacity(max_keys, height) < keys.len() as u64 {
+            height += 1;
+        }
+        let mut tree = BTree {
+            root: 0,
+            max_keys,
+            height,
+            len: keys.len() as u64,
+        };
+        tree.root = tree.build_level(mem, keys, height);
+        tree
+    }
+
+    fn build_level<M: MemSpace + ?Sized>(&self, mem: &mut M, keys: &[u64], height: u32) -> u64 {
+        let node = Self::alloc_node(mem, self.max_keys);
+        if height == 1 {
+            debug_assert!(keys.len() <= self.max_keys, "leaf overflow in bulk load");
+            Self::set_is_leaf(mem, node, true);
+            Self::set_num_keys(mem, node, keys.len() as u64);
+            for (i, &k) in keys.iter().enumerate() {
+                self.set_key(mem, node, i, k);
+            }
+            return node;
+        }
+        Self::set_is_leaf(mem, node, false);
+        let child_cap = Self::capacity(self.max_keys, height - 1) as usize;
+        // Minimum keys a *feasible* subtree of the given height can hold
+        // (every internal node needs >= 1 key, i.e. >= 2 children).
+        let min_feasible = (1usize << (height - 1)) - 1;
+        let mut i = 0usize;
+        let mut nkeys = 0usize;
+        let mut nchildren = 0usize;
+        while i < keys.len() {
+            let remaining = keys.len() - i;
+            // Fill children from the left as full as possible, but (a) an
+            // internal node must end with >= 2 children, and (b) never leave
+            // a remainder (after the separator) too small to form a feasible
+            // right sibling of the same height.
+            let take = if remaining <= child_cap && nchildren >= 1 {
+                remaining
+            } else if remaining > child_cap && remaining - child_cap > min_feasible {
+                child_cap
+            } else {
+                remaining - 1 - min_feasible
+            };
+            let child = self.build_level(mem, &keys[i..i + take], height - 1);
+            self.set_child(mem, node, nchildren, child);
+            nchildren += 1;
+            i += take;
+            if i < keys.len() {
+                // Next key separates this child from the following one.
+                self.set_key(mem, node, nkeys, keys[i]);
+                nkeys += 1;
+                i += 1;
+            }
+        }
+        debug_assert!(nkeys <= self.max_keys, "internal overflow in bulk load");
+        debug_assert_eq!(nchildren, nkeys + 1, "child/separator mismatch");
+        Self::set_num_keys(mem, node, nkeys as u64);
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental insertion (preemptive top-down splitting)
+    // ------------------------------------------------------------------
+
+    /// An empty tree.
+    pub fn new<M: MemSpace + ?Sized>(mem: &mut M, max_keys: usize) -> BTree {
+        assert!(max_keys >= 3, "max_keys must be >= 3");
+        let root = Self::alloc_node(mem, max_keys);
+        Self::set_is_leaf(mem, root, true);
+        Self::set_num_keys(mem, root, 0);
+        BTree {
+            root,
+            max_keys,
+            height: 1,
+            len: 0,
+        }
+    }
+
+    /// Insert `key`; returns false if it was already present.
+    pub fn insert<M: MemSpace + ?Sized>(&mut self, mem: &mut M, key: u64) -> bool {
+        // Preemptive split of a full root grows the tree.
+        if Self::num_keys(mem, self.root) as usize == self.max_keys {
+            let old_root = self.root;
+            let new_root = Self::alloc_node(mem, self.max_keys);
+            Self::set_is_leaf(mem, new_root, false);
+            Self::set_num_keys(mem, new_root, 0);
+            self.set_child(mem, new_root, 0, old_root);
+            self.root = new_root;
+            self.height += 1;
+            self.split_child(mem, new_root, 0);
+        }
+        let inserted = self.insert_nonfull(mem, self.root, key);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Split the full `idx`-th child of `parent` (which must be non-full).
+    fn split_child<M: MemSpace + ?Sized>(&self, mem: &mut M, parent: u64, idx: usize) {
+        let child = self.child(mem, parent, idx);
+        let right = Self::alloc_node(mem, self.max_keys);
+        let leaf = Self::is_leaf(mem, child);
+        Self::set_is_leaf(mem, right, leaf);
+        let mid = self.max_keys / 2;
+        let median = self.key(mem, child, mid);
+        let right_keys = self.max_keys - mid - 1;
+        for i in 0..right_keys {
+            let k = self.key(mem, child, mid + 1 + i);
+            self.set_key(mem, right, i, k);
+        }
+        if !leaf {
+            for i in 0..=right_keys {
+                let c = self.child(mem, child, mid + 1 + i);
+                self.set_child(mem, right, i, c);
+            }
+        }
+        Self::set_num_keys(mem, right, right_keys as u64);
+        Self::set_num_keys(mem, child, mid as u64);
+        // Shift parent entries right to make room at idx.
+        let pk = Self::num_keys(mem, parent) as usize;
+        let mut i = pk;
+        while i > idx {
+            let k = self.key(mem, parent, i - 1);
+            self.set_key(mem, parent, i, k);
+            let c = self.child(mem, parent, i);
+            self.set_child(mem, parent, i + 1, c);
+            i -= 1;
+        }
+        self.set_key(mem, parent, idx, median);
+        self.set_child(mem, parent, idx + 1, right);
+        Self::set_num_keys(mem, parent, pk as u64 + 1);
+    }
+
+    fn insert_nonfull<M: MemSpace + ?Sized>(&self, mem: &mut M, mut node: u64, key: u64) -> bool {
+        loop {
+            let n = Self::num_keys(mem, node) as usize;
+            let (pos, found) = self.search_in_node(mem, node, n, key, &mut 0);
+            if found {
+                return false;
+            }
+            if Self::is_leaf(mem, node) {
+                // Shift keys right and insert.
+                let mut i = n;
+                while i > pos {
+                    let k = self.key(mem, node, i - 1);
+                    self.set_key(mem, node, i, k);
+                    i -= 1;
+                }
+                self.set_key(mem, node, pos, key);
+                Self::set_num_keys(mem, node, n as u64 + 1);
+                return true;
+            }
+            let mut next = self.child(mem, node, pos);
+            if Self::num_keys(mem, next) as usize == self.max_keys {
+                self.split_child(mem, node, pos);
+                let sep = self.key(mem, node, pos);
+                if key == sep {
+                    return false;
+                }
+                next = if key < sep {
+                    self.child(mem, node, pos)
+                } else {
+                    self.child(mem, node, pos + 1)
+                };
+            }
+            node = next;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Binary search within a node's key array. Returns `(child index or
+    /// insert position, exact match)` and counts probes.
+    fn search_in_node<M: MemSpace + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: u64,
+        n: usize,
+        key: u64,
+        probes: &mut u32,
+    ) -> (usize, bool) {
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let k = self.key(mem, node, mid);
+            mem.compute(CMP_COST);
+            *probes += 1;
+            if k == key {
+                return (mid, true);
+            } else if k < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo, false)
+    }
+
+    /// Look up `key`, timing every memory touch.
+    pub fn search<M: MemSpace + ?Sized>(&self, mem: &mut M, key: u64) -> SearchOutcome {
+        let mut node = self.root;
+        let mut nodes_visited = 0u32;
+        let mut probes = 0u32;
+        loop {
+            nodes_visited += 1;
+            let n = Self::num_keys(mem, node) as usize;
+            let (pos, found) = self.search_in_node(mem, node, n, key, &mut probes);
+            if found {
+                return SearchOutcome {
+                    found: true,
+                    nodes_visited,
+                    probes,
+                };
+            }
+            if Self::is_leaf(mem, node) {
+                return SearchOutcome {
+                    found: false,
+                    nodes_visited,
+                    probes,
+                };
+            }
+            node = self.child(mem, node, pos);
+        }
+    }
+
+    /// Collect all keys in `[lo, hi]` in ascending order, pruning subtrees
+    /// outside the range (every touched node is a timed access — the
+    /// range-scan cost the database study measures).
+    pub fn collect_range<M: MemSpace + ?Sized>(&self, mem: &mut M, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        if lo <= hi && !self.is_empty() {
+            self.range_rec(mem, self.root, lo, hi, &mut out);
+        }
+        out
+    }
+
+    fn range_rec<M: MemSpace + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: u64,
+        lo: u64,
+        hi: u64,
+        out: &mut Vec<u64>,
+    ) {
+        let n = Self::num_keys(mem, node) as usize;
+        let leaf = Self::is_leaf(mem, node);
+        // Find the first key >= lo by binary search (timed probes).
+        let mut probes = 0;
+        let (start, _) = self.search_in_node(mem, node, n, lo, &mut probes);
+        if !leaf {
+            // The child left of `start` may hold keys in range.
+            let c = self.child(mem, node, start);
+            self.range_rec(mem, c, lo, hi, out);
+        }
+        for i in start..n {
+            let k = self.key(mem, node, i);
+            mem.compute(CMP_COST);
+            if k > hi {
+                return; // everything further right is out of range
+            }
+            if k >= lo {
+                out.push(k);
+            }
+            if !leaf {
+                let c = self.child(mem, node, i + 1);
+                self.range_rec(mem, c, lo, hi, out);
+            }
+        }
+    }
+
+    /// In-order key walk (for validation against an oracle). Untimed
+    /// traversal order, but every read is still a timed access.
+    pub fn collect_keys<M: MemSpace + ?Sized>(&self, mem: &mut M) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        self.collect_rec(mem, self.root, &mut out);
+        out
+    }
+
+    fn collect_rec<M: MemSpace + ?Sized>(&self, mem: &mut M, node: u64, out: &mut Vec<u64>) {
+        let n = Self::num_keys(mem, node) as usize;
+        let leaf = Self::is_leaf(mem, node);
+        for i in 0..n {
+            if !leaf {
+                let c = self.child(mem, node, i);
+                self.collect_rec(mem, c, out);
+            }
+            out.push(self.key(mem, node, i));
+        }
+        if !leaf {
+            let c = self.child(mem, node, n);
+            self.collect_rec(mem, c, out);
+        }
+    }
+
+    /// Validate structural invariants (sortedness, occupancy, uniform leaf
+    /// depth). Panics with a description on violation. Test/debug aid.
+    pub fn check_invariants<M: MemSpace + ?Sized>(&self, mem: &mut M) {
+        let depth = self.check_rec(mem, self.root, u64::MIN, u64::MAX, true);
+        assert_eq!(depth, self.height, "height bookkeeping mismatch");
+        let keys = self.collect_keys(mem);
+        assert_eq!(keys.len() as u64, self.len, "len bookkeeping mismatch");
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "in-order walk not strictly ascending"
+        );
+    }
+
+    fn check_rec<M: MemSpace + ?Sized>(
+        &self,
+        mem: &mut M,
+        node: u64,
+        lo: u64,
+        hi: u64,
+        is_root: bool,
+    ) -> u32 {
+        let n = Self::num_keys(mem, node) as usize;
+        assert!(n <= self.max_keys, "node overfull");
+        if !is_root {
+            // Bulk-loaded right-edge nodes and split halves may be sparse,
+            // but never empty internal nodes.
+            if !Self::is_leaf(mem, node) {
+                assert!(n >= 1, "empty internal node");
+            }
+        }
+        let mut prev = lo;
+        let mut first = true;
+        for i in 0..n {
+            let k = self.key(mem, node, i);
+            assert!(
+                k < hi && (first || k > prev) && k >= lo,
+                "key order violation"
+            );
+            prev = k;
+            first = false;
+        }
+        if Self::is_leaf(mem, node) {
+            return 1;
+        }
+        let mut depth = None;
+        for i in 0..=n {
+            let child_lo = if i == 0 {
+                lo
+            } else {
+                self.key(mem, node, i - 1)
+            };
+            let child_hi = if i == n { hi } else { self.key(mem, node, i) };
+            let c = self.child(mem, node, i);
+            let d = self.check_rec(mem, c, child_lo, child_hi, false);
+            match depth {
+                None => depth = Some(d),
+                Some(prev_d) => assert_eq!(prev_d, d, "leaves at different depths"),
+            }
+        }
+        depth.expect("internal node has children") + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_core::{ClusterConfig, LocalMachine, Rng};
+
+    fn mem() -> LocalMachine {
+        LocalMachine::new(ClusterConfig::prototype(), 4 << 30)
+    }
+
+    fn ascending(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i * 3 + 1).collect()
+    }
+
+    #[test]
+    fn bulk_load_finds_all_keys() {
+        let mut m = mem();
+        let keys = ascending(1_000);
+        let t = BTree::bulk_load(&mut m, &keys, 7);
+        t.check_invariants(&mut m);
+        for &k in &keys {
+            assert!(t.search(&mut m, k).found, "key {k}");
+        }
+        // Absent keys (between the stride) are not found.
+        for k in [0u64, 2, 3, 5, 2_999] {
+            assert!(!t.search(&mut m, k).found, "phantom key {k}");
+        }
+        assert_eq!(t.len(), 1_000);
+    }
+
+    #[test]
+    fn bulk_load_heights_match_capacity() {
+        let mut m = mem();
+        // max_keys=3 -> fanout 4: capacity h=1:3, h=2:15, h=3:63
+        assert_eq!(BTree::capacity(3, 1), 3);
+        assert_eq!(BTree::capacity(3, 2), 15);
+        assert_eq!(BTree::capacity(3, 3), 63);
+        let t3 = BTree::bulk_load(&mut m, &ascending(3), 3);
+        assert_eq!(t3.height(), 1);
+        let t15 = BTree::bulk_load(&mut m, &ascending(15), 3);
+        assert_eq!(t15.height(), 2);
+        let t16 = BTree::bulk_load(&mut m, &ascending(16), 3);
+        assert_eq!(t16.height(), 3);
+        t16.check_invariants(&mut m);
+    }
+
+    #[test]
+    fn bulk_load_fills_left_to_right() {
+        let mut m = mem();
+        // 20 keys, max_keys=3 (cap h=3 is 63): last level partially filled.
+        let t = BTree::bulk_load(&mut m, &ascending(20), 3);
+        t.check_invariants(&mut m);
+        assert_eq!(t.collect_keys(&mut m), ascending(20));
+    }
+
+    #[test]
+    fn higher_fanout_means_shorter_tree() {
+        let mut m = mem();
+        let keys = ascending(10_000);
+        let narrow = BTree::bulk_load(&mut m, &keys, 3);
+        let wide = BTree::bulk_load(&mut m, &keys, 63);
+        assert!(wide.height() < narrow.height());
+        // And fewer nodes are visited per search.
+        let a = narrow.search(&mut m, keys[777]);
+        let b = wide.search(&mut m, keys[777]);
+        assert!(b.nodes_visited < a.nodes_visited);
+    }
+
+    #[test]
+    fn search_cost_is_log2_comparisons() {
+        // Paper: "the total cost of retrieving one element in the b-tree is
+        // still O(log2 n) comparisons" regardless of fanout.
+        let mut m = mem();
+        let keys = ascending(4_096);
+        for fanout_keys in [3usize, 15, 63] {
+            let t = BTree::bulk_load(&mut m, &keys, fanout_keys);
+            let out = t.search(&mut m, keys[2_222]);
+            assert!(
+                out.probes <= 2 * 13 + 6,
+                "fanout {fanout_keys}: {} probes for n=4096",
+                out.probes
+            );
+        }
+    }
+
+    #[test]
+    fn insert_matches_oracle() {
+        let mut m = mem();
+        let mut t = BTree::new(&mut m, 5);
+        let mut oracle = std::collections::BTreeSet::new();
+        let mut rng = Rng::new(42);
+        for _ in 0..2_000 {
+            let k = rng.below(500); // duplicates guaranteed
+            assert_eq!(t.insert(&mut m, k), oracle.insert(k), "key {k}");
+        }
+        t.check_invariants(&mut m);
+        assert_eq!(t.len(), oracle.len() as u64);
+        assert_eq!(
+            t.collect_keys(&mut m),
+            oracle.iter().copied().collect::<Vec<_>>()
+        );
+        for k in 0..500 {
+            assert_eq!(t.search(&mut m, k).found, oracle.contains(&k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn insert_grows_height() {
+        let mut m = mem();
+        let mut t = BTree::new(&mut m, 3);
+        for k in 0..64 {
+            t.insert(&mut m, k);
+        }
+        assert!(t.height() >= 3);
+        t.check_invariants(&mut m);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut m = mem();
+        let t = BTree::new(&mut m, 5);
+        assert!(t.is_empty());
+        assert!(!t.search(&mut m, 42).found);
+        let e = BTree::bulk_load(&mut m, &[], 5);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn node_bytes_layout() {
+        // 24 + 16*168 = 2712 bytes — under a page for the paper's optimum.
+        assert_eq!(BTree::node_bytes(168), 2712);
+        assert!(BTree::node_bytes(168) < 4096);
+        // 255 keys: 24 + 4080 = 4104 — just over a page.
+        assert!(BTree::node_bytes(255) > 4096);
+    }
+
+    #[test]
+    fn search_timing_grows_with_depth() {
+        let mut m = mem();
+        let keys = ascending(50_000);
+        let t = BTree::bulk_load(&mut m, &keys, 7);
+        let t0 = m.now();
+        t.search(&mut m, keys[123]);
+        let shallow_probe = m.now().since(t0);
+        assert!(shallow_probe > cohfree_core::SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bulk_load_rejects_unsorted() {
+        let mut m = mem();
+        BTree::bulk_load(&mut m, &[3, 1, 2], 5);
+    }
+
+    #[test]
+    fn range_scan_matches_oracle() {
+        let mut m = mem();
+        let keys = ascending(5_000); // 1, 4, 7, ...
+        let t = BTree::bulk_load(&mut m, &keys, 7);
+        let oracle: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        for (lo, hi) in [
+            (0u64, 50),
+            (100, 100),
+            (101, 103),
+            (4_000, 9_000),
+            (14_990, 20_000),
+        ] {
+            let got = t.collect_range(&mut m, lo, hi);
+            let want: Vec<u64> = oracle.range(lo..=hi).copied().collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+        // Inverted bounds yield nothing.
+        assert!(t.collect_range(&mut m, 9_000, 2_000).is_empty());
+        // Full-range scan equals the in-order walk.
+        assert_eq!(t.collect_range(&mut m, 0, u64::MAX), keys);
+    }
+
+    #[test]
+    fn range_scan_prunes_subtrees() {
+        let mut m = mem();
+        let keys = ascending(50_000);
+        let t = BTree::bulk_load(&mut m, &keys, 167);
+        // A narrow range must touch far fewer lines than a full scan.
+        let before = m.stats().reads;
+        t.collect_range(&mut m, 1_000, 1_100);
+        let narrow = m.stats().reads - before;
+        let before = m.stats().reads;
+        t.collect_range(&mut m, 0, u64::MAX);
+        let full = m.stats().reads - before;
+        assert!(
+            narrow * 50 < full,
+            "narrow range reads {narrow}, full scan reads {full}"
+        );
+    }
+
+    #[test]
+    fn range_scan_on_inserted_tree() {
+        let mut m = mem();
+        let mut t = BTree::new(&mut m, 5);
+        let mut rng = Rng::new(77);
+        let mut oracle = std::collections::BTreeSet::new();
+        for _ in 0..3_000 {
+            let k = rng.below(10_000);
+            t.insert(&mut m, k);
+            oracle.insert(k);
+        }
+        let got = t.collect_range(&mut m, 2_500, 7_500);
+        let want: Vec<u64> = oracle.range(2_500..=7_500).copied().collect();
+        assert_eq!(got, want);
+    }
+}

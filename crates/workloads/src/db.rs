@@ -1,0 +1,286 @@
+//! A miniature in-memory database — the paper's stated next step.
+//!
+//! Conclusions, Section VI: *"we aim to stress our prototype with a real
+//! full implementation, store indexes or the entire database in memory, and
+//! then study the execution time for different queries."* This module is
+//! that study's substrate: a heap-organized table plus two indexes, all
+//! living in [`MemSpace`] memory, with the classic query types —
+//!
+//! * **point query** — hash primary index → one row read,
+//! * **range query** — ordered (B-tree) index → per-id row fetches,
+//! * **full-scan aggregate** — sequential heap sweep,
+//! * **insert** — heap append + both index maintenances.
+//!
+//! Each query type has a distinct locality signature, which is exactly what
+//! separates the paper's remote memory (locality-insensitive) from remote
+//! swap (locality-hostage); the `ext_db` bench quantifies it.
+
+use crate::btree::BTree;
+use crate::hash::HashIndex;
+use cohfree_core::{MemSpace, SimDuration};
+
+/// Attribute columns per row (besides the id).
+pub const ATTRS: usize = 4;
+/// Bytes per row: id + 4 attributes.
+pub const ROW_BYTES: u64 = 8 * (1 + ATTRS as u64);
+
+/// One table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Primary key (unique).
+    pub id: u64,
+    /// Attribute values.
+    pub attrs: [u64; ATTRS],
+}
+
+/// Per-row CPU cost of query processing (predicate evaluation etc.).
+const ROW_COMPUTE: SimDuration = SimDuration(5_000); // 5 ns
+
+/// A heap table with a hash primary index and a B-tree ordered index.
+#[derive(Debug, Clone, Copy)]
+pub struct Database {
+    heap_base: u64,
+    rows: u64,
+    capacity: u64,
+    pk_hash: HashIndex,
+    pk_tree: BTree,
+}
+
+impl Database {
+    /// Create a table able to hold `capacity` rows, with indexes sized to
+    /// match (B-tree fanout from the paper's Fig. 9 optimum).
+    pub fn create<M: MemSpace + ?Sized>(mem: &mut M, capacity: u64) -> Database {
+        assert!(capacity > 0, "empty table capacity");
+        let heap_base = mem.alloc(capacity * ROW_BYTES);
+        let pk_hash = HashIndex::new(mem, capacity);
+        let pk_tree = BTree::new(mem, 167);
+        Database {
+            heap_base,
+            rows: 0,
+            capacity,
+            pk_hash,
+            pk_tree,
+        }
+    }
+
+    /// Rows stored.
+    pub fn len(&self) -> u64 {
+        self.rows
+    }
+
+    /// True when the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    fn row_addr(&self, slot: u64) -> u64 {
+        self.heap_base + slot * ROW_BYTES
+    }
+
+    fn read_row_at<M: MemSpace + ?Sized>(&self, mem: &mut M, addr: u64) -> Row {
+        let id = mem.read_u64(addr);
+        let mut attrs = [0u64; ATTRS];
+        for (i, a) in attrs.iter_mut().enumerate() {
+            *a = mem.read_u64(addr + 8 + 8 * i as u64);
+        }
+        Row { id, attrs }
+    }
+
+    /// Insert a row; returns false (no change) if the id already exists.
+    ///
+    /// # Panics
+    /// Panics when the table is full (fixed-capacity heap by design).
+    pub fn insert<M: MemSpace + ?Sized>(&mut self, mem: &mut M, row: Row) -> bool {
+        if self.pk_hash.get(mem, row.id).is_some() {
+            return false;
+        }
+        assert!(self.rows < self.capacity, "table full");
+        let slot = self.rows;
+        let addr = self.row_addr(slot);
+        mem.write_u64(addr, row.id);
+        for (i, a) in row.attrs.iter().enumerate() {
+            mem.write_u64(addr + 8 + 8 * i as u64, *a);
+        }
+        self.pk_hash.insert(mem, row.id, slot);
+        self.pk_tree.insert(mem, row.id);
+        self.rows += 1;
+        true
+    }
+
+    /// Point query by primary key.
+    pub fn point<M: MemSpace + ?Sized>(&self, mem: &mut M, id: u64) -> Option<Row> {
+        let slot = self.pk_hash.get(mem, id)?;
+        mem.compute(ROW_COMPUTE);
+        Some(self.read_row_at(mem, self.row_addr(slot)))
+    }
+
+    /// Range query: all rows with `lo <= id <= hi`, ascending by id.
+    pub fn range<M: MemSpace + ?Sized>(&self, mem: &mut M, lo: u64, hi: u64) -> Vec<Row> {
+        let ids = self.pk_tree.collect_range(mem, lo, hi);
+        ids.into_iter()
+            .map(|id| {
+                let slot = self
+                    .pk_hash
+                    .get(mem, id)
+                    .expect("ordered index holds an id the hash index lacks");
+                mem.compute(ROW_COMPUTE);
+                self.read_row_at(mem, self.row_addr(slot))
+            })
+            .collect()
+    }
+
+    /// Full-scan aggregate: sum of attribute `attr` over every row.
+    ///
+    /// # Panics
+    /// Panics if `attr >= ATTRS`.
+    pub fn scan_sum<M: MemSpace + ?Sized>(&self, mem: &mut M, attr: usize) -> u64 {
+        assert!(attr < ATTRS, "attribute index out of range");
+        let mut sum = 0u64;
+        for slot in 0..self.rows {
+            mem.compute(ROW_COMPUTE);
+            sum = sum.wrapping_add(mem.read_u64(self.row_addr(slot) + 8 + 8 * attr as u64));
+        }
+        sum
+    }
+
+    /// Range aggregate: sum of attribute `attr` over `lo <= id <= hi`
+    /// (index-driven; does not materialize rows).
+    pub fn range_sum<M: MemSpace + ?Sized>(
+        &self,
+        mem: &mut M,
+        lo: u64,
+        hi: u64,
+        attr: usize,
+    ) -> u64 {
+        assert!(attr < ATTRS, "attribute index out of range");
+        let ids = self.pk_tree.collect_range(mem, lo, hi);
+        let mut sum = 0u64;
+        for id in ids {
+            let slot = self.pk_hash.get(mem, id).expect("indexes agree");
+            mem.compute(ROW_COMPUTE);
+            sum = sum.wrapping_add(mem.read_u64(self.row_addr(slot) + 8 + 8 * attr as u64));
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_core::{ClusterConfig, LocalMachine, Rng};
+    use std::collections::BTreeMap;
+
+    fn mem() -> LocalMachine {
+        LocalMachine::new(ClusterConfig::prototype(), 4 << 30)
+    }
+
+    fn row(id: u64, seed: u64) -> Row {
+        let mut rng = Rng::new(seed ^ id);
+        let mut attrs = [0u64; ATTRS];
+        for a in &mut attrs {
+            *a = rng.below(1_000);
+        }
+        Row { id, attrs }
+    }
+
+    #[test]
+    fn insert_and_point_queries_match_oracle() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 4_096);
+        let mut oracle: BTreeMap<u64, Row> = BTreeMap::new();
+        let mut rng = Rng::new(1);
+        for _ in 0..2_000 {
+            let r = row(rng.below(3_000), 42);
+            let fresh = db.insert(&mut m, r);
+            assert_eq!(fresh, !oracle.contains_key(&r.id), "id {}", r.id);
+            oracle.entry(r.id).or_insert(r);
+        }
+        assert_eq!(db.len(), oracle.len() as u64);
+        for id in 0..3_000 {
+            assert_eq!(db.point(&mut m, id), oracle.get(&id).copied(), "id {id}");
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_row() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 16);
+        let first = Row {
+            id: 7,
+            attrs: [1, 2, 3, 4],
+        };
+        let second = Row {
+            id: 7,
+            attrs: [9, 9, 9, 9],
+        };
+        assert!(db.insert(&mut m, first));
+        assert!(!db.insert(&mut m, second));
+        assert_eq!(db.point(&mut m, 7), Some(first));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn range_query_matches_oracle() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 4_096);
+        let mut oracle: BTreeMap<u64, Row> = BTreeMap::new();
+        let mut rng = Rng::new(2);
+        for _ in 0..2_500 {
+            let r = row(rng.below(10_000), 7);
+            if db.insert(&mut m, r) {
+                oracle.insert(r.id, r);
+            }
+        }
+        for (lo, hi) in [(0u64, 500), (2_000, 2_000), (5_000, 9_999), (9_999, 10_000)] {
+            let got = db.range(&mut m, lo, hi);
+            let want: Vec<Row> = oracle.range(lo..=hi).map(|(_, &r)| r).collect();
+            assert_eq!(got, want, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn aggregates_match_oracle() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 2_048);
+        let mut oracle: BTreeMap<u64, Row> = BTreeMap::new();
+        let mut rng = Rng::new(3);
+        for _ in 0..1_500 {
+            let r = row(rng.below(5_000), 9);
+            if db.insert(&mut m, r) {
+                oracle.insert(r.id, r);
+            }
+        }
+        for attr in 0..ATTRS {
+            let want: u64 = oracle.values().map(|r| r.attrs[attr]).sum();
+            assert_eq!(db.scan_sum(&mut m, attr), want, "attr {attr}");
+        }
+        let want: u64 = oracle.range(1_000..=4_000).map(|(_, r)| r.attrs[2]).sum();
+        assert_eq!(db.range_sum(&mut m, 1_000, 4_000, 2), want);
+    }
+
+    #[test]
+    fn point_query_is_cheaper_than_range() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 8_192);
+        for id in 0..8_000u64 {
+            db.insert(&mut m, row(id, 11));
+        }
+        let t0 = m.now();
+        db.point(&mut m, 4_000);
+        let point = m.now().since(t0);
+        let t0 = m.now();
+        db.range(&mut m, 1_000, 5_000);
+        let range = m.now().since(t0);
+        assert!(range.as_ns_f64() > 50.0 * point.as_ns_f64());
+    }
+
+    #[test]
+    #[should_panic(expected = "table full")]
+    fn overflow_panics() {
+        let mut m = mem();
+        let mut db = Database::create(&mut m, 4);
+        for id in 0..5 {
+            db.insert(&mut m, row(id, 1));
+        }
+    }
+}

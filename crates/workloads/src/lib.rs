@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # cohfree-workloads — applications over simulated memory
+//!
+//! Every workload is written against [`cohfree_core::MemSpace`] and runs
+//! unchanged over local memory, the paper's remote memory, remote swap or
+//! disk swap — the comparison methodology of the paper's evaluation.
+//!
+//! * [`random`] — the uniform random-access kernel of Figs. 6–8,
+//! * [`btree`] — a full B-tree (bulk load, insert with splitting, search)
+//!   stored *in simulated memory*, the database-index study of Figs. 9–10,
+//! * [`hash`] — an open-addressing hash index, footnote 3's "in-memory
+//!   databases usually implement hash indexes" comparison,
+//! * [`db`] — a miniature in-memory database (heap table + both indexes),
+//!   the query study the paper's conclusions call for,
+//! * [`parsec`] — four synthetic kernels in the locality/footprint classes
+//!   of the PARSEC benchmarks used in Fig. 11 (blackscholes, raytrace,
+//!   canneal, streamcluster).
+//!
+//! All workloads are deterministic given a seed and compute *real* results
+//! (the B-tree really finds its keys); a wrong timing model cannot silently
+//! corrupt functional behaviour, and vice versa.
+
+pub mod btree;
+pub mod db;
+pub mod hash;
+pub mod parsec;
+pub mod random;
+pub mod report;
+
+pub use btree::BTree;
+pub use db::Database;
+pub use hash::HashIndex;
+pub use report::Report;

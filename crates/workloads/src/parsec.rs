@@ -1,0 +1,578 @@
+//! PARSEC-class synthetic kernels (Fig. 11).
+//!
+//! The paper runs four PARSEC benchmarks chosen by memory footprint:
+//! *blackscholes*, *raytrace*, *canneal* and *streamcluster*. The originals
+//! are external artifacts (sources + reference inputs), so per the
+//! substitution rule we implement kernels in the **same locality and
+//! footprint class** — the two properties Fig. 11's comparison actually
+//! exercises:
+//!
+//! | kernel | access pattern | footprint vs. local memory |
+//! |--------|----------------|----------------------------|
+//! | [`BlackScholes`] | streaming, sequential | large, but page-friendly |
+//! | [`RayTrace`] | grid-coherent walks, random ray origins | large, moderate locality |
+//! | [`Canneal`] | random pointer-chasing element swaps | very large, hostile |
+//! | [`StreamCluster`] | small working set reused per block | small — fits local memory |
+//!
+//! Each kernel computes real results (prices, hit counts, wire length,
+//! cluster assignment costs) over data stored in the [`MemSpace`], with CPU
+//! work charged via `compute`.
+
+use crate::report::Report;
+use cohfree_core::{MemSpace, Rng, SimDuration};
+
+/// Standard normal CDF (Abramowitz–Stegun 7.1.26-based approximation).
+fn norm_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.2316419 * x.abs());
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    let nd = (-x * x / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if x >= 0.0 {
+        1.0 - nd * poly
+    } else {
+        nd * poly
+    }
+}
+
+// ---------------------------------------------------------------------
+// blackscholes
+// ---------------------------------------------------------------------
+
+/// Streaming option pricer: reads each option record once, sequentially.
+#[derive(Debug, Clone, Copy)]
+pub struct BlackScholes {
+    /// Number of options (each record is 48 B + 8 B result).
+    pub options: u64,
+    /// Pricing passes over the whole array (PARSEC iterates too).
+    pub passes: u32,
+    /// PRNG seed for input generation.
+    pub seed: u64,
+}
+
+impl Default for BlackScholes {
+    fn default() -> Self {
+        BlackScholes {
+            options: 200_000,
+            passes: 2,
+            seed: 11,
+        }
+    }
+}
+
+/// Per-option math cost (five transcendental-ish ops).
+const BS_COMPUTE: SimDuration = SimDuration(120_000); // 120 ns
+
+impl BlackScholes {
+    /// Footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.options * (48 + 8)
+    }
+
+    /// Populate inputs, then price all options `passes` times (measured).
+    /// Returns the report and a checksum of prices (functional witness).
+    pub fn run<M: MemSpace + ?Sized>(&self, mem: &mut M) -> (Report, f64) {
+        let recs = mem.alloc(self.options * 48);
+        let out = mem.alloc(self.options * 8);
+        let mut rng = Rng::new(self.seed);
+        for i in 0..self.options {
+            let base = recs + i * 48;
+            mem.write_f64(base, 10.0 + 90.0 * rng.f64()); // spot
+            mem.write_f64(base + 8, 10.0 + 90.0 * rng.f64()); // strike
+            mem.write_f64(base + 16, 0.01 + 0.09 * rng.f64()); // rate
+            mem.write_f64(base + 24, 0.1 + 0.5 * rng.f64()); // volatility
+            mem.write_f64(base + 32, 0.25 + 1.75 * rng.f64()); // expiry
+            mem.write_f64(base + 40, if rng.chance(0.5) { 1.0 } else { 0.0 }); // call/put
+        }
+        let mut checksum = 0.0;
+        let report = Report::measure(mem, self.options * self.passes as u64, |mem| {
+            for _ in 0..self.passes {
+                checksum = 0.0;
+                for i in 0..self.options {
+                    let base = recs + i * 48;
+                    let s = mem.read_f64(base);
+                    let k = mem.read_f64(base + 8);
+                    let r = mem.read_f64(base + 16);
+                    let v = mem.read_f64(base + 24);
+                    let t = mem.read_f64(base + 32);
+                    let call = mem.read_f64(base + 40) > 0.5;
+                    mem.compute(BS_COMPUTE);
+                    let d1 = ((s / k).ln() + (r + v * v / 2.0) * t) / (v * t.sqrt());
+                    let d2 = d1 - v * t.sqrt();
+                    let price = if call {
+                        s * norm_cdf(d1) - k * (-r * t).exp() * norm_cdf(d2)
+                    } else {
+                        k * (-r * t).exp() * norm_cdf(-d2) - s * norm_cdf(-d1)
+                    };
+                    mem.write_f64(out + i * 8, price);
+                    checksum += price;
+                }
+            }
+        });
+        (report, checksum)
+    }
+}
+
+// ---------------------------------------------------------------------
+// raytrace
+// ---------------------------------------------------------------------
+
+/// A grid-accelerated sphere tracer: rays enter random (x, y) cells and
+/// march along z, intersecting the spheres in each visited cell.
+#[derive(Debug, Clone, Copy)]
+pub struct RayTrace {
+    /// Grid extent per axis (cells = extent³).
+    pub extent: u64,
+    /// Spheres scattered in the scene.
+    pub spheres: u64,
+    /// Rays traced (measured phase).
+    pub rays: u64,
+    /// Max sphere indices stored per cell.
+    pub cell_capacity: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RayTrace {
+    fn default() -> Self {
+        RayTrace {
+            extent: 32,
+            spheres: 50_000,
+            rays: 20_000,
+            cell_capacity: 8,
+            seed: 22,
+        }
+    }
+}
+
+/// Per ray-sphere intersection math cost.
+const RT_INTERSECT: SimDuration = SimDuration(35_000); // 35 ns
+
+impl RayTrace {
+    /// Footprint in bytes (cells + spheres).
+    pub fn footprint(&self) -> u64 {
+        let cells = self.extent.pow(3);
+        cells * (8 + self.cell_capacity * 8) + self.spheres * 32
+    }
+
+    /// Build the scene, then trace rays (measured). Returns the report and
+    /// the total number of ray–sphere hits (functional witness).
+    pub fn run<M: MemSpace + ?Sized>(&self, mem: &mut M) -> (Report, u64) {
+        let cells = self.extent.pow(3);
+        let cell_stride = 8 + self.cell_capacity * 8; // count + indices
+        let grid = mem.alloc(cells * cell_stride);
+        let spheres = mem.alloc(self.spheres * 32);
+        let mut rng = Rng::new(self.seed);
+        // Scatter spheres; register each in its containing cell.
+        for s in 0..self.spheres {
+            let (x, y, z) = (
+                rng.f64() * self.extent as f64,
+                rng.f64() * self.extent as f64,
+                rng.f64() * self.extent as f64,
+            );
+            let base = spheres + s * 32;
+            mem.write_f64(base, x);
+            mem.write_f64(base + 8, y);
+            mem.write_f64(base + 16, z);
+            mem.write_f64(base + 24, 0.2 + 0.3 * rng.f64());
+            let ci = ((z as u64) * self.extent + y as u64) * self.extent + x as u64;
+            let cbase = grid + ci * cell_stride;
+            let cnt = mem.read_u64(cbase);
+            if cnt < self.cell_capacity {
+                mem.write_u64(cbase + 8 + cnt * 8, s);
+                mem.write_u64(cbase, cnt + 1);
+            }
+        }
+        let mut hits = 0u64;
+        let report = Report::measure(mem, self.rays, |mem| {
+            for _ in 0..self.rays {
+                // Axis-aligned ray through a random (x, y) column.
+                let rx = rng.f64() * self.extent as f64;
+                let ry = rng.f64() * self.extent as f64;
+                let (cx, cy) = (rx as u64, ry as u64);
+                for cz in 0..self.extent {
+                    let ci = (cz * self.extent + cy) * self.extent + cx;
+                    let cbase = grid + ci * cell_stride;
+                    let cnt = mem.read_u64(cbase);
+                    let mut hit_here = false;
+                    for j in 0..cnt {
+                        let s = mem.read_u64(cbase + 8 + j * 8);
+                        let sbase = spheres + s * 32;
+                        let sx = mem.read_f64(sbase);
+                        let sy = mem.read_f64(sbase + 8);
+                        let r = mem.read_f64(sbase + 24);
+                        mem.compute(RT_INTERSECT);
+                        let d2 = (sx - rx).powi(2) + (sy - ry).powi(2);
+                        if d2 <= r * r {
+                            hits += 1;
+                            hit_here = true;
+                            break;
+                        }
+                    }
+                    if hit_here {
+                        break; // first hit terminates the ray
+                    }
+                }
+            }
+        });
+        (report, hits)
+    }
+}
+
+// ---------------------------------------------------------------------
+// canneal
+// ---------------------------------------------------------------------
+
+/// Simulated-annealing netlist placement: random element pairs considered
+/// for a position swap based on the wire length to their neighbors.
+/// Uniformly random pointer chasing over the whole netlist — the paper's
+/// "memory footprint is quite large … performance of remote swap worsens
+/// exponentially" case.
+#[derive(Debug, Clone, Copy)]
+pub struct Canneal {
+    /// Netlist elements (each record: 2 f64 position + 4 u64 neighbors = 48 B).
+    pub elements: u64,
+    /// Swap evaluations (measured phase).
+    pub steps: u64,
+    /// Initial annealing temperature.
+    pub temperature: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Canneal {
+    fn default() -> Self {
+        Canneal {
+            elements: 400_000,
+            steps: 30_000,
+            temperature: 100.0,
+            seed: 33,
+        }
+    }
+}
+
+const ELEM_BYTES: u64 = 48;
+const NEIGHBORS: u64 = 4;
+/// Per-neighbor wire-length evaluation cost.
+const CN_EVAL: SimDuration = SimDuration(8_000); // 8 ns
+
+impl Canneal {
+    /// Footprint in bytes.
+    pub fn footprint(&self) -> u64 {
+        self.elements * ELEM_BYTES
+    }
+
+    fn pos<M: MemSpace + ?Sized>(mem: &mut M, base: u64, e: u64) -> (f64, f64) {
+        let b = base + e * ELEM_BYTES;
+        (mem.read_f64(b), mem.read_f64(b + 8))
+    }
+
+    /// Wire length of `e` to its neighbors, assuming `e` sits at `(x, y)`.
+    fn cost_at<M: MemSpace + ?Sized>(mem: &mut M, base: u64, e: u64, x: f64, y: f64) -> f64 {
+        let b = base + e * ELEM_BYTES;
+        let mut c = 0.0;
+        for j in 0..NEIGHBORS {
+            let n = mem.read_u64(b + 16 + j * 8);
+            let (nx, ny) = Self::pos(mem, base, n);
+            mem.compute(CN_EVAL);
+            c += (nx - x).abs() + (ny - y).abs();
+        }
+        c
+    }
+
+    /// Build the netlist, then anneal (measured). Returns the report and
+    /// the number of accepted swaps (functional witness).
+    pub fn run<M: MemSpace + ?Sized>(&self, mem: &mut M) -> (Report, u64) {
+        assert!(self.elements > NEIGHBORS, "netlist too small");
+        let base = mem.alloc(self.elements * ELEM_BYTES);
+        let mut rng = Rng::new(self.seed);
+        for e in 0..self.elements {
+            let b = base + e * ELEM_BYTES;
+            mem.write_f64(b, rng.f64() * 1000.0);
+            mem.write_f64(b + 8, rng.f64() * 1000.0);
+            for j in 0..NEIGHBORS {
+                // Random neighbor distinct from self.
+                let mut n = rng.below(self.elements);
+                if n == e {
+                    n = (n + 1) % self.elements;
+                }
+                mem.write_u64(b + 16 + j * 8, n);
+            }
+        }
+        let mut accepted = 0u64;
+        let mut temp = self.temperature;
+        let report = Report::measure(mem, self.steps, |mem| {
+            for step in 0..self.steps {
+                let a = rng.below(self.elements);
+                let mut b = rng.below(self.elements);
+                if b == a {
+                    b = (b + 1) % self.elements;
+                }
+                let (ax, ay) = Self::pos(mem, base, a);
+                let (bx, by) = Self::pos(mem, base, b);
+                let before =
+                    Self::cost_at(mem, base, a, ax, ay) + Self::cost_at(mem, base, b, bx, by);
+                let after =
+                    Self::cost_at(mem, base, a, bx, by) + Self::cost_at(mem, base, b, ax, ay);
+                let delta = after - before;
+                let accept = delta < 0.0 || rng.chance((-delta / temp).exp());
+                if accept {
+                    let ab = base + a * ELEM_BYTES;
+                    let bb = base + b * ELEM_BYTES;
+                    mem.write_f64(ab, bx);
+                    mem.write_f64(ab + 8, by);
+                    mem.write_f64(bb, ax);
+                    mem.write_f64(bb + 8, ay);
+                    accepted += 1;
+                }
+                if step % 1_000 == 999 {
+                    temp *= 0.95; // cooling schedule
+                }
+            }
+        });
+        (report, accepted)
+    }
+}
+
+// ---------------------------------------------------------------------
+// streamcluster
+// ---------------------------------------------------------------------
+
+/// Online k-median-style clustering over streamed point blocks. The block
+/// buffer and the center table are reused for every block, so the working
+/// set stays small — the paper's "footprint … small enough to fit in the
+/// local memory of the remote swap scenario, so no swap is needed".
+#[derive(Debug, Clone, Copy)]
+pub struct StreamCluster {
+    /// Points per block.
+    pub block_points: u64,
+    /// Dimensions per point.
+    pub dims: u64,
+    /// Cluster centers.
+    pub centers: u64,
+    /// Blocks streamed (measured phase).
+    pub blocks: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamCluster {
+    fn default() -> Self {
+        StreamCluster {
+            block_points: 2_048,
+            dims: 16,
+            centers: 8,
+            blocks: 8,
+            seed: 44,
+        }
+    }
+}
+
+/// Per-dimension distance cost.
+const SC_DIM: SimDuration = SimDuration(1_500); // 1.5 ns
+
+impl StreamCluster {
+    /// Working-set footprint in bytes (block + centers).
+    pub fn footprint(&self) -> u64 {
+        (self.block_points + self.centers) * self.dims * 8
+    }
+
+    /// Stream blocks through the clusterer (measured). Returns the report
+    /// and the summed assignment cost (functional witness).
+    pub fn run<M: MemSpace + ?Sized>(&self, mem: &mut M) -> (Report, f64) {
+        let block = mem.alloc(self.block_points * self.dims * 8);
+        let centers = mem.alloc(self.centers * self.dims * 8);
+        let mut rng = Rng::new(self.seed);
+        for c in 0..self.centers {
+            for d in 0..self.dims {
+                mem.write_f64(centers + (c * self.dims + d) * 8, rng.f64() * 100.0);
+            }
+        }
+        let mut total_cost = 0.0;
+        let ops = self.blocks * self.block_points;
+        let report = Report::measure(mem, ops, |mem| {
+            for _ in 0..self.blocks {
+                // "Receive" the next block: overwrite the reused buffer.
+                for p in 0..self.block_points {
+                    for d in 0..self.dims {
+                        mem.write_f64(block + (p * self.dims + d) * 8, rng.f64() * 100.0);
+                    }
+                }
+                // Assign each point to its nearest center.
+                for p in 0..self.block_points {
+                    let mut best = f64::INFINITY;
+                    let mut best_c = 0;
+                    for c in 0..self.centers {
+                        let mut dist = 0.0;
+                        for d in 0..self.dims {
+                            let pv = mem.read_f64(block + (p * self.dims + d) * 8);
+                            let cv = mem.read_f64(centers + (c * self.dims + d) * 8);
+                            mem.compute(SC_DIM);
+                            dist += (pv - cv).abs();
+                        }
+                        if dist < best {
+                            best = dist;
+                            best_c = c;
+                        }
+                    }
+                    total_cost += best;
+                    // Drift the winning center toward the point (1/16 step).
+                    for d in 0..self.dims {
+                        let ca = centers + (best_c * self.dims + d) * 8;
+                        let pv = mem.read_f64(block + (p * self.dims + d) * 8);
+                        let cv = mem.read_f64(ca);
+                        mem.write_f64(ca, cv + (pv - cv) / 16.0);
+                    }
+                }
+            }
+        });
+        (report, total_cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_core::{ClusterConfig, LocalMachine};
+
+    fn mem() -> LocalMachine {
+        LocalMachine::new(ClusterConfig::prototype(), 8 << 30)
+    }
+
+    #[test]
+    fn blackscholes_prices_are_sane() {
+        let k = BlackScholes {
+            options: 2_000,
+            passes: 1,
+            seed: 1,
+        };
+        let mut m = mem();
+        let (r, checksum) = k.run(&mut m);
+        assert_eq!(r.operations, 2_000);
+        assert!(
+            checksum.is_finite() && checksum > 0.0,
+            "checksum {checksum}"
+        );
+        // Streaming: cache hit ratio should be high (sequential 48B records).
+        assert!(
+            r.stats.cache_hit_ratio() > 0.5,
+            "{}",
+            r.stats.cache_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn blackscholes_deterministic() {
+        let k = BlackScholes {
+            options: 500,
+            passes: 1,
+            seed: 7,
+        };
+        let (r1, c1) = k.run(&mut mem());
+        let (r2, c2) = k.run(&mut mem());
+        assert_eq!(c1, c2);
+        assert_eq!(r1.elapsed, r2.elapsed);
+    }
+
+    #[test]
+    fn raytrace_hits_some_spheres() {
+        let k = RayTrace {
+            extent: 8,
+            spheres: 2_000,
+            rays: 500,
+            cell_capacity: 8,
+            seed: 2,
+        };
+        let mut m = mem();
+        let (r, hits) = k.run(&mut m);
+        assert_eq!(r.operations, 500);
+        assert!(hits > 0, "a dense scene must produce hits");
+        assert!(hits <= 500, "at most one counted hit per ray");
+    }
+
+    #[test]
+    fn canneal_accepts_some_swaps() {
+        let k = Canneal {
+            elements: 5_000,
+            steps: 1_000,
+            temperature: 100.0,
+            seed: 3,
+        };
+        let mut m = mem();
+        let (r, accepted) = k.run(&mut m);
+        assert_eq!(r.operations, 1_000);
+        assert!(accepted > 0 && accepted <= 1_000, "accepted {accepted}");
+    }
+
+    #[test]
+    fn canneal_locality_is_poor_once_it_outgrows_the_cache() {
+        // 200k elements = 9.6 MB >> the 2 MiB cache: random pointer chasing
+        // must miss far more than a sequential stream does.
+        let k = Canneal {
+            elements: 200_000,
+            steps: 2_000,
+            temperature: 100.0,
+            seed: 3,
+        };
+        let (r, _) = k.run(&mut mem());
+        let bs = BlackScholes {
+            options: 200_000,
+            passes: 1,
+            seed: 3,
+        };
+        let (rb, _) = bs.run(&mut mem());
+        assert!(
+            r.stats.cache_hit_ratio() < rb.stats.cache_hit_ratio(),
+            "canneal {} !< blackscholes {}",
+            r.stats.cache_hit_ratio(),
+            rb.stats.cache_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn streamcluster_working_set_is_small() {
+        let k = StreamCluster::default();
+        assert!(k.footprint() < 2 << 20, "footprint {}", k.footprint());
+        let mut m = mem();
+        let (r, cost) = k.run(&mut m);
+        assert!(cost > 0.0);
+        assert!(
+            r.stats.cache_hit_ratio() > 0.9,
+            "{}",
+            r.stats.cache_hit_ratio()
+        );
+    }
+
+    #[test]
+    fn footprints_scale_with_parameters() {
+        let small = Canneal {
+            elements: 1_000,
+            ..Canneal::default()
+        };
+        let big = Canneal {
+            elements: 1_000_000,
+            ..Canneal::default()
+        };
+        assert_eq!(big.footprint(), small.footprint() * 1_000);
+        assert_eq!(
+            BlackScholes {
+                options: 100,
+                passes: 1,
+                seed: 0
+            }
+            .footprint(),
+            5_600
+        );
+    }
+
+    #[test]
+    fn norm_cdf_properties() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(norm_cdf(5.0) > 0.999_99);
+        assert!(norm_cdf(-5.0) < 1e-5);
+        // Symmetry.
+        for x in [0.3, 1.1, 2.7] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-7);
+        }
+    }
+}

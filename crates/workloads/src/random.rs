@@ -1,0 +1,165 @@
+//! The uniform random-access kernel ("random benchmark") of Section V-A.
+//!
+//! A fixed number of independent 64-bit loads (optionally stores) at
+//! uniformly random offsets inside one large allocation. In the paper this
+//! kernel, run with 1–4 threads against 1–4 memory servers at varying
+//! distances, exposes the client- and server-side RMC bottlenecks
+//! (Figs. 7–8). The multi-threaded variants are driven directly through
+//! [`cohfree_core::World`] traffic threads; this module provides the
+//! single-threaded `MemSpace` form used for backend comparisons.
+
+use crate::report::Report;
+use cohfree_core::{MemSpace, Rng, SimDuration};
+use cohfree_sim::rng::Zipf;
+
+/// Parameters of a random-access run.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomAccess {
+    /// Bytes in the target buffer.
+    pub buffer_bytes: u64,
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Fraction of accesses that are writes.
+    pub write_fraction: f64,
+    /// CPU time between accesses (address generation etc.).
+    pub think: SimDuration,
+    /// Zipf popularity exponent over 4 KiB blocks (`None` = uniform).
+    /// Skewed popularity is the realistic regime for key-value workloads
+    /// and rewards any caching layer.
+    pub zipf: Option<f64>,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomAccess {
+    fn default() -> Self {
+        RandomAccess {
+            buffer_bytes: 64 << 20,
+            accesses: 100_000,
+            write_fraction: 0.0,
+            think: SimDuration::ns(4),
+            zipf: None,
+            seed: 1,
+        }
+    }
+}
+
+impl RandomAccess {
+    /// Allocate the buffer and run the kernel, measuring the access phase.
+    pub fn run<M: MemSpace + ?Sized>(&self, mem: &mut M) -> Report {
+        let va = mem.alloc(self.buffer_bytes);
+        let slots = self.buffer_bytes / 8;
+        let mut rng = Rng::new(self.seed);
+        // Zipf ranks address 4 KiB blocks; a random word inside the block
+        // is then chosen uniformly (rank tables over every word would be
+        // enormous).
+        let blocks = (self.buffer_bytes / 4096).max(1);
+        let zipf = self.zipf.map(|s| Zipf::new(blocks as usize, s));
+        Report::measure(mem, self.accesses, |mem| {
+            for _ in 0..self.accesses {
+                mem.compute(self.think);
+                let a = match &zipf {
+                    Some(z) => {
+                        let block = z.sample(&mut rng) as u64;
+                        va + block * 4096 + rng.below(4096 / 8) * 8
+                    }
+                    None => va + rng.below(slots) * 8,
+                };
+                if rng.chance(self.write_fraction) {
+                    mem.write_u64(a, a);
+                } else {
+                    mem.read_u64(a);
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_core::backend::{AllocPolicy, RemoteMemorySpace};
+    use cohfree_core::{ClusterConfig, LocalMachine, NodeId};
+
+    #[test]
+    fn local_faster_than_remote() {
+        let spec = RandomAccess {
+            buffer_bytes: 8 << 20,
+            accesses: 2_000,
+            ..RandomAccess::default()
+        };
+        let mut local = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+        let r_local = spec.run(&mut local);
+        let mut remote = RemoteMemorySpace::new(
+            ClusterConfig::prototype(),
+            NodeId::new(1),
+            AllocPolicy::AlwaysRemote,
+        );
+        let r_remote = spec.run(&mut remote);
+        assert!(
+            r_remote.elapsed.as_ns_f64() > 3.0 * r_local.elapsed.as_ns_f64(),
+            "remote {} vs local {}",
+            r_remote.elapsed,
+            r_local.elapsed
+        );
+        assert_eq!(r_local.operations, 2_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = RandomAccess {
+            buffer_bytes: 1 << 20,
+            accesses: 500,
+            ..RandomAccess::default()
+        };
+        let run = || {
+            let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+            spec.run(&mut m).elapsed
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zipf_skew_improves_cache_behaviour() {
+        // Skewed popularity concentrates accesses on hot blocks, which the
+        // write-back cache absorbs — uniform traffic misses far more.
+        let base = RandomAccess {
+            buffer_bytes: 32 << 20,
+            accesses: 4_000,
+            ..RandomAccess::default()
+        };
+        let uniform = {
+            let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+            base.run(&mut m)
+        };
+        let skewed = {
+            let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+            RandomAccess {
+                zipf: Some(1.1),
+                ..base
+            }
+            .run(&mut m)
+        };
+        assert!(
+            skewed.stats.cache_hit_ratio() > uniform.stats.cache_hit_ratio() + 0.1,
+            "zipf {} vs uniform {}",
+            skewed.stats.cache_hit_ratio(),
+            uniform.stats.cache_hit_ratio()
+        );
+        assert!(skewed.elapsed < uniform.elapsed);
+    }
+
+    #[test]
+    fn writes_counted() {
+        let spec = RandomAccess {
+            buffer_bytes: 1 << 20,
+            accesses: 1_000,
+            write_fraction: 1.0,
+            ..RandomAccess::default()
+        };
+        let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+        let r = spec.run(&mut m);
+        assert_eq!(r.stats.writes, 1_000);
+        assert_eq!(r.stats.reads, 0);
+    }
+}

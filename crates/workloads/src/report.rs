@@ -1,0 +1,102 @@
+//! Workload run reports.
+
+use cohfree_core::backend::AccessStats;
+use cohfree_core::SimDuration;
+
+/// What a workload run measured.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Simulated wall-clock duration of the measured phase.
+    pub elapsed: SimDuration,
+    /// Operations the workload counts (searches, options, swaps, ...).
+    pub operations: u64,
+    /// Backend statistics delta over the measured phase.
+    pub stats: AccessStats,
+}
+
+impl Report {
+    /// Measure a phase: runs `f`, differencing clock and statistics.
+    pub fn measure<M, F>(mem: &mut M, operations: u64, f: F) -> Report
+    where
+        M: cohfree_core::MemSpace + ?Sized,
+        F: FnOnce(&mut M),
+    {
+        let t0 = mem.now();
+        let s0 = mem.stats();
+        f(mem);
+        let t1 = mem.now();
+        let s1 = mem.stats();
+        Report {
+            elapsed: t1.since(t0),
+            operations,
+            stats: diff(s0, s1),
+        }
+    }
+
+    /// Mean simulated time per operation.
+    pub fn per_op(&self) -> SimDuration {
+        SimDuration(
+            self.elapsed
+                .as_ps()
+                .checked_div(self.operations)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Elapsed as fractional milliseconds (bench output convenience).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed.as_ms_f64()
+    }
+}
+
+fn diff(a: AccessStats, b: AccessStats) -> AccessStats {
+    AccessStats {
+        reads: b.reads - a.reads,
+        writes: b.writes - a.writes,
+        bytes_read: b.bytes_read - a.bytes_read,
+        bytes_written: b.bytes_written - a.bytes_written,
+        cache_hits: b.cache_hits - a.cache_hits,
+        cache_misses: b.cache_misses - a.cache_misses,
+        tlb_walks: b.tlb_walks - a.tlb_walks,
+        minor_faults: b.minor_faults - a.minor_faults,
+        major_faults: b.major_faults - a.major_faults,
+        remote_reads: b.remote_reads - a.remote_reads,
+        remote_writes: b.remote_writes - a.remote_writes,
+        pages_in: b.pages_in - a.pages_in,
+        pages_out: b.pages_out - a.pages_out,
+        allocations: b.allocations - a.allocations,
+        reservations: b.reservations - a.reservations,
+        prefetch_hits: b.prefetch_hits - a.prefetch_hits,
+        prefetch_issued: b.prefetch_issued - a.prefetch_issued,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cohfree_core::{ClusterConfig, LocalMachine, MemSpace};
+
+    #[test]
+    fn measure_differences_clock_and_stats() {
+        let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+        let va = m.alloc(4096);
+        m.read_u64(va); // pre-phase noise
+        let r = Report::measure(&mut m, 10, |m| {
+            for i in 0..10 {
+                m.write_u64(va + i * 8, i);
+            }
+        });
+        assert_eq!(r.operations, 10);
+        assert!(r.elapsed > SimDuration::ZERO);
+        assert_eq!(r.stats.writes, 10);
+        assert_eq!(r.stats.reads, 0, "pre-phase read excluded");
+        assert!(r.per_op() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_op_zero_ops() {
+        let mut m = LocalMachine::new(ClusterConfig::prototype(), 1 << 30);
+        let r = Report::measure(&mut m, 0, |_| {});
+        assert_eq!(r.per_op(), SimDuration::ZERO);
+    }
+}

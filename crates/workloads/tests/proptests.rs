@@ -1,0 +1,101 @@
+//! Property-based tests for the workload data structures against host-side
+//! oracles.
+
+use cohfree_core::{ClusterConfig, LocalMachine};
+use cohfree_workloads::{BTree, HashIndex};
+use proptest::prelude::*;
+
+fn mem() -> LocalMachine {
+    LocalMachine::new(ClusterConfig::prototype(), 4 << 30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental insertion matches BTreeSet for any key sequence and any
+    /// legal fanout; invariants hold throughout.
+    #[test]
+    fn btree_insert_matches_oracle(
+        max_keys in 3usize..12,
+        keys in prop::collection::vec(0u64..500, 1..400)
+    ) {
+        let mut m = mem();
+        let mut tree = BTree::new(&mut m, max_keys);
+        let mut oracle = std::collections::BTreeSet::new();
+        for k in &keys {
+            prop_assert_eq!(tree.insert(&mut m, *k), oracle.insert(*k));
+        }
+        tree.check_invariants(&mut m);
+        prop_assert_eq!(tree.len(), oracle.len() as u64);
+        prop_assert_eq!(
+            tree.collect_keys(&mut m),
+            oracle.iter().copied().collect::<Vec<_>>()
+        );
+        for probe in 0..500u64 {
+            prop_assert_eq!(tree.search(&mut m, probe).found, oracle.contains(&probe));
+        }
+    }
+
+    /// Bulk load over any strictly-sorted key set yields a valid tree with
+    /// exactly those keys, at any legal fanout.
+    #[test]
+    fn btree_bulk_load_matches_input(
+        max_keys in 3usize..20,
+        raw in prop::collection::btree_set(0u64..100_000, 1..800)
+    ) {
+        let keys: Vec<u64> = raw.into_iter().collect();
+        let mut m = mem();
+        let tree = BTree::bulk_load(&mut m, &keys, max_keys);
+        tree.check_invariants(&mut m);
+        prop_assert_eq!(tree.collect_keys(&mut m), keys.clone());
+        // Height is the minimum that fits.
+        let h = tree.height();
+        prop_assert!(BTree::capacity(max_keys, h) >= keys.len() as u64);
+        if h > 1 {
+            prop_assert!(BTree::capacity(max_keys, h - 1) < keys.len() as u64);
+        }
+        // Spot-check membership at the boundaries.
+        prop_assert!(tree.search(&mut m, keys[0]).found);
+        prop_assert!(tree.search(&mut m, *keys.last().unwrap()).found);
+    }
+
+    /// Search cost stays O(log2 n) probes regardless of fanout — the
+    /// paper's Section V-B claim.
+    #[test]
+    fn btree_probe_count_bounded(
+        max_keys in prop::sample::select(vec![3usize, 7, 31, 127]),
+        n in 100usize..3_000
+    ) {
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+        let mut m = mem();
+        let tree = BTree::bulk_load(&mut m, &keys, max_keys);
+        let out = tree.search(&mut m, keys[n / 2]);
+        let log2n = (n as f64).log2().ceil() as u32;
+        // Binary search per node ~ log2(node) probes, summed ≈ log2(n) plus
+        // one bookkeeping probe per level.
+        prop_assert!(
+            out.probes <= 2 * log2n + 2 * out.nodes_visited + 4,
+            "probes {} for n {} (height {})",
+            out.probes, n, tree.height()
+        );
+    }
+
+    /// Hash index matches a HashMap oracle under arbitrary insert/get mixes.
+    #[test]
+    fn hash_index_matches_oracle(
+        ops in prop::collection::vec((0u64..300, any::<u64>(), prop::bool::ANY), 1..300)
+    ) {
+        let mut m = mem();
+        let mut h = HashIndex::new(&mut m, 1_024);
+        let mut oracle: std::collections::HashMap<u64, u64> = Default::default();
+        for (k, v, is_insert) in ops {
+            if is_insert {
+                let fresh = h.insert(&mut m, k, v);
+                prop_assert_eq!(fresh, oracle.insert(k, v).is_none());
+            } else {
+                prop_assert_eq!(h.get(&mut m, k), oracle.get(&k).copied());
+            }
+        }
+        prop_assert_eq!(h.len(), oracle.len() as u64);
+    }
+}

@@ -1,0 +1,83 @@
+//! Trace a workload once, then answer "what would happen on any memory
+//! system?" from the trace alone — the paper's Eqs. 1–2 made operational.
+//!
+//! The canneal-like kernel runs on a traced local machine; the trace is
+//! profiled (page faults under a bounded resident set, CPU-cache misses,
+//! TLB walks) and replayed against the remote-memory and remote-swap
+//! backends to confirm the profile-based predictions.
+//!
+//! ```sh
+//! cargo run --release --example trace_analysis
+//! ```
+
+use cohfree::core::backend::{SwapConfig, SwapSpace};
+use cohfree::core::trace::{cache_profile, compute_total, page_profile, replay, Tracer};
+use cohfree::workloads::parsec::Canneal;
+use cohfree::{AllocPolicy, ClusterConfig, LocalMachine, MemSpace, NodeId, RemoteMemorySpace};
+
+fn main() {
+    let cfg = ClusterConfig::prototype();
+    let kernel = Canneal {
+        elements: 300_000, // 14.4 MiB netlist
+        steps: 6_000,
+        temperature: 100.0,
+        seed: 2026,
+    };
+
+    // 1. Record.
+    println!(
+        "tracing canneal ({} elements, {} steps) on a local machine…",
+        kernel.elements, kernel.steps
+    );
+    let mut traced = Tracer::new(LocalMachine::new(cfg, 8 << 30));
+    let (_, accepted) = kernel.run(&mut traced);
+    let (local, trace) = traced.into_parts();
+    println!(
+        "trace: {} ops, local run {} ({} swaps accepted)\n",
+        trace.len(),
+        local.now(),
+        accepted
+    );
+
+    // 2. Profile.
+    let cache_pages = 1_024; // 4 MiB resident set for the swap scenario
+    let pages = page_profile(&trace, cache_pages, 64);
+    let cpu = cache_profile(&trace, cfg.cache);
+    println!(
+        "page profile  : {} accesses, A_page = {:.0}, {} major faults, {} write-outs",
+        pages.accesses, pages.accesses_per_page, pages.major_faults, pages.pages_out
+    );
+    println!(
+        "cache profile : {:.1}% miss ratio, {} writebacks",
+        100.0 * cpu.misses as f64 / cpu.accesses as f64,
+        cpu.writebacks
+    );
+    println!("compute total : {}\n", compute_total(&trace));
+
+    // 3. Validate by replaying the identical trace.
+    let mut remote = RemoteMemorySpace::new(cfg, NodeId::new(1), AllocPolicy::AlwaysRemote);
+    let t_remote = replay(&mut remote, &trace);
+    let mut swap = SwapSpace::remote(
+        cfg,
+        NodeId::new(1),
+        SwapConfig {
+            cache_pages,
+            ..SwapConfig::default()
+        },
+    );
+    let t_swap = replay(&mut swap, &trace);
+
+    println!("replayed on remote memory : {t_remote}");
+    println!("replayed on remote swap   : {t_swap}");
+    println!(
+        "\nthe profile predicted the swap backend's faults exactly: {} == {}",
+        pages.major_faults,
+        swap.stats().major_faults,
+    );
+    assert_eq!(pages.major_faults, swap.stats().major_faults);
+    println!(
+        "swap pays {:.1}x the remote-memory time at this locality (A_page {:.0})",
+        t_swap.as_ns_f64() / t_remote.as_ns_f64(),
+        pages.accesses_per_page,
+    );
+}
