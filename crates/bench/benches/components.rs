@@ -1,169 +1,126 @@
-//! Criterion microbenches for the simulator's hot paths.
+//! Microbenches for the simulator's hot paths.
 //!
 //! The DES engine, fabric routing, cache model and address translation run
 //! millions of times per experiment; these benches keep their costs visible
 //! so model extensions don't silently blow up experiment wall time.
 
+use cohfree_bench::bencher::bench_function;
 use cohfree_core::world::World;
 use cohfree_core::{ClusterConfig, MemSpace, MsgKind, NodeId, Rng, SimDuration, SimTime};
 use cohfree_sim::{EventQueue, FifoServer};
 use cohfree_workloads::BTree;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn n(i: u16) -> NodeId {
     NodeId::new(i)
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim_event_queue_schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime(i * 7 % 999), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
-    });
-}
-
-fn bench_fifo_server(c: &mut Criterion) {
-    c.bench_function("sim_fifo_server_accept_1k", |b| {
-        b.iter(|| {
-            let mut s = FifoServer::new();
-            let mut t = SimTime::ZERO;
-            for _ in 0..1_000 {
-                t = s.accept(t, SimDuration::ns(10));
-            }
-            black_box(t)
-        })
-    });
-}
-
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("sim_rng_next_u64_1k", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000 {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            black_box(acc)
-        })
-    });
-}
-
-fn bench_mesh_routing(c: &mut Criterion) {
-    let topo = cohfree_core::Topology::prototype();
-    c.bench_function("fabric_mesh_route_all_pairs", |b| {
-        b.iter(|| {
-            let mut hops = 0u32;
-            for a in 1..=16 {
-                for z in 1..=16 {
-                    if a != z {
-                        hops += topo.hops(n(a), n(z));
-                    }
-                }
-            }
-            black_box(hops)
-        })
-    });
-}
-
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("mem_cache_access_1k", |b| {
-        let mut cache = cohfree_mem::Cache::new(cohfree_mem::CacheConfig::default());
-        let mut rng = Rng::new(3);
-        b.iter(|| {
-            let mut hits = 0u32;
-            for _ in 0..1_000 {
-                if matches!(
-                    cache.access(rng.below(64 << 20), false),
-                    cohfree_mem::CacheOutcome::Hit
-                ) {
-                    hits += 1;
-                }
-            }
-            black_box(hits)
-        })
-    });
-}
-
-fn bench_sparse_store(c: &mut Criterion) {
-    c.bench_function("mem_sparse_store_rw_1k", |b| {
-        let mut store = cohfree_mem::SparseStore::new();
-        let mut rng = Rng::new(4);
-        b.iter(|| {
-            for _ in 0..1_000 {
-                let a = rng.below(64 << 20);
-                store.write_u64(a, a);
-                black_box(store.read_u64(a));
-            }
-        })
-    });
-}
-
-fn bench_blocking_transaction(c: &mut Criterion) {
-    c.bench_function("world_blocking_remote_read", |b| {
-        let mut w = World::new(ClusterConfig::prototype());
-        let resv = w.reserve_remote(n(1), 4_096, Some(n(2)));
-        let mut t = SimTime::ZERO;
-        let mut addr = resv.prefixed_base;
-        b.iter(|| {
-            t = w.blocking_transaction(t, n(1), n(2), MsgKind::ReadReq { bytes: 64 }, addr);
-            addr += 64;
-            if addr >= resv.prefixed_base + resv.frames * 4096 {
-                addr = resv.prefixed_base;
-            }
-            black_box(t)
-        })
-    });
-}
-
-fn bench_btree_search(c: &mut Criterion) {
-    c.bench_function("btree_search_local_100k", |b| {
-        let mut m = cohfree_core::LocalMachine::new(ClusterConfig::prototype(), 8 << 30);
-        let keys: Vec<u64> = (0..100_000u64).map(|i| i * 3).collect();
-        let tree = BTree::bulk_load(&mut m, &keys, 167);
-        let mut rng = Rng::new(5);
-        b.iter(|| {
-            let k = keys[rng.below(keys.len() as u64) as usize];
-            black_box(tree.search(&mut m, k).found)
-        })
-    });
-}
-
-fn bench_swap_fault_path(c: &mut Criterion) {
-    c.bench_function("swap_major_fault_path", |b| {
-        let mut m = cohfree_core::SwapSpace::remote(
-            ClusterConfig::prototype(),
-            n(1),
-            cohfree_core::backend::SwapConfig {
-                cache_pages: 16,
-                ..Default::default()
-            },
-        );
-        let va = m.alloc(256 * 4096);
-        for p in 0..256u64 {
-            m.write_u64(va + p * 4096, p);
+fn main() {
+    bench_function("sim_event_queue_schedule_pop_1k", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime(i * 7 % 999), i);
         }
-        let mut p = 0u64;
-        b.iter(|| {
-            p = (p + 17) % 256; // always out of the 16-page resident set
-            black_box(m.read_u64(va + p * 4096))
-        })
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc);
+    });
+
+    bench_function("sim_fifo_server_accept_1k", || {
+        let mut s = FifoServer::new();
+        let mut t = SimTime::ZERO;
+        for _ in 0..1_000 {
+            t = s.accept(t, SimDuration::ns(10));
+        }
+        black_box(t);
+    });
+
+    let mut rng = Rng::new(1);
+    bench_function("sim_rng_next_u64_1k", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        black_box(acc);
+    });
+
+    let topo = cohfree_core::Topology::prototype();
+    bench_function("fabric_mesh_route_all_pairs", || {
+        let mut hops = 0u32;
+        for a in 1..=16 {
+            for z in 1..=16 {
+                if a != z {
+                    hops += topo.hops(n(a), n(z));
+                }
+            }
+        }
+        black_box(hops);
+    });
+
+    let mut cache = cohfree_mem::Cache::new(cohfree_mem::CacheConfig::default());
+    let mut rng = Rng::new(3);
+    bench_function("mem_cache_access_1k", || {
+        let mut hits = 0u32;
+        for _ in 0..1_000 {
+            if matches!(
+                cache.access(rng.below(64 << 20), false),
+                cohfree_mem::CacheOutcome::Hit
+            ) {
+                hits += 1;
+            }
+        }
+        black_box(hits);
+    });
+
+    let mut store = cohfree_mem::SparseStore::new();
+    let mut rng = Rng::new(4);
+    bench_function("mem_sparse_store_rw_1k", || {
+        for _ in 0..1_000 {
+            let a = rng.below(64 << 20);
+            store.write_u64(a, a);
+            black_box(store.read_u64(a));
+        }
+    });
+
+    let mut w = World::new(ClusterConfig::prototype());
+    let resv = w.reserve_remote(n(1), 4_096, Some(n(2)));
+    let mut t = SimTime::ZERO;
+    let mut addr = resv.prefixed_base;
+    bench_function("world_blocking_remote_read", || {
+        t = w.blocking_transaction(t, n(1), n(2), MsgKind::ReadReq { bytes: 64 }, addr);
+        addr += 64;
+        if addr >= resv.prefixed_base + resv.frames * 4096 {
+            addr = resv.prefixed_base;
+        }
+        black_box(t);
+    });
+
+    let mut m = cohfree_core::LocalMachine::new(ClusterConfig::prototype(), 8 << 30);
+    let keys: Vec<u64> = (0..100_000u64).map(|i| i * 3).collect();
+    let tree = BTree::bulk_load(&mut m, &keys, 167);
+    let mut rng = Rng::new(5);
+    bench_function("btree_search_local_100k", || {
+        let k = keys[rng.below(keys.len() as u64) as usize];
+        black_box(tree.search(&mut m, k).found);
+    });
+
+    let mut m = cohfree_core::SwapSpace::remote(
+        ClusterConfig::prototype(),
+        n(1),
+        cohfree_core::backend::SwapConfig {
+            cache_pages: 16,
+            ..Default::default()
+        },
+    );
+    let va = m.alloc(256 * 4096);
+    for p in 0..256u64 {
+        m.write_u64(va + p * 4096, p);
+    }
+    let mut p = 0u64;
+    bench_function("swap_major_fault_path", || {
+        p = (p + 17) % 256; // always out of the 16-page resident set
+        black_box(m.read_u64(va + p * 4096));
     });
 }
-
-criterion_group! {
-    name = components;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_fifo_server, bench_rng, bench_mesh_routing,
-              bench_cache, bench_sparse_store, bench_blocking_transaction,
-              bench_btree_search, bench_swap_fault_path
-}
-criterion_main!(components);

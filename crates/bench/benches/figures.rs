@@ -1,96 +1,64 @@
-//! Criterion benches over every figure's code path (smoke scale).
+//! Benches over every figure's code path (smoke scale).
 //!
 //! `cargo bench` exercises the same experiment functions the `fig*` and
 //! `abl_*` binaries run at larger scale, so regressions in any figure's
 //! pipeline show up as timing changes here. One benchmark per paper figure
 //! plus the analytic validation and key ablations.
 
+use cohfree_bench::bencher::bench_function;
 use cohfree_bench::experiments as ex;
 use cohfree_bench::Scale;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-fn bench_fig6(c: &mut Criterion) {
-    c.bench_function("fig6_latency_vs_hops", |b| {
-        b.iter(|| black_box(ex::fig6::run(Scale::Smoke)))
+fn main() {
+    bench_function("fig6_latency_vs_hops", || {
+        black_box(ex::fig6::run(Scale::Smoke));
     });
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_random_benchmark", |b| {
-        b.iter(|| black_box(ex::fig7::run(Scale::Smoke)))
+    bench_function("fig7_random_benchmark", || {
+        black_box(ex::fig7::run(Scale::Smoke));
     });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_server_congestion", |b| {
-        b.iter(|| black_box(ex::fig8::run(Scale::Smoke)))
+    bench_function("fig8_server_congestion", || {
+        black_box(ex::fig8::run(Scale::Smoke));
     });
-}
-
-fn bench_fig9(c: &mut Criterion) {
     let sz = ex::fig9::Sizing {
         keys: 20_000,
         searches: 100,
         cache_pages: 30,
     };
-    c.bench_function("fig9_btree_fanout_point", |b| {
-        b.iter(|| black_box(ex::fig9::run_fanout(sz, 168, 1)))
+    bench_function("fig9_btree_fanout_point", || {
+        black_box(ex::fig9::run_fanout(sz, 168, 1));
+    });
+    bench_function("fig10_scalability_point", || {
+        black_box(ex::fig10::run_point(Scale::Smoke, 30_000));
+    });
+    bench_function("fig11_parsec_suite", || {
+        black_box(ex::fig11::run(Scale::Smoke));
+    });
+    bench_function("analytic_validation_point", || {
+        black_box(ex::analytic::run_point(Scale::Smoke, 16));
+    });
+    bench_function("abl_prefetch", || {
+        black_box(ex::ablations::prefetch(Scale::Smoke));
+    });
+    bench_function("abl_topology", || {
+        black_box(ex::ablations::topology(Scale::Smoke));
+    });
+    bench_function("abl_reliability", || {
+        black_box(ex::ablations::reliability(Scale::Smoke));
+    });
+    bench_function("ext_db_queries", || {
+        black_box(ex::ext_db::run(Scale::Smoke));
+    });
+    bench_function("ext_parallel_readonly", || {
+        black_box(ex::ext_parallel::run(Scale::Smoke));
+    });
+    bench_function("ext_tenants_scaling", || {
+        black_box(ex::ext_tenants::run(Scale::Smoke));
+    });
+    bench_function("ext_coherent_baseline", || {
+        black_box(ex::ext_coherent::run(Scale::Smoke));
+    });
+    bench_function("ext_balloon_provisioning", || {
+        black_box(ex::ext_balloon::run(Scale::Smoke));
     });
 }
-
-fn bench_fig10(c: &mut Criterion) {
-    c.bench_function("fig10_scalability_point", |b| {
-        b.iter(|| black_box(ex::fig10::run_point(Scale::Smoke, 30_000)))
-    });
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    c.bench_function("fig11_parsec_suite", |b| {
-        b.iter(|| black_box(ex::fig11::run(Scale::Smoke)))
-    });
-}
-
-fn bench_analytic(c: &mut Criterion) {
-    c.bench_function("analytic_validation_point", |b| {
-        b.iter(|| black_box(ex::analytic::run_point(Scale::Smoke, 16)))
-    });
-}
-
-fn bench_ablations(c: &mut Criterion) {
-    c.bench_function("abl_prefetch", |b| {
-        b.iter(|| black_box(ex::ablations::prefetch(Scale::Smoke)))
-    });
-    c.bench_function("abl_topology", |b| {
-        b.iter(|| black_box(ex::ablations::topology(Scale::Smoke)))
-    });
-    c.bench_function("abl_reliability", |b| {
-        b.iter(|| black_box(ex::ablations::reliability(Scale::Smoke)))
-    });
-}
-
-fn bench_extensions(c: &mut Criterion) {
-    c.bench_function("ext_db_queries", |b| {
-        b.iter(|| black_box(ex::ext_db::run(Scale::Smoke)))
-    });
-    c.bench_function("ext_parallel_readonly", |b| {
-        b.iter(|| black_box(ex::ext_parallel::run(Scale::Smoke)))
-    });
-    c.bench_function("ext_tenants_scaling", |b| {
-        b.iter(|| black_box(ex::ext_tenants::run(Scale::Smoke)))
-    });
-    c.bench_function("ext_coherent_baseline", |b| {
-        b.iter(|| black_box(ex::ext_coherent::run(Scale::Smoke)))
-    });
-    c.bench_function("ext_balloon_provisioning", |b| {
-        b.iter(|| black_box(ex::ext_balloon::run(Scale::Smoke)))
-    });
-}
-
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig6, bench_fig7, bench_fig8, bench_fig9, bench_fig10,
-              bench_fig11, bench_analytic, bench_ablations, bench_extensions
-}
-criterion_main!(figures);

@@ -1,0 +1,39 @@
+//! Minimal self-contained micro-benchmark timer.
+//!
+//! The container build is fully offline, so the harness avoids external
+//! benchmarking crates: each benchmark is a closure timed with
+//! [`std::time::Instant`] after a short warm-up. Reported numbers are the
+//! mean and best per-iteration wall time — coarse, but stable enough to
+//! spot order-of-magnitude regressions in the simulator's hot paths.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time to spend measuring one benchmark.
+const TARGET: Duration = Duration::from_millis(100);
+/// Hard cap on measured iterations (fast closures would otherwise spin).
+const MAX_ITERS: u32 = 10_000;
+
+/// Time `f` and print `name: <mean> ns/iter (best <best> ns)`.
+///
+/// Runs a handful of warm-up iterations, then measures individual
+/// iterations until 100 ms of wall time or 10 000 iterations have
+/// elapsed, whichever comes first.
+pub fn bench_function<F: FnMut()>(name: &str, mut f: F) {
+    for _ in 0..3 {
+        f();
+    }
+    let mut best = u128::MAX;
+    let mut total = 0u128;
+    let mut iters = 0u32;
+    let started = Instant::now();
+    while started.elapsed() < TARGET && iters < MAX_ITERS {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_nanos();
+        best = best.min(dt);
+        total += dt;
+        iters += 1;
+    }
+    let mean = total / iters.max(1) as u128;
+    println!("{name}: {mean} ns/iter (best {best} ns, {iters} iters)");
+}

@@ -1,4 +1,5 @@
 //! Ablation: write-back-cacheable vs. uncached remote ranges.
 fn main() {
     cohfree_bench::experiments::ablations::cacheable(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

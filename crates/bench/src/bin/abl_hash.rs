@@ -1,4 +1,5 @@
 //! Ablation: hash index vs. b-tree (footnote 3 of the paper).
 fn main() {
     cohfree_bench::experiments::ablations::hash_vs_btree(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: single-cache baseline vs. L1+L2 hierarchy refinement.
 fn main() {
     cohfree_bench::experiments::ablations::l1_hierarchy(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: RMC request slots and FPGA-vs-ASIC front-end speed.
 fn main() {
     cohfree_bench::experiments::ablations::outstanding(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: posted vs. blocking remote stores.
 fn main() {
     cohfree_bench::experiments::ablations::posted(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: the sequential prefetcher (the paper's future work).
 fn main() {
     cohfree_bench::experiments::ablations::prefetch(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: link loss with RMC timeout/retransmission recovery.
 fn main() {
     cohfree_bench::experiments::ablations::reliability(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

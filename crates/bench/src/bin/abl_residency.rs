@@ -1,4 +1,5 @@
 //! Ablation: swap resident-set sweep and swap-transport comparison.
 fn main() {
     cohfree_bench::experiments::ablations::residency(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Ablation: fabric topology (mesh / torus / fully-connected).
 fn main() {
     cohfree_bench::experiments::ablations::topology(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

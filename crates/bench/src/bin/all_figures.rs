@@ -25,4 +25,5 @@ fn main() {
     ex::ext_coherent::table(s).print();
     ex::ext_locality::table(s).print();
     ex::ext_balloon::table(s).print();
+    cohfree_bench::report::finish();
 }

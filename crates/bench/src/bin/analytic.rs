@@ -1,4 +1,5 @@
 //! Validates the paper's Equations 1-2 against full simulation.
 fn main() {
     cohfree_bench::experiments::analytic::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

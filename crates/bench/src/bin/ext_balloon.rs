@@ -1,4 +1,5 @@
 //! Extension: hot-plug ballooning vs. worst-case provisioning.
 fn main() {
     cohfree_bench::experiments::ext_balloon::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

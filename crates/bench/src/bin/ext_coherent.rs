@@ -1,4 +1,5 @@
 //! Extension: quantifying the coherency overhead the paper eliminates.
 fn main() {
     cohfree_bench::experiments::ext_coherent::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Extension: the database query study the paper names as its next step.
 fn main() {
     cohfree_bench::experiments::ext_db::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

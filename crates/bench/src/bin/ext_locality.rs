@@ -1,4 +1,5 @@
 //! Extension: trace-driven locality analysis validating Eqs. 1-2 on real kernels.
 fn main() {
     cohfree_bench::experiments::ext_locality::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Extension: read-only parallel phases (Section IV-B of the paper).
 fn main() {
     cohfree_bench::experiments::ext_parallel::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

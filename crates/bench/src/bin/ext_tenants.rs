@@ -1,4 +1,5 @@
 //! Extension: cluster-wide scalability with simultaneous borrowers.
 fn main() {
     cohfree_bench::experiments::ext_tenants::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 10: b-tree scalability, remote memory vs. remote swap.
 fn main() {
     cohfree_bench::experiments::fig10::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

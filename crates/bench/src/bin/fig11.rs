@@ -1,4 +1,5 @@
 //! Regenerates Figure 11: PARSEC-class kernels over the three backends.
 fn main() {
     cohfree_bench::experiments::fig11::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

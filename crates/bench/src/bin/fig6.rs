@@ -1,4 +1,5 @@
 //! Regenerates Figure 6: remote read latency vs. hop distance.
 fn main() {
     cohfree_bench::experiments::fig6::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 7: the random benchmark (threads / servers / hops).
 fn main() {
     cohfree_bench::experiments::fig7::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 8: memory-server congestion under client stress.
 fn main() {
     cohfree_bench::experiments::fig8::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

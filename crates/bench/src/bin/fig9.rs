@@ -1,4 +1,5 @@
 //! Regenerates Figure 9: b-tree search time vs. fanout under remote swap.
 fn main() {
     cohfree_bench::experiments::fig9::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
 }

@@ -31,6 +31,7 @@ pub fn run(scale: Scale) -> (f64, Vec<Row>) {
     let mut local_ref = 0.0;
     for hops in 1..=6u32 {
         let mut w = World::new(super::cluster());
+        w.enable_sampling(super::sample_interval(scale));
         let server = *w
             .config()
             .topology
@@ -58,6 +59,7 @@ pub fn run(scale: Scale) -> (f64, Vec<Row>) {
             p99_ns,
             unloaded_ns,
         });
+        crate::report::record_snapshot(&format!("fig6/hops{hops}"), w.snapshot());
     }
     (local_ref, rows)
 }

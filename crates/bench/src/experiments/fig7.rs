@@ -39,9 +39,16 @@ pub struct Row {
 /// Interior client node with four 1-hop neighbours.
 const CLIENT: u16 = 6;
 
-fn run_config(total_accesses: u64, threads: u64, servers: &[NodeId]) -> (f64, u64) {
+fn run_config(
+    scale: Scale,
+    name: &str,
+    total_accesses: u64,
+    threads: u64,
+    servers: &[NodeId],
+) -> (f64, u64) {
     let client = super::n(CLIENT);
     let mut w = World::new(super::cluster());
+    w.enable_sampling(super::sample_interval(scale));
     let zones: Vec<(u64, u64)> = servers
         .iter()
         .map(|&s| {
@@ -72,6 +79,7 @@ fn run_config(total_accesses: u64, threads: u64, servers: &[NodeId]) -> (f64, u6
         .max()
         .expect("threads spawned");
     let nacks: u64 = ids.iter().map(|&i| w.thread_nacks(i)).sum();
+    crate::report::record_snapshot(name, w.snapshot());
     (t.as_us_f64(), nacks)
 }
 
@@ -90,7 +98,13 @@ pub fn run(scale: Scale) -> Vec<Row> {
     // Left group: one server, one hop.
     let one = servers_at(1, 1);
     for threads in [1u64, 2, 4] {
-        let (time_us, nacks) = run_config(total, threads, &one);
+        let (time_us, nacks) = run_config(
+            scale,
+            &format!("fig7/1server_{threads}t"),
+            total,
+            threads,
+            &one,
+        );
         rows.push(Row {
             group: "1 server",
             label: format!("{threads}t, 1 hop"),
@@ -101,7 +115,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
         });
     }
     // Right group: four servers; 2 threads at 1 hop, then 4 threads at 1-3.
-    let (t2, n2) = run_config(total, 2, &servers_at(1, 4));
+    let (t2, n2) = run_config(scale, "fig7/4servers_2t_1hop", total, 2, &servers_at(1, 4));
     rows.push(Row {
         group: "4 servers",
         label: "2t, 1 hop".into(),
@@ -111,7 +125,13 @@ pub fn run(scale: Scale) -> Vec<Row> {
         nacks: n2,
     });
     for hops in [1u32, 2, 3] {
-        let (time_us, nacks) = run_config(total, 4, &servers_at(hops, 4));
+        let (time_us, nacks) = run_config(
+            scale,
+            &format!("fig7/4servers_4t_{hops}hops"),
+            total,
+            4,
+            &servers_at(hops, 4),
+        );
         rows.push(Row {
             group: "4 servers",
             label: format!("4t, {hops} hop{}", if hops > 1 { "s" } else { "" }),

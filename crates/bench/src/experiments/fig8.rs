@@ -36,10 +36,20 @@ pub struct Row {
     pub server_utilization: f64,
 }
 
-fn run_config(control_accesses: u64, stress_nodes: usize, threads_per_node: u64) -> Row {
+fn run_config(
+    scale: Scale,
+    control_accesses: u64,
+    stress_nodes: usize,
+    threads_per_node: u64,
+) -> Row {
     let server = super::n(SERVER);
     let control = super::n(CONTROL);
     let mut w = World::new(super::cluster());
+    // Time-series snapshots only for the fully-stressed configurations —
+    // the ones whose server-side congestion the figure is about.
+    if stress_nodes == STRESS.len() {
+        w.enable_sampling(super::sample_interval(scale));
+    }
     let control_resv = w.reserve_remote(control, 8_192, Some(server));
     let control_zone = (control_resv.prefixed_base, control_resv.frames * 4096);
 
@@ -77,6 +87,12 @@ fn run_config(control_accesses: u64, stress_nodes: usize, threads_per_node: u64)
         }
     }
     w.run();
+    if stress_nodes == STRESS.len() {
+        crate::report::record_snapshot(
+            &format!("fig8/{stress_nodes}nodes_{threads_per_node}t"),
+            w.snapshot(),
+        );
+    }
     let elapsed = w.thread_elapsed(control_id);
     Row {
         stress_nodes,
@@ -95,7 +111,7 @@ pub fn run(scale: Scale) -> Vec<Row> {
             if nodes == 0 && tpn > 1 {
                 continue; // zero-stress baseline measured once
             }
-            rows.push(run_config(control_accesses, nodes, tpn));
+            rows.push(run_config(scale, control_accesses, nodes, tpn));
         }
     }
     rows
@@ -158,9 +174,9 @@ mod tests {
     #[test]
     fn control_thread_flat_then_degrading() {
         let control_accesses = 400;
-        let r0 = run_config(control_accesses, 0, 1);
-        let r2 = run_config(control_accesses, 2, 4);
-        let r7 = run_config(control_accesses, 7, 4);
+        let r0 = run_config(Scale::Smoke, control_accesses, 0, 1);
+        let r2 = run_config(Scale::Smoke, control_accesses, 2, 4);
+        let r7 = run_config(Scale::Smoke, control_accesses, 7, 4);
         // Light stress barely moves the control thread…
         assert!(
             r2.control_time_us < r0.control_time_us * 1.5,
@@ -188,8 +204,8 @@ mod tests {
         // Paper: "the number of memory requests that arrive to the server
         // increases when increasing the number of threads in the clients,
         // even beyond two threads".
-        let r2 = run_config(400, 6, 2);
-        let r4 = run_config(400, 6, 4);
+        let r2 = run_config(Scale::Smoke, 400, 6, 2);
+        let r4 = run_config(Scale::Smoke, 400, 6, 4);
         assert!(
             r4.server_utilization >= r2.server_utilization * 0.98,
             "4 threads/client must not reduce server pressure: {} vs {}",

@@ -15,7 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
-use cohfree_core::{ClusterConfig, NodeId};
+use cohfree_core::{ClusterConfig, NodeId, SimDuration};
 
 /// The standard experiment cluster (the 16-node prototype).
 pub fn cluster() -> ClusterConfig {
@@ -25,6 +25,16 @@ pub fn cluster() -> ClusterConfig {
 /// Shorthand node constructor.
 pub fn n(i: u16) -> NodeId {
     NodeId::new(i)
+}
+
+/// Interval for the cluster-wide sampling probe, scaled so each tier keeps
+/// a manageable number of time-series points (tens to hundreds per run).
+pub fn sample_interval(scale: crate::Scale) -> SimDuration {
+    scale.pick(
+        SimDuration::us(1),
+        SimDuration::us(20),
+        SimDuration::us(500),
+    )
 }
 
 /// Generate `count` strictly-ascending pseudo-random u64 keys (dedup'd,

@@ -15,32 +15,63 @@
 //! runs. Scaling changes problem sizes, never the architecture, so curve
 //! *shapes* are preserved.
 
+pub mod bencher;
 pub mod experiments;
+pub mod report;
 pub mod table;
 
-/// Run `f` over `items` on one OS thread per item (experiments are
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f` over `items` on a bounded worker pool (experiments are
 /// independent, deterministic simulations — embarrassingly parallel), and
-/// return the results in input order. Falls back to sequential for a
-/// single item.
+/// return the results in input order.
+///
+/// At most [`std::thread::available_parallelism`] OS threads are spawned
+/// regardless of how many items a sweep contains; workers pull items off a
+/// shared index so a paper-scale sweep of dozens of configurations never
+/// spawns dozens of threads. Falls back to sequential for a single item.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    if items.len() <= 1 {
+    let n = items.len();
+    if n <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = items.into_iter().map(|item| s.spawn(|_| f(item))).collect();
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("experiment thread panicked"));
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = items[i]
+                    .lock()
+                    .expect("item mutex poisoned")
+                    .take()
+                    .expect("each index claimed once");
+                let r = f(item);
+                *slots[i].lock().expect("slot mutex poisoned") = Some(r);
+            });
         }
-    })
-    .expect("crossbeam scope");
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("slot mutex poisoned")
+                .expect("all slots filled")
+        })
         .collect()
 }
 
@@ -65,6 +96,15 @@ impl Scale {
         }
     }
 
+    /// The tier's canonical name (as accepted by `COHFREE_SCALE`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// Pick one of three values by tier.
     pub fn pick<T: Copy>(self, smoke: T, default: T, paper: T) -> T {
         match self {
@@ -72,5 +112,53 @@ impl Scale {
             Scale::Default => default,
             Scale::Paper => paper,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map(items.clone(), |x| x * 3 + 1);
+        assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_item_is_sequential() {
+        assert_eq!(parallel_map(vec![7u64], |x| x + 1), vec![8]);
+        assert_eq!(
+            parallel_map(Vec::<u64>::new(), |x| x + 1),
+            Vec::<u64>::new()
+        );
+    }
+
+    #[test]
+    fn parallel_map_caps_concurrent_threads() {
+        // Many more items than cores: the observed peak concurrency must
+        // stay within available_parallelism (the old implementation spawned
+        // one thread per item and would peak at ~items).
+        let cap = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let live = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..cap * 8 + 13).collect();
+        let out = parallel_map(items.clone(), |x| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            live.fetch_sub(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out, items);
+        let observed = peak.load(Ordering::SeqCst);
+        assert!(
+            observed <= cap,
+            "peak concurrency {observed} exceeds available parallelism {cap}"
+        );
+        assert!(observed >= 1);
     }
 }

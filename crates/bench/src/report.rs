@@ -1,0 +1,128 @@
+//! The machine-readable run report — the `COHFREE_JSON` pipeline.
+//!
+//! Experiment bins print human-readable tables to stdout; this module
+//! accumulates the *same* results as a single structured JSON document so
+//! plots and regression checks never re-parse console output.
+//!
+//! Every [`Table::print`] records its table here automatically, and the
+//! cluster-level experiments (Figs. 6–8) additionally record
+//! [`ClusterSnapshot`]s — per-node RMC/fabric/DRAM counters plus the
+//! sampling probe's queue-depth time series. A bin's `main` ends with
+//! [`finish`], which writes the accumulated document to the path named by
+//! the `COHFREE_JSON` environment variable (and does nothing when the
+//! variable is unset, so plain console runs are unchanged).
+//!
+//! ```sh
+//! COHFREE_SCALE=smoke COHFREE_JSON=out.json \
+//!     cargo run --release -p cohfree-bench --bin all_figures
+//! ```
+
+use crate::table::Table;
+use cohfree_core::{ClusterSnapshot, Json};
+use std::sync::Mutex;
+
+static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
+    tables: Vec::new(),
+    snapshots: Vec::new(),
+});
+
+struct Collector {
+    tables: Vec<Json>,
+    snapshots: Vec<Json>,
+}
+
+/// Record a finished results table. Called by [`Table::print`]; call it
+/// directly for tables that are built but never printed.
+pub fn record_table(t: &Table) {
+    COLLECTOR
+        .lock()
+        .expect("report collector poisoned")
+        .tables
+        .push(t.to_json());
+}
+
+/// Record a cluster snapshot under `name` (e.g. `"fig6/hops3"`).
+pub fn record_snapshot(name: &str, snap: ClusterSnapshot) {
+    let entry = Json::obj([("name", Json::from(name)), ("cluster", snap.into_json())]);
+    COLLECTOR
+        .lock()
+        .expect("report collector poisoned")
+        .snapshots
+        .push(entry);
+}
+
+/// Assemble the full report document from everything recorded so far.
+/// The collector is left intact, so this may be called repeatedly.
+pub fn document() -> Json {
+    let c = COLLECTOR.lock().expect("report collector poisoned");
+    Json::obj([
+        ("format", Json::from("cohfree-report-v1")),
+        ("scale", Json::from(crate::Scale::from_env().name())),
+        ("tables", Json::Arr(c.tables.clone())),
+        ("cluster_snapshots", Json::Arr(c.snapshots.clone())),
+    ])
+}
+
+/// Write the report document to `path`.
+pub fn write_to(path: &str) -> std::io::Result<()> {
+    let mut text = document().to_string();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// End-of-run hook for every experiment bin: if `COHFREE_JSON` names a
+/// path, write the accumulated document there. A write failure is reported
+/// on stderr and exits non-zero — a CI artifact silently missing is worse
+/// than a failed job.
+pub fn finish() {
+    let Ok(path) = std::env::var("COHFREE_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    match write_to(&path) {
+        Ok(()) => eprintln!("report: wrote JSON document to {path}"),
+        Err(e) => {
+            eprintln!("report: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_and_snapshots_accumulate_into_the_document() {
+        let mut t = Table::new("report demo table", &["x", "y"]);
+        t.row(vec!["1".into(), "2".into()]);
+        record_table(&t);
+
+        let doc = document();
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some("cohfree-report-v1")
+        );
+        let tables = doc.get("tables").unwrap().as_array().unwrap();
+        let ours = tables
+            .iter()
+            .find(|t| t.get("title").and_then(Json::as_str) == Some("report demo table"))
+            .expect("recorded table present");
+        assert_eq!(
+            ours.get("rows").unwrap().as_array().unwrap()[0]
+                .as_array()
+                .unwrap()[1]
+                .as_str(),
+            Some("2")
+        );
+        // The document round-trips through its serialized form.
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        assert!(reparsed
+            .get("cluster_snapshots")
+            .unwrap()
+            .as_array()
+            .is_some());
+    }
+}

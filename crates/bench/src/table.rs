@@ -1,5 +1,7 @@
 //! Minimal aligned-table / CSV printing for experiment output.
 
+use cohfree_core::Json;
+
 /// A printable experiment result set.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -70,10 +72,25 @@ impl Table {
         out
     }
 
-    /// Print both renderings to stdout.
+    /// Structured view for the JSON report: `{title, headers, rows}` with
+    /// rows as arrays of cell strings, in print order.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("title", Json::from(self.title.as_str())),
+            ("headers", Json::from(self.headers.clone())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(|r| Json::from(r.clone())).collect()),
+            ),
+        ])
+    }
+
+    /// Print both renderings to stdout, and record the table into the run's
+    /// JSON report (see [`crate::report`]).
     pub fn print(&self) {
         println!("{}", self.render());
         println!("csv:\n{}", self.to_csv());
+        crate::report::record_table(self);
     }
 }
 
@@ -102,6 +119,17 @@ mod tests {
         let csv = t.to_csv();
         assert_eq!(csv, "a,long_header\n1,2\n300,4\n");
         assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn json_view_matches_contents() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x,y".into()]);
+        let j = t.to_json();
+        assert_eq!(
+            j.to_string(),
+            r#"{"title":"demo","headers":["a","b"],"rows":[["1","x,y"]]}"#
+        );
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Golden-shape test for the `COHFREE_JSON` pipeline: run the real `fig6`
+//! binary at smoke scale, parse the document it writes, and check the
+//! sections the plotting/regression tooling depends on.
+
+use cohfree_core::Json;
+
+#[test]
+fn fig6_binary_emits_parseable_cluster_report() {
+    let out = std::env::temp_dir().join(format!("cohfree_fig6_report_{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_fig6"))
+        .env("COHFREE_SCALE", "smoke")
+        .env("COHFREE_JSON", &out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("fig6 binary runs");
+    assert!(status.success(), "fig6 exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("report file written");
+    let _ = std::fs::remove_file(&out);
+
+    let doc = Json::parse(&text).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("format").and_then(Json::as_str),
+        Some("cohfree-report-v1")
+    );
+    assert_eq!(doc.get("scale").and_then(Json::as_str), Some("smoke"));
+
+    // The figure's table came through with all its rows.
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    let fig6 = tables
+        .iter()
+        .find(|t| {
+            t.get("title")
+                .and_then(Json::as_str)
+                .is_some_and(|s| s.starts_with("Fig. 6"))
+        })
+        .expect("fig6 table present");
+    let headers: Vec<_> = fig6
+        .get("headers")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(headers[0], "hops");
+    // Six hop distances plus the local-DRAM reference row.
+    assert_eq!(fig6.get("rows").unwrap().as_array().unwrap().len(), 7);
+
+    // One cluster snapshot per hop distance, each with live per-node
+    // RMC / fabric / DRAM sections and a queue-depth time series.
+    let snaps = doc.get("cluster_snapshots").unwrap().as_array().unwrap();
+    assert_eq!(snaps.len(), 6, "one snapshot per hop distance");
+    for snap in snaps {
+        let name = snap.get("name").and_then(Json::as_str).unwrap();
+        assert!(name.starts_with("fig6/hops"), "unexpected name {name}");
+        let cluster = snap.get("cluster").unwrap();
+        let nodes = cluster.get("nodes").unwrap().as_array().unwrap();
+        assert_eq!(nodes.len(), 16);
+
+        // The client (node 1) completed every access; its engine ran.
+        let client = nodes[0].get("rmc_client").unwrap();
+        assert!(client.get("completions").unwrap().as_u64().unwrap() > 0);
+        assert!(
+            client
+                .get("engine")
+                .unwrap()
+                .get("utilization")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+
+        // Some node served the requests out of its DRAM.
+        let served: u64 = nodes
+            .iter()
+            .map(|n| {
+                n.get("rmc_server")
+                    .unwrap()
+                    .get("requests")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .sum();
+        assert!(served > 0, "no server requests in {name}");
+        let dram: u64 = nodes
+            .iter()
+            .map(|n| {
+                n.get("dram")
+                    .unwrap()
+                    .get("accesses")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .sum();
+        assert!(dram >= served, "DRAM accesses missing in {name}");
+
+        // Fabric moved messages over concrete links, losslessly.
+        let fabric = cluster.get("fabric").unwrap();
+        assert!(fabric.get("delivered").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(fabric.get("dropped").unwrap().as_u64(), Some(0));
+        assert!(!fabric.get("links").unwrap().as_array().unwrap().is_empty());
+
+        // The sampling probe recorded a time series while the run drained.
+        let samples = cluster.get("samples").unwrap();
+        let series = samples.get("series").unwrap().as_array().unwrap();
+        assert!(!series.is_empty(), "empty time series in {name}");
+        let point = &series[0];
+        assert_eq!(
+            point
+                .get("client_in_flight")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len(),
+            16
+        );
+        assert!(point.get("events_queued").unwrap().as_u64().is_some());
+    }
+}

@@ -52,8 +52,8 @@ pub mod world;
 
 pub use backend::{AllocPolicy, LocalMachine, MemSpace, RemoteMemorySpace, SwapSpace};
 pub use config::{ClusterConfig, OsTiming};
-pub use world::{ThreadSpec, World};
+pub use world::{ClusterSnapshot, Sample, ThreadSpec, World};
 
 // Re-export the substrate types a user of the public API needs.
 pub use cohfree_fabric::{MsgKind, NodeId, Topology};
-pub use cohfree_sim::{Rng, SimDuration, SimTime};
+pub use cohfree_sim::{Json, Rng, SimDuration, SimTime};

@@ -34,7 +34,7 @@ use cohfree_os::frames::FrameAllocator;
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
-use cohfree_sim::{EventQueue, Rng, SimDuration, SimTime};
+use cohfree_sim::{EventQueue, Json, Rng, SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Per-node timed components.
@@ -62,6 +62,53 @@ enum Ev {
     /// lossy fabric). Stale if the transaction completed or was already
     /// retransmitted (`attempt` mismatch).
     Timeout { tag: u64, attempt: u32 },
+    /// Periodic metrics-sampling probe (armed by [`World::enable_sampling`]).
+    /// Re-arms itself only while other events remain queued, so a draining
+    /// run still terminates.
+    Sample,
+}
+
+/// One observation of the periodic sampling probe.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Capture instant.
+    pub at: SimTime,
+    /// In-flight RMC transactions per node (index `i` is node `i + 1`).
+    pub client_in_flight: Vec<usize>,
+    /// Server RMC front-end time-to-drain backlog per node, in nanoseconds.
+    pub server_backlog_ns: Vec<f64>,
+    /// Busiest DRAM controller time-to-drain backlog per node, in ns.
+    pub mem_backlog_ns: Vec<f64>,
+    /// Busiest fabric link time-to-drain backlog, in nanoseconds.
+    pub max_link_backlog_ns: f64,
+    /// Events pending in the engine queue (excluding this probe).
+    pub events_queued: usize,
+}
+
+/// Periodic queue-depth/occupancy recorder driven by [`Ev::Sample`].
+struct Sampler {
+    interval: SimDuration,
+    samples: Vec<Sample>,
+}
+
+/// A point-in-time serializable view of every timed component in the
+/// cluster, plus the sampling probe's time series when enabled.
+///
+/// Produced by [`World::snapshot`]; the [`ClusterSnapshot::doc`] field holds
+/// the full JSON document (see that method for the schema).
+#[derive(Debug, Clone)]
+pub struct ClusterSnapshot {
+    /// Instant the snapshot was taken (the engine clock).
+    pub at: SimTime,
+    /// The complete document.
+    pub doc: Json,
+}
+
+impl ClusterSnapshot {
+    /// Consume the snapshot, yielding the JSON document.
+    pub fn into_json(self) -> Json {
+        self.doc
+    }
 }
 
 /// Who is waiting on a transaction tag.
@@ -160,6 +207,7 @@ pub struct World {
     /// for the coherent-DSM baseline; empty = the paper's architecture.
     coherent_domain: Vec<NodeId>,
     coh: HashMap<u64, CohState>,
+    sampler: Option<Sampler>,
 }
 
 impl World {
@@ -190,8 +238,63 @@ impl World {
             sync_done: None,
             coherent_domain: Vec::new(),
             coh: HashMap::new(),
+            sampler: None,
             queue: EventQueue::new(),
             cfg,
+        }
+    }
+
+    /// Arm the periodic sampling probe: every `interval` of simulated time,
+    /// record queue depths and occupancy across the cluster (see [`Sample`]).
+    /// The probe only re-arms while other events remain queued, so
+    /// [`World::run`] still drains. Call before spawning threads.
+    ///
+    /// # Panics
+    /// Panics on a zero interval.
+    pub fn enable_sampling(&mut self, interval: SimDuration) {
+        assert!(
+            interval > SimDuration::ZERO,
+            "sampling interval must be positive"
+        );
+        self.sampler = Some(Sampler {
+            interval,
+            samples: Vec::new(),
+        });
+        self.queue.schedule_in(interval, Ev::Sample);
+    }
+
+    /// Observations recorded by the sampling probe so far (empty unless
+    /// [`World::enable_sampling`] was called).
+    pub fn samples(&self) -> &[Sample] {
+        self.sampler.as_ref().map_or(&[], |s| &s.samples)
+    }
+
+    fn take_sample(&mut self, now: SimTime) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        sampler.samples.push(Sample {
+            at: now,
+            client_in_flight: self.nodes.iter().map(|n| n.client.in_flight()).collect(),
+            server_backlog_ns: self
+                .nodes
+                .iter()
+                .map(|n| n.server.engine_backlog(now).as_ns_f64())
+                .collect(),
+            mem_backlog_ns: self
+                .nodes
+                .iter()
+                .map(|n| n.mem.max_backlog(now).as_ns_f64())
+                .collect(),
+            max_link_backlog_ns: self.fabric.max_link_backlog(now).as_ns_f64(),
+            events_queued: self.queue.len(),
+        });
+        // Re-arm only while the cluster still has work in flight; when this
+        // probe is the only queued event, sampling would keep the run alive
+        // forever.
+        if !self.queue.is_empty() {
+            let interval = sampler.interval;
+            self.queue.schedule(now + interval, Ev::Sample);
         }
     }
 
@@ -428,6 +531,7 @@ impl World {
             }
             Ev::ThreadWake { id } => self.thread_step(id),
             Ev::Timeout { tag, attempt } => self.on_timeout(now, tag, attempt),
+            Ev::Sample => self.take_sample(now),
         }
     }
 
@@ -721,12 +825,20 @@ impl World {
                 }
                 th.issued += 1;
                 let (base, len, slot) = if th.sequential {
-                    // Walk all zones end-to-end in order, wrapping.
-                    let per_zone: u64 = th.spec.zones[0].1 / th.spec.bytes as u64;
-                    let k = (th.issued - 1) / per_zone.max(1) % th.spec.zones.len() as u64;
-                    let (base, len) = th.spec.zones[k as usize];
-                    let slots = (len / th.spec.bytes as u64).max(1);
-                    (base, len, (th.issued - 1) % slots)
+                    // Walk all zones end-to-end in order, wrapping. Each zone
+                    // contributes its own slot count — zones may differ in
+                    // size, so the walk position is resolved against the
+                    // cumulative slot total, not the first zone's.
+                    let slots_of = |len: u64| (len / th.spec.bytes as u64).max(1);
+                    let total: u64 = th.spec.zones.iter().map(|&(_, l)| slots_of(l)).sum();
+                    let mut off = (th.issued - 1) % total;
+                    let mut zi = 0usize;
+                    while off >= slots_of(th.spec.zones[zi].1) {
+                        off -= slots_of(th.spec.zones[zi].1);
+                        zi += 1;
+                    }
+                    let (base, len) = th.spec.zones[zi];
+                    (base, len, off)
                 } else {
                     let zi = if th.spec.zones.len() == 1 {
                         0
@@ -813,6 +925,72 @@ impl World {
     /// NACK retries suffered by thread `id`.
     pub fn thread_nacks(&self, id: usize) -> u64 {
         self.threads[id].nack_retries
+    }
+
+    /// Capture a cluster-wide metrics snapshot at the current engine clock.
+    ///
+    /// Document schema:
+    ///
+    /// ```text
+    /// { "at_ns": <clock>,
+    ///   "nodes": [ { "node": 1,
+    ///                "rmc_client": {...}, "rmc_server": {...},
+    ///                "dram": {...} }, ... ],
+    ///   "fabric": { "delivered": .., "dropped": .., "links": [...] },
+    ///   "directory": { "total_free_frames": .., ... },
+    ///   "samples": { "interval_ns": .., "series": [...] }   // if enabled
+    /// }
+    /// ```
+    ///
+    /// Utilizations are computed against the current clock as the horizon.
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let now = self.queue.now();
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Json::obj([
+                    ("node", Json::from((i + 1) as u64)),
+                    ("rmc_client", n.client.snapshot(now)),
+                    ("rmc_server", n.server.snapshot(now)),
+                    ("dram", n.mem.snapshot(now)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let mut fields = vec![
+            ("at_ns".to_string(), Json::from(now.as_ns())),
+            ("nodes".to_string(), Json::Arr(nodes)),
+            ("fabric".to_string(), self.fabric.snapshot(now)),
+            ("directory".to_string(), self.directory.snapshot()),
+        ];
+        if let Some(sampler) = &self.sampler {
+            let series = sampler
+                .samples
+                .iter()
+                .map(|s| {
+                    Json::obj([
+                        ("t_ns", Json::from(s.at.as_ns())),
+                        ("client_in_flight", Json::from(s.client_in_flight.clone())),
+                        ("server_backlog_ns", Json::from(s.server_backlog_ns.clone())),
+                        ("mem_backlog_ns", Json::from(s.mem_backlog_ns.clone())),
+                        ("max_link_backlog_ns", Json::from(s.max_link_backlog_ns)),
+                        ("events_queued", Json::from(s.events_queued)),
+                    ])
+                })
+                .collect::<Vec<_>>();
+            fields.push((
+                "samples".to_string(),
+                Json::obj([
+                    ("interval_ns", Json::from(sampler.interval.as_ns())),
+                    ("series", Json::Arr(series)),
+                ]),
+            ));
+        }
+        ClusterSnapshot {
+            at: now,
+            doc: Json::Obj(fields),
+        }
     }
 }
 
@@ -1239,6 +1417,169 @@ mod tests {
             );
         }
         assert_eq!(w.client(n(1)).completions(), 50);
+    }
+
+    #[test]
+    fn sequential_walk_respects_per_zone_sizes() {
+        // Regression: the walk position used to be split by the FIRST zone's
+        // slot count for every zone, so different-sized zones were visited
+        // with the wrong share of accesses. With one pass over the combined
+        // slot space, each home node must serve exactly its zone's slots.
+        let mut w = world();
+        let small = w.reserve_remote(n(1), 1, Some(n(2))); // 1 frame = 64 slots
+        let large = w.reserve_remote(n(1), 2, Some(n(3))); // 2 frames = 128 slots
+        let zones = vec![
+            (small.prefixed_base, small.frames * 4096),
+            (large.prefixed_base, large.frames * 4096),
+        ];
+        let total_slots = 64 + 128;
+        w.spawn_sequential_thread(
+            ThreadSpec {
+                node: n(1),
+                zones,
+                accesses: total_slots,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 11,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.server(n(2)).requests(), 64, "small zone walked once");
+        assert_eq!(w.server(n(3)).requests(), 128, "large zone walked once");
+    }
+
+    #[test]
+    fn sequential_walk_wraps_across_zones() {
+        // Two full passes over both zones: every slot visited exactly twice.
+        let mut w = world();
+        let a = w.reserve_remote(n(1), 1, Some(n(2)));
+        let b = w.reserve_remote(n(1), 3, Some(n(5)));
+        let zones = vec![
+            (a.prefixed_base, a.frames * 4096),
+            (b.prefixed_base, b.frames * 4096),
+        ];
+        w.spawn_sequential_thread(
+            ThreadSpec {
+                node: n(1),
+                zones,
+                accesses: 2 * (64 + 192),
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 12,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.server(n(2)).requests(), 128);
+        assert_eq!(w.server(n(5)).requests(), 384);
+    }
+
+    #[test]
+    fn sampling_records_time_series_and_run_still_drains() {
+        let mut w = world();
+        w.enable_sampling(SimDuration::ns(500));
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 200,
+                bytes: 64,
+                write_fraction: 0.2,
+                think: SimDuration::ns(5),
+                seed: 13,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let samples = w.samples();
+        assert!(samples.len() >= 10, "only {} samples", samples.len());
+        // Time series is strictly increasing at the configured cadence.
+        for pair in samples.windows(2) {
+            assert_eq!(pair[1].at.since(pair[0].at), SimDuration::ns(500));
+        }
+        // The probe saw in-flight work at some point.
+        assert!(
+            samples.iter().any(|s| s.client_in_flight[0] > 0),
+            "sampler never observed in-flight transactions"
+        );
+        assert_eq!(w.client(n(1)).completions(), 200, "run() drained normally");
+    }
+
+    #[test]
+    fn snapshot_document_reflects_the_cluster() {
+        let mut w = world();
+        w.enable_sampling(SimDuration::ns(500));
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 150,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 14,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let snap = w.snapshot();
+        assert_eq!(snap.at, w.now());
+        // Round-trip through the serialized form, then inspect.
+        let doc = Json::parse(&snap.doc.to_string()).expect("snapshot serializes to valid JSON");
+        let nodes = doc.get("nodes").unwrap().as_array().unwrap();
+        assert_eq!(nodes.len(), 16);
+        let n1 = &nodes[0];
+        assert_eq!(n1.get("node").unwrap().as_u64(), Some(1));
+        let client = n1.get("rmc_client").unwrap();
+        assert_eq!(client.get("completions").unwrap().as_u64(), Some(150));
+        assert!(
+            client
+                .get("engine")
+                .unwrap()
+                .get("utilization")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        let n2 = &nodes[1];
+        assert_eq!(
+            n2.get("rmc_server")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_u64(),
+            Some(150)
+        );
+        assert!(
+            n2.get("dram")
+                .unwrap()
+                .get("accesses")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0,
+            "home node DRAM must have served accesses"
+        );
+        let fabric = doc.get("fabric").unwrap();
+        assert_eq!(fabric.get("delivered").unwrap().as_u64(), Some(300));
+        assert!(!fabric.get("links").unwrap().as_array().unwrap().is_empty());
+        let series = doc
+            .get("samples")
+            .unwrap()
+            .get("series")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(series.len() >= 10);
+        assert!(series[0].get("t_ns").unwrap().as_u64().unwrap() > 0);
+        let dir = doc.get("directory").unwrap();
+        assert!(dir.get("total_free_frames").unwrap().as_u64().unwrap() > 0);
     }
 
     #[test]

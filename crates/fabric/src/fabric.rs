@@ -206,11 +206,53 @@ impl Fabric {
             .fold(0.0, f64::max)
     }
 
+    /// Largest time-to-drain backlog across links as seen at `now`.
+    pub fn max_link_backlog(&self, now: SimTime) -> SimDuration {
+        self.links
+            .values()
+            .map(|l| l.server.backlog(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Mean queueing wait on the directed link `u -> v`.
     pub fn link_mean_wait(&self, u: NodeId, v: NodeId) -> SimDuration {
         self.links
             .get(&(u, v))
             .map_or(SimDuration::ZERO, |l| l.server.mean_wait())
+    }
+
+    /// Serializable view of delivery counters and per-link statistics, with
+    /// utilization computed against `horizon`. Links are sorted by
+    /// `(from, to)` so the output is stable across runs.
+    pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
+        use cohfree_sim::Json;
+        let mut keys: Vec<(NodeId, NodeId)> = self.links.keys().copied().collect();
+        keys.sort_unstable_by_key(|&(u, v)| (u.get(), v.get()));
+        let links = keys
+            .into_iter()
+            .map(|(u, v)| {
+                let l = &self.links[&(u, v)];
+                Json::obj([
+                    ("from", Json::from(u.get() as u64)),
+                    ("to", Json::from(v.get() as u64)),
+                    ("messages", l.messages.snapshot()),
+                    ("bytes", l.bytes.snapshot()),
+                    ("utilization", Json::from(l.server.utilization(horizon))),
+                    ("mean_wait_ns", Json::from(l.server.mean_wait().as_ns_f64())),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("delivered", self.delivered.snapshot()),
+            ("total_hops", self.total_hops.snapshot()),
+            ("dropped", self.dropped.snapshot()),
+            (
+                "max_link_utilization",
+                Json::from(self.max_link_utilization(horizon)),
+            ),
+            ("links", Json::Arr(links)),
+        ])
     }
 }
 

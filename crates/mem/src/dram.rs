@@ -113,12 +113,39 @@ impl NodeMemory {
         &self.latency
     }
 
+    /// Largest time-to-drain backlog across controllers as seen at `now`.
+    pub fn max_backlog(&self, now: SimTime) -> SimDuration {
+        self.controllers
+            .iter()
+            .map(|c| c.backlog(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
     /// Utilization of the busiest controller over `[0, horizon]`.
     pub fn max_utilization(&self, horizon: SimTime) -> f64 {
         self.controllers
             .iter()
             .map(|c| c.utilization(horizon))
             .fold(0.0, f64::max)
+    }
+
+    /// Serializable view of access counters, the latency distribution and
+    /// per-socket controller statistics, with utilization computed against
+    /// `horizon`.
+    pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
+        use cohfree_sim::Json;
+        let controllers = self
+            .controllers
+            .iter()
+            .map(|c| c.snapshot(horizon))
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("accesses", self.accesses.snapshot()),
+            ("latency", self.latency.snapshot()),
+            ("max_utilization", Json::from(self.max_utilization(horizon))),
+            ("controllers", Json::Arr(controllers)),
+        ])
     }
 }
 

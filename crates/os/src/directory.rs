@@ -97,6 +97,16 @@ impl Directory {
     pub fn credit(&mut self, donor: NodeId, frames: u64) {
         self.free[donor.index()] += frames;
     }
+
+    /// Serializable view: total free frames and the per-node free counts
+    /// (array index `i` is node `i + 1`).
+    pub fn snapshot(&self) -> cohfree_sim::Json {
+        use cohfree_sim::Json;
+        Json::obj([
+            ("total_free_frames", Json::from(self.total_free())),
+            ("free_frames_per_node", Json::from(self.free.clone())),
+        ])
+    }
 }
 
 #[cfg(test)]

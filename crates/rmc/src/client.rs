@@ -233,6 +233,27 @@ impl RmcClient {
     pub fn engine_utilization(&self, horizon: SimTime) -> f64 {
         self.engine.utilization(horizon)
     }
+
+    /// Time-to-drain of the front-end engine's backlog as seen at `now`.
+    pub fn engine_backlog(&self, now: SimTime) -> SimDuration {
+        self.engine.backlog(now)
+    }
+
+    /// Serializable view of this client's counters, engine state and
+    /// latency distribution, with utilization computed against `horizon`.
+    pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
+        cohfree_sim::Json::obj([
+            ("reads", self.reads.snapshot()),
+            ("writes", self.writes.snapshot()),
+            ("completions", self.completions.snapshot()),
+            ("nacks", self.nacks.snapshot()),
+            ("retransmissions", self.retransmissions.snapshot()),
+            ("duplicates", self.duplicates.snapshot()),
+            ("in_flight", cohfree_sim::Json::from(self.in_flight.len())),
+            ("engine", self.engine.snapshot(horizon)),
+            ("latency", self.latency.snapshot()),
+        ])
+    }
 }
 
 #[cfg(test)]

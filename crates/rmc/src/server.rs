@@ -153,6 +153,23 @@ impl RmcServer {
     pub fn mean_engine_wait(&self) -> cohfree_sim::SimDuration {
         self.engine.mean_wait()
     }
+
+    /// Time-to-drain of the front-end engine's backlog as seen at `now`.
+    pub fn engine_backlog(&self, now: SimTime) -> cohfree_sim::SimDuration {
+        self.engine.backlog(now)
+    }
+
+    /// Serializable view of this server's counters, engine state and
+    /// service-time distribution, with utilization computed against
+    /// `horizon`.
+    pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
+        cohfree_sim::Json::obj([
+            ("requests", self.requests.snapshot()),
+            ("probes", self.probes.snapshot()),
+            ("engine", self.engine.snapshot(horizon)),
+            ("service", self.service.snapshot()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -28,10 +28,12 @@
 pub mod engine;
 pub mod queueing;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
 pub use engine::EventQueue;
 pub use queueing::FifoServer;
 pub use rng::Rng;
+pub use snapshot::Json;
 pub use time::{SimDuration, SimTime};

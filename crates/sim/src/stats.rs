@@ -291,13 +291,19 @@ impl TimeWeighted {
     }
 
     /// Time-weighted mean over `[0, horizon]`.
+    ///
+    /// The accumulator integrates up to the latest `set()`; if `horizon` is
+    /// earlier than that, the window is clamped to `last_change` — the
+    /// integral cannot be partially undone, and dividing the full sum by a
+    /// shorter horizon would overstate the mean.
     pub fn mean(&self, horizon: SimTime) -> f64 {
-        if horizon == SimTime::ZERO {
+        let end = horizon.max(self.last_change);
+        if end == SimTime::ZERO {
             return 0.0;
         }
         let tail = horizon.saturating_since(self.last_change);
         let total = self.weighted_sum + self.value * tail.as_ns_f64();
-        total / horizon.as_ns_f64()
+        total / end.as_ns_f64()
     }
 }
 
@@ -396,6 +402,23 @@ mod tests {
         assert!((w.mean(t(40)) - 1.5).abs() < 1e-12);
         assert_eq!(w.peak(), 4.0);
         assert_eq!(w.current(), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_clamps_early_horizon() {
+        let mut w = TimeWeighted::new();
+        let t = |ns| SimTime::ZERO + SimDuration::ns(ns);
+        w.set(t(0), 10.0);
+        w.set(t(100), 0.0); // 10.0 held for 100ns, integral = 1000
+                            // A horizon inside the already-integrated window must not divide the
+                            // full integral by the shorter span (which would report 20.0 here);
+                            // the window clamps to last_change.
+        assert!((w.mean(t(50)) - 10.0).abs() < 1e-12, "{}", w.mean(t(50)));
+        // At and past last_change the mean dilutes as normal.
+        assert!((w.mean(t(100)) - 10.0).abs() < 1e-12);
+        assert!((w.mean(t(200)) - 5.0).abs() < 1e-12);
+        // Degenerate: nothing integrated at all.
+        assert_eq!(TimeWeighted::new().mean(SimTime::ZERO), 0.0);
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Seeded randomized tests for the workload data structures against
+//! host-side oracles.
+//!
+//! Offline build: no external property-testing framework; every case is
+//! reproducible from the loop seed via the simulator's own [`Rng`].
+
+use cohfree_core::{ClusterConfig, LocalMachine};
+use cohfree_sim::Rng;
+use cohfree_workloads::{BTree, HashIndex};
+
+const CASES: u64 = 64;
+
+fn mem() -> LocalMachine {
+    LocalMachine::new(ClusterConfig::prototype(), 4 << 30)
+}
+
+/// Incremental insertion matches BTreeSet for any key sequence and any
+/// legal fanout; invariants hold throughout.
+#[test]
+fn btree_insert_matches_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xB7EE + seed);
+        let max_keys = rng.range(3, 12) as usize;
+        let count = rng.range(1, 400) as usize;
+        let keys: Vec<u64> = (0..count).map(|_| rng.below(500)).collect();
+        let mut m = mem();
+        let mut tree = BTree::new(&mut m, max_keys);
+        let mut oracle = std::collections::BTreeSet::new();
+        for k in &keys {
+            assert_eq!(tree.insert(&mut m, *k), oracle.insert(*k), "seed {seed}");
+        }
+        tree.check_invariants(&mut m);
+        assert_eq!(tree.len(), oracle.len() as u64, "seed {seed}");
+        assert_eq!(
+            tree.collect_keys(&mut m),
+            oracle.iter().copied().collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+        for probe in 0..500u64 {
+            assert_eq!(
+                tree.search(&mut m, probe).found,
+                oracle.contains(&probe),
+                "seed {seed}: probe {probe}"
+            );
+        }
+    }
+}
+
+/// Bulk load over any strictly-sorted key set yields a valid tree with
+/// exactly those keys, at any legal fanout.
+#[test]
+fn btree_bulk_load_matches_input() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0xB01D + seed);
+        let max_keys = rng.range(3, 20) as usize;
+        let count = rng.range(1, 800) as usize;
+        let raw: std::collections::BTreeSet<u64> = (0..count).map(|_| rng.below(100_000)).collect();
+        let keys: Vec<u64> = raw.into_iter().collect();
+        let mut m = mem();
+        let tree = BTree::bulk_load(&mut m, &keys, max_keys);
+        tree.check_invariants(&mut m);
+        assert_eq!(tree.collect_keys(&mut m), keys, "seed {seed}");
+        // Height is the minimum that fits.
+        let h = tree.height();
+        assert!(
+            BTree::capacity(max_keys, h) >= keys.len() as u64,
+            "seed {seed}"
+        );
+        if h > 1 {
+            assert!(
+                BTree::capacity(max_keys, h - 1) < keys.len() as u64,
+                "seed {seed}"
+            );
+        }
+        // Spot-check membership at the boundaries.
+        assert!(tree.search(&mut m, keys[0]).found, "seed {seed}");
+        assert!(
+            tree.search(&mut m, *keys.last().unwrap()).found,
+            "seed {seed}"
+        );
+    }
+}
+
+/// Search cost stays O(log2 n) probes regardless of fanout — the paper's
+/// Section V-B claim.
+#[test]
+fn btree_probe_count_bounded() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0x9_20BE + seed);
+        let max_keys = [3usize, 7, 31, 127][rng.below(4) as usize];
+        let n = rng.range(100, 3_000) as usize;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i * 7).collect();
+        let mut m = mem();
+        let tree = BTree::bulk_load(&mut m, &keys, max_keys);
+        let out = tree.search(&mut m, keys[n / 2]);
+        let log2n = (n as f64).log2().ceil() as u32;
+        // Binary search per node ~ log2(node) probes, summed ≈ log2(n) plus
+        // one bookkeeping probe per level.
+        assert!(
+            out.probes <= 2 * log2n + 2 * out.nodes_visited + 4,
+            "seed {seed}: probes {} for n {} (height {})",
+            out.probes,
+            n,
+            tree.height()
+        );
+    }
+}
+
+/// Hash index matches a HashMap oracle under arbitrary insert/get mixes.
+#[test]
+fn hash_index_matches_oracle() {
+    for seed in 0..CASES {
+        let mut rng = Rng::new(0x4A54 + seed);
+        let mut m = mem();
+        let mut h = HashIndex::new(&mut m, 1_024);
+        let mut oracle: std::collections::HashMap<u64, u64> = Default::default();
+        let ops = rng.range(1, 300);
+        for _ in 0..ops {
+            let k = rng.below(300);
+            let v = rng.next_u64();
+            if rng.chance(0.5) {
+                let fresh = h.insert(&mut m, k, v);
+                assert_eq!(fresh, oracle.insert(k, v).is_none(), "seed {seed}");
+            } else {
+                assert_eq!(h.get(&mut m, k), oracle.get(&k).copied(), "seed {seed}");
+            }
+        }
+        assert_eq!(h.len(), oracle.len() as u64, "seed {seed}");
+    }
+}
