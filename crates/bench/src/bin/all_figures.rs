@@ -25,5 +25,6 @@ fn main() {
     ex::ext_coherent::table(s).print();
     ex::ext_locality::table(s).print();
     ex::ext_balloon::table(s).print();
+    ex::ext_failover::table(s).print();
     cohfree_bench::report::finish();
 }

@@ -1,0 +1,5 @@
+//! Extension: mid-run donor crash — detection, evacuation, MTTR.
+fn main() {
+    cohfree_bench::experiments::ext_failover::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
+}

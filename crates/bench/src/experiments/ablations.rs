@@ -431,7 +431,13 @@ pub fn reliability(scale: Scale) -> Table {
     let total = scale.pick(2_000u64, 20_000, 200_000);
     let mut t = Table::new(
         "ABL-RELIABILITY — 2-thread random reads under link loss",
-        &["loss_rate", "time_us", "retransmissions", "duplicates"],
+        &[
+            "loss_rate",
+            "time_us",
+            "dropped",
+            "retransmissions",
+            "duplicates",
+        ],
     );
     for loss in [0.0, 1e-5, 1e-4, 1e-3, 1e-2] {
         let mut cfg = ClusterConfig::prototype();
@@ -457,11 +463,20 @@ pub fn reliability(scale: Scale) -> Table {
             .collect();
         w.run();
         let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
+        // Sum recovery counters across every client RMC, not just node 1's:
+        // the study generalizes to multi-client configurations.
+        let nodes = 1..=w.config().topology.num_nodes();
+        let retx: u64 = nodes
+            .clone()
+            .map(|i| w.client(super::n(i)).retransmissions())
+            .sum();
+        let dups: u64 = nodes.map(|i| w.client(super::n(i)).duplicates()).sum();
         t.row(vec![
             format!("{loss:.0e}"),
             format!("{:.1}", time.as_us_f64()),
-            w.client(client).retransmissions().to_string(),
-            w.client(client).duplicates().to_string(),
+            w.fabric().dropped().to_string(),
+            retx.to_string(),
+            dups.to_string(),
         ]);
     }
     t
@@ -567,9 +582,13 @@ mod tests {
             lossy > clean * 1.02,
             "1% loss must cost time: {clean} vs {lossy}"
         );
-        let retx: u64 = t.rows()[4][2].parse().unwrap();
+        let dropped: u64 = t.rows()[4][2].parse().unwrap();
+        assert!(dropped > 0, "1% loss must actually drop messages");
+        let retx: u64 = t.rows()[4][3].parse().unwrap();
         assert!(retx > 0, "recovery must have engaged");
-        let retx_clean: u64 = t.rows()[0][2].parse().unwrap();
+        let dropped_clean: u64 = t.rows()[0][2].parse().unwrap();
+        assert_eq!(dropped_clean, 0, "lossless fabric drops nothing");
+        let retx_clean: u64 = t.rows()[0][3].parse().unwrap();
         assert_eq!(retx_clean, 0, "lossless fabric must not retransmit");
     }
 

@@ -55,7 +55,8 @@ fn run_one(coherent_members: usize, accesses: u64) -> Row {
                 .iter()
                 .map(|&i| super::n(i))
                 .collect(),
-        );
+        )
+        .expect("lossless, fault-free config");
     }
     let resv = w.reserve_remote(client, 4_096, Some(home));
     let spec = ThreadSpec {

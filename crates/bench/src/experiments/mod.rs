@@ -5,6 +5,7 @@ pub mod analytic;
 pub mod ext_balloon;
 pub mod ext_coherent;
 pub mod ext_db;
+pub mod ext_failover;
 pub mod ext_locality;
 pub mod ext_parallel;
 pub mod ext_tenants;

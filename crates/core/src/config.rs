@@ -5,6 +5,7 @@
 //! 16-node CLUSTER 2010 machine (FPGA RMCs, DDR2-800, 4×4 mesh); the
 //! ablation benches derive variants from it.
 
+use crate::fault::{FaultPlan, RecoveryConfig};
 use cohfree_fabric::{FabricConfig, Topology};
 use cohfree_mem::{CacheConfig, DramConfig};
 use cohfree_os::directory::DonorPolicy;
@@ -70,6 +71,10 @@ pub struct ClusterConfig {
     pub donor_policy: DonorPolicy,
     /// Software timing.
     pub os: OsTiming,
+    /// Deterministic fault-injection schedule (empty by default).
+    pub faults: FaultPlan,
+    /// Failure-detection and recovery parameters.
+    pub recovery: RecoveryConfig,
     /// Base PRNG seed (placement, workload streams fork from it).
     pub seed: u64,
 }
@@ -91,6 +96,8 @@ impl ClusterConfig {
             pool_bytes: 8 << 30,
             donor_policy: DonorPolicy::Nearest,
             os: OsTiming::default(),
+            faults: FaultPlan::default(),
+            recovery: RecoveryConfig::default(),
             seed: 0xC0DE_2010,
         }
     }

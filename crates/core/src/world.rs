@@ -27,6 +27,7 @@
 //! reservation latency to the caller's clock.
 
 use crate::config::ClusterConfig;
+use crate::fault::{EvacuationPolicy, FaultEvent};
 use cohfree_fabric::{Fabric, Message, MsgKind, NodeId, Step};
 use cohfree_mem::NodeMemory;
 use cohfree_os::directory::Directory;
@@ -34,8 +35,9 @@ use cohfree_os::frames::FrameAllocator;
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
-use cohfree_sim::{EventQueue, Json, Rng, SimDuration, SimTime};
+use cohfree_sim::{EventQueue, FaultLog, Json, Rng, SimDuration, SimTime};
 use std::collections::HashMap;
+use std::fmt;
 
 /// Per-node timed components.
 struct NodeCtx {
@@ -59,13 +61,16 @@ enum Ev {
     /// A traffic thread should take its next step.
     ThreadWake { id: usize },
     /// Loss-recovery timer for transaction `tag` fired (armed only on a
-    /// lossy fabric). Stale if the transaction completed or was already
-    /// retransmitted (`attempt` mismatch).
+    /// lossy fabric or under a fault plan). Stale if the transaction
+    /// completed or was already retransmitted (`attempt` mismatch).
     Timeout { tag: u64, attempt: u32 },
     /// Periodic metrics-sampling probe (armed by [`World::enable_sampling`]).
     /// Re-arms itself only while other events remain queued, so a draining
     /// run still terminates.
     Sample,
+    /// A scheduled fault (or repair) from the configuration's
+    /// [`crate::FaultPlan`] strikes.
+    Fault(FaultEvent),
 }
 
 /// One observation of the periodic sampling probe.
@@ -83,6 +88,10 @@ pub struct Sample {
     pub max_link_backlog_ns: f64,
     /// Events pending in the engine queue (excluding this probe).
     pub events_queued: usize,
+    /// Cumulative client RMC completions per node (index `i` is node
+    /// `i + 1`) — differencing consecutive samples yields the throughput
+    /// timeline the failover experiments plot.
+    pub completions: Vec<u64>,
 }
 
 /// Periodic queue-depth/occupancy recorder driven by [`Ev::Sample`].
@@ -109,6 +118,56 @@ impl ClusterSnapshot {
     pub fn into_json(self) -> Json {
         self.doc
     }
+}
+
+/// A [`World`] configuration request that cannot be honoured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorldConfigError {
+    /// The coherent-DSM baseline cannot run over a fabric that loses
+    /// messages: its probe choreography has no loss recovery.
+    LossyCoherentDomain {
+        /// The configured per-traversal loss probability.
+        loss_rate: f64,
+    },
+    /// The coherent baseline has no failure handling either; a coherency
+    /// domain cannot be combined with a non-empty fault plan.
+    FaultyCoherentDomain,
+}
+
+impl fmt::Display for WorldConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldConfigError::LossyCoherentDomain { loss_rate } => write!(
+                f,
+                "the coherent baseline requires a lossless fabric (loss_rate = {loss_rate})"
+            ),
+            WorldConfigError::FaultyCoherentDomain => write!(
+                f,
+                "the coherent baseline cannot run under a fault plan (no failure recovery)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WorldConfigError {}
+
+/// Outcome of one access driven through [`World::try_blocking_transaction`]:
+/// either it completed, or its home node was declared failed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The access completed; the issuing core observes it at `at`.
+    Completed {
+        /// Completion instant.
+        at: SimTime,
+    },
+    /// The home node was declared failed (retry budget exhausted or
+    /// crashed) before the access could complete.
+    Failed {
+        /// The home node that was given up on.
+        node: NodeId,
+        /// When the access was abandoned.
+        at: SimTime,
+    },
 }
 
 /// Who is waiting on a transaction tag.
@@ -170,6 +229,11 @@ struct Thread {
     coherent: bool,
     issued: u64,
     completed: u64,
+    /// Accesses abandoned because their home node was declared failed (or
+    /// because this thread's own node crashed).
+    failed: u64,
+    /// Accesses re-issued against a new home after an evacuation.
+    evacuated_retries: u64,
     /// Access generated but NACKed, awaiting retry.
     pending: Option<(NodeId, MsgKind, u64)>,
     started: SimTime,
@@ -208,6 +272,18 @@ pub struct World {
     coherent_domain: Vec<NodeId>,
     coh: HashMap<u64, CohState>,
     sampler: Option<Sampler>,
+    /// Crash state per node (index `i` is node `i + 1`).
+    dead: Vec<bool>,
+    /// Chronological record of faults, detections and recoveries.
+    fault_log: FaultLog,
+    /// Zones successfully re-homed after a donor failure.
+    evacuations: u64,
+    /// A blocking transaction's home was declared failed (mirror of
+    /// `sync_done` for the failure path).
+    sync_failed: Option<(u64, SimTime)>,
+    /// Per owner node: `(old_base, new_base, frames)` of evacuated zones,
+    /// so interrupted and not-yet-issued accesses can be re-aimed.
+    evac_remaps: Vec<Vec<(u64, u64, u64)>>,
 }
 
 impl World {
@@ -229,6 +305,10 @@ impl World {
                 }
             })
             .collect();
+        let mut queue = EventQueue::new();
+        for ev in cfg.faults.events() {
+            queue.schedule(ev.at(), Ev::Fault(ev));
+        }
         World {
             fabric: Fabric::new(cfg.topology, cfg.fabric),
             nodes,
@@ -239,7 +319,12 @@ impl World {
             coherent_domain: Vec::new(),
             coh: HashMap::new(),
             sampler: None,
-            queue: EventQueue::new(),
+            dead: vec![false; n as usize],
+            fault_log: FaultLog::new(),
+            evacuations: 0,
+            sync_failed: None,
+            evac_remaps: vec![Vec::new(); n as usize],
+            queue,
             cfg,
         }
     }
@@ -288,6 +373,7 @@ impl World {
                 .collect(),
             max_link_backlog_ns: self.fabric.max_link_backlog(now).as_ns_f64(),
             events_queued: self.queue.len(),
+            completions: self.nodes.iter().map(|n| n.client.completions()).collect(),
         });
         // Re-arm only while the cluster still has work in flight; when this
         // probe is the only queued event, sampling would keep the run alive
@@ -303,16 +389,22 @@ impl World {
     /// answering, modelling Opteron-style broadcast coherence stretched
     /// across the fabric (the 3Leaf/Aqua approach of Section II).
     ///
-    /// # Panics
-    /// Panics on a lossy fabric — the baseline's probe choreography has no
-    /// loss recovery (and the real aggregating chipsets assumed reliable
-    /// links too).
-    pub fn set_coherent_domain(&mut self, domain: Vec<NodeId>) {
-        assert!(
-            self.cfg.fabric.loss_rate == 0.0,
-            "the coherent baseline requires a lossless fabric"
-        );
+    /// # Errors
+    /// The baseline's probe choreography has no loss or failure recovery
+    /// (the real aggregating chipsets assumed reliable links too), so this
+    /// rejects a lossy fabric and any non-empty fault plan with a
+    /// [`WorldConfigError`].
+    pub fn set_coherent_domain(&mut self, domain: Vec<NodeId>) -> Result<(), WorldConfigError> {
+        if self.cfg.fabric.loss_rate > 0.0 {
+            return Err(WorldConfigError::LossyCoherentDomain {
+                loss_rate: self.cfg.fabric.loss_rate,
+            });
+        }
+        if !self.cfg.faults.is_empty() {
+            return Err(WorldConfigError::FaultyCoherentDomain);
+        }
         self.coherent_domain = domain;
+        Ok(())
     }
 
     /// The configuration in force.
@@ -393,7 +485,10 @@ impl World {
                 .on_request(&req_msg, &mut donor_ctx.frames)
                 .unwrap_or_else(|e| panic!("donor {donor_id} failed: {e}"))
         };
-        let resv = self.nodes[asker.index()].requester.on_ack(&ack);
+        let resv = self.nodes[asker.index()]
+            .requester
+            .on_ack(&ack)
+            .expect("fresh ack");
         self.directory.debit(donor_id, frames);
         self.nodes[asker.index()].region.extend(Segment {
             home: donor_id,
@@ -426,6 +521,8 @@ impl World {
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
         match ev {
+            // A message at a crashed router vanishes with the router.
+            Ev::Hop { at, .. } if self.dead[at.index()] => {}
             Ev::Hop { msg, at } => match self.fabric.step(now, at, &msg) {
                 Step::Forward { next, arrive } => {
                     self.queue.schedule(arrive, Ev::Hop { msg, at: next });
@@ -508,6 +605,8 @@ impl World {
                     }
                 },
             },
+            // The DRAM completion of a node that crashed mid-service.
+            Ev::MemDone { msg, .. } if self.dead[msg.dst.index()] => {}
             Ev::MemDone { msg, arrived } => {
                 if matches!(msg.kind, MsgKind::CohReadReq { .. }) {
                     let st = self
@@ -532,15 +631,19 @@ impl World {
             Ev::ThreadWake { id } => self.thread_step(id),
             Ev::Timeout { tag, attempt } => self.on_timeout(now, tag, attempt),
             Ev::Sample => self.take_sample(now),
+            Ev::Fault(fault) => self.apply_fault(now, fault),
         }
     }
 
-    /// Arm the loss-recovery timer for `tag` if the fabric can lose
-    /// messages (a lossless fabric needs no timers and no timer events).
+    /// Arm the loss-recovery timer for `tag` if messages can be lost — a
+    /// lossy fabric, or any fault plan (crashes and outages swallow traffic
+    /// even over lossless links). The k-th retry backs off exponentially:
+    /// `timeout * 2^min(k, backoff_cap)`.
     fn arm_timeout(&mut self, injected_at: SimTime, tag: u64, attempt: u32) {
-        if self.cfg.fabric.loss_rate > 0.0 {
+        if self.cfg.fabric.loss_rate > 0.0 || !self.cfg.faults.is_empty() {
+            let backoff = 1u64 << attempt.min(self.cfg.recovery.backoff_cap);
             self.queue.schedule(
-                injected_at + self.cfg.rmc.timeout,
+                injected_at + self.cfg.rmc.timeout * backoff,
                 Ev::Timeout { tag, attempt },
             );
         }
@@ -548,10 +651,16 @@ impl World {
 
     fn on_timeout(&mut self, now: SimTime, tag: u64, attempt: u32) {
         let Some(p) = self.pending.get_mut(&tag) else {
-            return; // completed; stale timer
+            return; // completed or aborted; stale timer
         };
         if p.attempt != attempt {
             return; // already retransmitted; a newer timer is armed
+        }
+        if p.attempt >= self.cfg.recovery.max_retries {
+            // Retry budget exhausted: the home node is unresponsive.
+            let (src, dst) = (p.msg.src, p.msg.dst);
+            self.declare_suspect(now, src, dst);
+            return;
         }
         p.attempt += 1;
         let (msg, new_attempt) = (p.msg, p.attempt);
@@ -559,6 +668,227 @@ impl World {
         let inject_at = self.nodes[src.index()].client.retransmit(now, tag);
         self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
         self.arm_timeout(inject_at, tag, new_attempt);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure detection and recovery
+    // ------------------------------------------------------------------
+
+    /// `observer`'s client RMC gives up on `dead`: mark it suspect, zero its
+    /// directory capacity, evacuate zones homed there, and abort every
+    /// outstanding transaction aimed at it.
+    fn declare_suspect(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
+        if !self.nodes[observer.index()].client.is_suspect(dead) {
+            self.nodes[observer.index()].client.mark_suspect(dead);
+            self.fault_log.record(
+                now,
+                "suspect",
+                format!("node {observer} declares node {dead} failed (retry budget exhausted)"),
+            );
+            self.directory.set_free(dead, 0);
+            self.evacuate(now, observer, dead);
+        }
+        let doomed: Vec<(u64, PendingTx)> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.msg.src == observer && p.msg.dst == dead)
+            .map(|(&tag, &p)| (tag, p))
+            .collect();
+        for (tag, p) in doomed {
+            self.pending.remove(&tag);
+            self.nodes[observer.index()].client.abort(tag);
+            match p.owner {
+                Owner::Thread(id) => self.thread_abort(now, id, p.msg),
+                Owner::Sync => self.sync_failed = Some((tag, now)),
+                Owner::Posted => {} // fire-and-forget; nobody to notify
+            }
+        }
+    }
+
+    /// Re-home every zone of `owner`'s region whose home is `dead`
+    /// (directory-assisted re-reservation on a donor with capacity and a
+    /// zone-base rewrite), or drop it when no donor can take it / policy is
+    /// [`EvacuationPolicy::Fail`]. The owner's threads keep running: their
+    /// zone tables are rewritten and interrupted accesses re-aimed through
+    /// the recorded remap.
+    fn evacuate(&mut self, now: SimTime, owner: NodeId, dead: NodeId) {
+        let doomed: Vec<Segment> = self.nodes[owner.index()]
+            .region
+            .segments()
+            .iter()
+            .filter(|s| s.home == dead)
+            .copied()
+            .collect();
+        for seg in doomed {
+            self.nodes[owner.index()]
+                .region
+                .shrink(seg.base)
+                .expect("doomed segment exists");
+            // Discard the stale grant; the release message goes nowhere —
+            // its donor is dead.
+            let stale = self.nodes[owner.index()]
+                .requester
+                .held()
+                .iter()
+                .copied()
+                .find(|r| r.home == dead && r.prefixed_base == seg.base);
+            if let Some(r) = stale {
+                let _ = self.nodes[owner.index()].requester.release(r);
+            }
+            let new_donor = match self.cfg.recovery.evacuation {
+                EvacuationPolicy::Rehome => self.directory.choose_donor(owner, seg.frames),
+                EvacuationPolicy::Fail => None,
+            };
+            let Some(new_donor) = new_donor else {
+                self.fault_log.record(
+                    now,
+                    "evacuation_failed",
+                    format!(
+                        "zone {:#x} ({} frames) on dead node {dead} dropped (no donor; \
+                         accesses to it fail)",
+                        seg.base, seg.frames
+                    ),
+                );
+                continue;
+            };
+            let new = self.reserve_remote(owner, seg.frames, Some(new_donor));
+            for th in &mut self.threads {
+                if th.spec.node != owner {
+                    continue;
+                }
+                for z in &mut th.spec.zones {
+                    if z.0 == seg.base {
+                        z.0 = new.prefixed_base;
+                    }
+                }
+            }
+            self.evac_remaps[owner.index()].push((seg.base, new.prefixed_base, seg.frames));
+            self.evacuations += 1;
+            self.fault_log.record(
+                now,
+                "evacuation",
+                format!(
+                    "zone {:#x} ({} frames) re-homed from node {dead} to node {}",
+                    seg.base, seg.frames, new.home
+                ),
+            );
+        }
+    }
+
+    /// Thread `id`'s in-flight access `msg` was aborted because its home
+    /// died. If the zone was evacuated, re-aim the access at the new home
+    /// (charging the re-reservation — and optionally re-fetch — latency);
+    /// otherwise record it as failed.
+    fn thread_abort(&mut self, now: SimTime, id: usize, msg: Message) {
+        let node = self.threads[id].spec.node;
+        let remap = self.evac_remaps[node.index()]
+            .iter()
+            .copied()
+            .find(|&(old, _, frames)| msg.addr >= old && msg.addr < old + frames * 4096);
+        if let Some((old, new, _)) = remap {
+            let addr = new + (msg.addr - old);
+            let (prefix, _) = cohfree_rmc::addr::split(addr);
+            let th = &mut self.threads[id];
+            th.pending = Some((NodeId::new(prefix), msg.kind, addr));
+            th.evacuated_retries += 1;
+            let mut delay = self.cfg.os.reservation;
+            if self.cfg.recovery.refetch {
+                delay += self.cfg.os.fault_overhead;
+            }
+            self.queue.schedule(now + delay, Ev::ThreadWake { id });
+        } else {
+            self.thread_access_failed(now, id);
+        }
+    }
+
+    /// Record one failed access for thread `id` and either finish it or
+    /// schedule its next step.
+    fn thread_access_failed(&mut self, now: SimTime, id: usize) {
+        let th = &mut self.threads[id];
+        th.failed += 1;
+        if th.completed + th.failed == th.spec.accesses {
+            th.finished = Some(now);
+        } else {
+            let think = th.spec.think;
+            self.queue.schedule(now + think, Ev::ThreadWake { id });
+        }
+    }
+
+    /// Apply one scheduled fault (or repair) to the cluster.
+    fn apply_fault(&mut self, now: SimTime, fault: FaultEvent) {
+        match fault {
+            FaultEvent::NodeCrash { node, .. } => {
+                if self.dead[node.index()] {
+                    return;
+                }
+                self.dead[node.index()] = true;
+                self.fabric.set_node_down(node);
+                self.directory.set_free(node, 0);
+                self.fault_log
+                    .record(now, "node_crash", format!("node {node} crashed"));
+                // Threads on the node die with their remaining work failed.
+                for th in &mut self.threads {
+                    if th.spec.node == node && th.finished.is_none() {
+                        th.failed += th.spec.accesses - th.completed - th.failed;
+                        th.finished = Some(now);
+                    }
+                }
+                // Transactions issued by the dead node vanish with it.
+                let gone: Vec<(u64, PendingTx)> = self
+                    .pending
+                    .iter()
+                    .filter(|(_, p)| p.msg.src == node)
+                    .map(|(&tag, &p)| (tag, p))
+                    .collect();
+                for (tag, p) in gone {
+                    self.pending.remove(&tag);
+                    self.nodes[node.index()].client.abort(tag);
+                    if let Owner::Sync = p.owner {
+                        self.sync_failed = Some((tag, now));
+                    }
+                }
+            }
+            FaultEvent::NodeRestart { node, .. } => {
+                if !self.dead[node.index()] {
+                    return;
+                }
+                self.dead[node.index()] = false;
+                self.fabric.set_node_up(node);
+                let ctx = &mut self.nodes[node.index()];
+                ctx.frames = FrameAllocator::new(self.cfg.private_bytes, self.cfg.pool_bytes);
+                ctx.donor = ResvDonor::new(node);
+                self.directory
+                    .set_free(node, self.cfg.pool_frames_per_node());
+                for peer in &mut self.nodes {
+                    peer.client.clear_suspect(node);
+                }
+                self.fault_log.record(
+                    now,
+                    "node_restart",
+                    format!("node {node} rejoined with a cold pool"),
+                );
+            }
+            FaultEvent::LinkDown { a, b, .. } => {
+                self.fabric.set_link_down(a, b);
+                self.fault_log
+                    .record(now, "link_down", format!("link {a} <-> {b} down"));
+            }
+            FaultEvent::LinkUp { a, b, .. } => {
+                self.fabric.set_link_up(a, b);
+                self.fault_log
+                    .record(now, "link_up", format!("link {a} <-> {b} repaired"));
+            }
+            FaultEvent::ServerStall { node, duration, .. } => {
+                if !self.dead[node.index()] {
+                    self.nodes[node.index()].server.stall(now, duration);
+                    self.fault_log.record(
+                        now,
+                        "server_stall",
+                        format!("server RMC on node {node} wedged for {duration}"),
+                    );
+                }
+            }
+        }
     }
 
     /// Release a coherent response once both the DRAM read and every snoop
@@ -587,10 +917,11 @@ impl World {
     fn complete(&mut self, comp: Completion) {
         match self.pending.remove(&comp.tag).map(|p| p.owner) {
             Some(Owner::Thread(id)) => {
-                let think = self.threads[id].spec.think;
-                self.threads[id].completed += 1;
-                if self.threads[id].completed == self.threads[id].spec.accesses {
-                    self.threads[id].finished = Some(comp.done_at);
+                let th = &mut self.threads[id];
+                let think = th.spec.think;
+                th.completed += 1;
+                if th.completed + th.failed == th.spec.accesses {
+                    th.finished = Some(comp.done_at);
                 } else {
                     self.queue
                         .schedule(comp.done_at + think, Ev::ThreadWake { id });
@@ -616,7 +947,9 @@ impl World {
     ///
     /// # Panics
     /// Panics if traffic threads are concurrently active (blocking mode is
-    /// for single-core processes; drive concurrent load with threads).
+    /// for single-core processes; drive concurrent load with threads), or if
+    /// the home node is declared failed mid-access — fault-tolerant callers
+    /// use [`World::try_blocking_transaction`].
     pub fn blocking_transaction(
         &mut self,
         start: SimTime,
@@ -625,12 +958,39 @@ impl World {
         kind: MsgKind,
         addr: u64,
     ) -> SimTime {
+        match self.try_blocking_transaction(start, src, dst, kind, addr) {
+            AccessOutcome::Completed { at } => at,
+            AccessOutcome::Failed { node, .. } => {
+                panic!("blocking transaction failed: home node {node} declared dead")
+            }
+        }
+    }
+
+    /// Like [`World::blocking_transaction`], but a home-node failure is
+    /// reported as [`AccessOutcome::Failed`] instead of retrying forever:
+    /// after the retry budget ([`crate::RecoveryConfig::max_retries`]) is
+    /// exhausted the node is declared suspect and the access aborted.
+    /// Accesses to an already-suspect node fail immediately.
+    ///
+    /// # Panics
+    /// Panics if traffic threads are concurrently active.
+    pub fn try_blocking_transaction(
+        &mut self,
+        start: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: MsgKind,
+        addr: u64,
+    ) -> AccessOutcome {
         assert!(
             self.threads.iter().all(|t| t.finished.is_some()),
             "blocking_transaction while traffic threads are active"
         );
         let mut t = start.max(self.queue.now());
         loop {
+            if self.nodes[src.index()].client.is_suspect(dst) {
+                return AccessOutcome::Failed { node: dst, at: t };
+            }
             match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
                 Submit::Accepted { msg, inject_at } => {
                     self.pending.insert(
@@ -658,7 +1018,10 @@ impl World {
         }
         loop {
             if let Some((_, done)) = self.sync_done.take() {
-                return done;
+                return AccessOutcome::Completed { at: done };
+            }
+            if let Some((_, at)) = self.sync_failed.take() {
+                return AccessOutcome::Failed { node: dst, at };
             }
             let (at, ev) = self
                 .queue
@@ -803,6 +1166,8 @@ impl World {
             coherent: false,
             issued: 0,
             completed: 0,
+            failed: 0,
+            evacuated_retries: 0,
             pending: None,
             started: start,
             finished: None,
@@ -814,7 +1179,12 @@ impl World {
 
     fn thread_step(&mut self, id: usize) {
         let now = self.queue.now();
-        // Take the pending (NACKed) access or generate a fresh one.
+        // A wake-up for a thread that died (its node crashed) or already
+        // finished (e.g. its last access failed) is stale.
+        if self.threads[id].finished.is_some() || self.dead[self.threads[id].spec.node.index()] {
+            return;
+        }
+        // Take the pending (NACKed or evacuated) access or generate a fresh one.
         let (dst, kind, addr) = {
             let th = &mut self.threads[id];
             if let Some(p) = th.pending.take() {
@@ -870,6 +1240,26 @@ impl World {
             }
         };
         let node = self.threads[id].spec.node;
+        // Accesses into an evacuated zone follow it to its new home
+        // (pre-evacuation NACKed pendings, pre-rewrite generated addresses).
+        let (dst, addr) = match self.evac_remaps[node.index()]
+            .iter()
+            .copied()
+            .find(|&(old, _, frames)| addr >= old && addr < old + frames * 4096)
+        {
+            Some((old, new, _)) => {
+                let a = new + (addr - old);
+                let (prefix, _) = cohfree_rmc::addr::split(a);
+                (NodeId::new(prefix), a)
+            }
+            None => (dst, addr),
+        };
+        // An access aimed at a declared-failed home (no evacuation took it
+        // in) fails instead of burning a retry budget each time.
+        if self.nodes[node.index()].client.is_suspect(dst) {
+            self.thread_access_failed(now, id);
+            return;
+        }
         match self.nodes[node.index()].client.submit(now, dst, kind, addr) {
             Submit::Accepted { msg, inject_at } => {
                 self.pending.insert(
@@ -927,6 +1317,38 @@ impl World {
         self.threads[id].nack_retries
     }
 
+    /// Accesses of thread `id` that completed.
+    pub fn thread_completed(&self, id: usize) -> u64 {
+        self.threads[id].completed
+    }
+
+    /// Accesses of thread `id` abandoned because their home node (or the
+    /// thread's own node) was declared failed.
+    pub fn thread_failed(&self, id: usize) -> u64 {
+        self.threads[id].failed
+    }
+
+    /// Accesses of thread `id` re-issued against a new home after an
+    /// evacuation.
+    pub fn thread_evacuated_retries(&self, id: usize) -> u64 {
+        self.threads[id].evacuated_retries
+    }
+
+    /// Zones successfully re-homed after donor failures.
+    pub fn evacuations(&self) -> u64 {
+        self.evacuations
+    }
+
+    /// The chronological fault/detection/recovery log.
+    pub fn fault_log(&self) -> &FaultLog {
+        &self.fault_log
+    }
+
+    /// True while `node` is crashed.
+    pub fn node_is_dead(&self, node: NodeId) -> bool {
+        self.dead[node.index()]
+    }
+
     /// Capture a cluster-wide metrics snapshot at the current engine clock.
     ///
     /// Document schema:
@@ -938,6 +1360,8 @@ impl World {
     ///                "dram": {...} }, ... ],
     ///   "fabric": { "delivered": .., "dropped": .., "links": [...] },
     ///   "directory": { "total_free_frames": .., ... },
+    ///   "evacuations": ..,
+    ///   "faults": [ { "t_ns": .., "kind": .., "detail": .. }, ... ],
     ///   "samples": { "interval_ns": .., "series": [...] }   // if enabled
     /// }
     /// ```
@@ -963,6 +1387,8 @@ impl World {
             ("nodes".to_string(), Json::Arr(nodes)),
             ("fabric".to_string(), self.fabric.snapshot(now)),
             ("directory".to_string(), self.directory.snapshot()),
+            ("evacuations".to_string(), Json::from(self.evacuations)),
+            ("faults".to_string(), self.fault_log.snapshot()),
         ];
         if let Some(sampler) = &self.sampler {
             let series = sampler
@@ -976,6 +1402,7 @@ impl World {
                         ("mem_backlog_ns", Json::from(s.mem_backlog_ns.clone())),
                         ("max_link_backlog_ns", Json::from(s.max_link_backlog_ns)),
                         ("events_queued", Json::from(s.events_queued)),
+                        ("completions", Json::from(s.completions.clone())),
                     ])
                 })
                 .collect::<Vec<_>>();
@@ -1258,7 +1685,7 @@ mod tests {
     fn coherent_run(domain_nodes: &[u16], accesses: u64) -> (SimDuration, u64) {
         let mut w = world();
         let domain: Vec<NodeId> = domain_nodes.iter().map(|&i| n(i)).collect();
-        w.set_coherent_domain(domain);
+        w.set_coherent_domain(domain).unwrap();
         let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
         let id = w.spawn_coherent_thread(
             ThreadSpec {
@@ -1580,6 +2007,325 @@ mod tests {
         assert!(series[0].get("t_ns").unwrap().as_u64().unwrap() > 0);
         let dir = doc.get("directory").unwrap();
         assert!(dir.get("total_free_frames").unwrap().as_u64().unwrap() > 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection, detection, and recovery
+    // ------------------------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::us(us)
+    }
+
+    #[test]
+    fn stale_timeout_after_retransmission_is_ignored() {
+        // Regression for the retransmit `attempt`-mismatch race: a timer
+        // armed for attempt k must be a no-op once attempt k+1 is in flight,
+        // and any timer must be a no-op after the transaction is aborted.
+        let mut w = lossy_world(0.5);
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let t0 = w.posted_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::WriteReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        let (&tag, p) = w.pending.iter().next().expect("one pending tx");
+        assert_eq!(p.attempt, 0);
+        // The attempt-0 timer fires: one retransmission, attempt becomes 1.
+        w.on_timeout(t0 + SimDuration::us(30), tag, 0);
+        assert_eq!(w.client(n(1)).retransmissions(), 1);
+        assert_eq!(w.pending[&tag].attempt, 1);
+        // The same stale timer firing again must not retransmit: the
+        // transaction now belongs to the attempt-1 timer.
+        w.on_timeout(t0 + SimDuration::us(60), tag, 0);
+        assert_eq!(w.client(n(1)).retransmissions(), 1);
+        assert_eq!(w.pending[&tag].attempt, 1);
+        // After an abort even the current-attempt timer is a no-op.
+        w.pending.remove(&tag);
+        assert!(w.nodes[n(1).index()].client.abort(tag));
+        w.on_timeout(t0 + SimDuration::us(120), tag, 1);
+        assert_eq!(w.client(n(1)).retransmissions(), 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_access_and_marks_suspect() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.fabric.loss_rate = 1.0; // nothing ever gets through
+        cfg.recovery.max_retries = 4;
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let out = w.try_blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        match out {
+            AccessOutcome::Failed { node, at } => {
+                assert_eq!(node, n(2));
+                assert!(at > SimTime::ZERO, "detection takes time");
+            }
+            AccessOutcome::Completed { .. } => panic!("must fail under total loss"),
+        }
+        assert_eq!(w.client(n(1)).retransmissions(), 4, "the full budget");
+        assert_eq!(w.client(n(1)).aborted(), 1);
+        assert!(w.client(n(1)).is_suspect(n(2)));
+        assert_eq!(w.fault_log().count("suspect"), 1);
+        // Accesses to an already-suspect home fail immediately, without
+        // burning another budget.
+        let out2 = w.try_blocking_transaction(
+            w.now(),
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        assert!(matches!(out2, AccessOutcome::Failed { .. }));
+        assert_eq!(w.client(n(1)).retransmissions(), 4);
+    }
+
+    #[test]
+    fn link_outage_reroutes_traffic_until_repair() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.faults = FaultPlan::new()
+            .with(FaultEvent::LinkDown {
+                at: t(5),
+                a: n(1),
+                b: n(2),
+            })
+            .with(FaultEvent::LinkUp {
+                at: t(200),
+                a: n(1),
+                b: n(2),
+            });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 300,
+                bytes: 64,
+                write_fraction: 0.2,
+                think: SimDuration::ns(5),
+                seed: 31,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id), 300, "the mesh routes around it");
+        assert_eq!(w.thread_failed(id), 0);
+        assert!(w.fabric().rerouted() > 0, "traffic must have detoured");
+        assert_eq!(w.fault_log().count("link_down"), 1);
+        assert_eq!(w.fault_log().count("link_up"), 1);
+    }
+
+    #[test]
+    fn donor_crash_evacuates_the_zone_and_accesses_follow_it() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.recovery.max_retries = 4; // quick detection
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(50),
+            node: n(2),
+        });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 300,
+                bytes: 64,
+                write_fraction: 0.2,
+                think: SimDuration::ns(5),
+                seed: 42,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(
+            w.thread_completed(id) + w.thread_failed(id),
+            300,
+            "every access accounted for"
+        );
+        assert_eq!(w.evacuations(), 1, "the zone must have been re-homed");
+        assert!(
+            w.thread_evacuated_retries(id) >= 1,
+            "the interrupted access must follow the zone"
+        );
+        assert_eq!(w.thread_failed(id), 0, "a spare donor exists; nothing lost");
+        assert_eq!(w.fault_log().count("suspect"), 1);
+        assert_eq!(w.fault_log().count("evacuation"), 1);
+        assert!(w.node_is_dead(n(2)));
+        // The replacement home actually served the remaining traffic.
+        let served_elsewhere: u64 = (3..=16).map(|i| w.server(n(i)).requests()).sum();
+        assert!(served_elsewhere > 0, "accesses continued on the new home");
+    }
+
+    #[test]
+    fn donor_crash_without_spare_capacity_fails_accesses() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.recovery.max_retries = 2;
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(50),
+            node: n(2),
+        });
+        let mut w = World::new(cfg);
+        // No node but the (doomed) donor has any pool capacity left.
+        for i in 3..=16 {
+            w.directory_mut().set_free(n(i), 0);
+        }
+        w.directory_mut().set_free(n(1), 0);
+        let resv = w.reserve_remote(n(1), 256, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 200,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 43,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id) + w.thread_failed(id), 200);
+        assert!(w.thread_failed(id) > 0, "dropped zone accesses must fail");
+        assert_eq!(w.evacuations(), 0);
+        assert_eq!(w.fault_log().count("evacuation_failed"), 1);
+        assert!(w.region(n(1)).borrowed_bytes() == 0, "dead zone dropped");
+    }
+
+    #[test]
+    fn crashed_node_restarts_with_a_cold_pool() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.recovery.max_retries = 2;
+        cfg.faults = FaultPlan::new()
+            .with(FaultEvent::NodeCrash {
+                at: t(30),
+                node: n(2),
+            })
+            .with(FaultEvent::NodeRestart {
+                at: t(2_000),
+                node: n(2),
+            });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 256, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 100,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 44,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id) + w.thread_failed(id), 100);
+        assert!(!w.node_is_dead(n(2)));
+        assert!(!w.client(n(1)).is_suspect(n(2)), "suspicion cleared");
+        assert_eq!(
+            w.directory().free_frames(n(2)),
+            w.config().pool_frames_per_node(),
+            "rejoined with a full, cold pool"
+        );
+        assert_eq!(w.fault_log().count("node_restart"), 1);
+        let _ = id;
+    }
+
+    #[test]
+    fn server_stall_delays_but_loses_nothing() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.faults = FaultPlan::new().with(FaultEvent::ServerStall {
+            at: t(20),
+            node: n(2),
+            duration: SimDuration::us(40),
+        });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 200,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 45,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id), 200, "a stall is not a loss");
+        assert_eq!(w.thread_failed(id), 0);
+        assert_eq!(w.server(n(2)).stalls(), 1);
+        assert_eq!(w.fault_log().count("server_stall"), 1);
+    }
+
+    #[test]
+    fn coherent_domain_rejects_loss_and_fault_plans() {
+        let mut w = lossy_world(0.01);
+        assert_eq!(
+            w.set_coherent_domain(vec![n(1), n(2)]),
+            Err(WorldConfigError::LossyCoherentDomain { loss_rate: 0.01 })
+        );
+        let mut cfg = ClusterConfig::prototype();
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(1),
+            node: n(2),
+        });
+        let mut w2 = World::new(cfg);
+        assert_eq!(
+            w2.set_coherent_domain(vec![n(1), n(2)]),
+            Err(WorldConfigError::FaultyCoherentDomain)
+        );
+        let mut w3 = world();
+        assert!(w3.set_coherent_domain(vec![n(1), n(2)]).is_ok());
+    }
+
+    #[test]
+    fn snapshot_carries_fault_log_and_evacuations() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.recovery.max_retries = 2;
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(40),
+            node: n(2),
+        });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 256, Some(n(2)));
+        w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 150,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 46,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        let doc = Json::parse(&w.snapshot().doc.to_string()).expect("valid JSON");
+        assert_eq!(doc.get("evacuations").unwrap().as_u64(), Some(1));
+        let faults = doc.get("faults").unwrap().as_array().unwrap();
+        assert!(faults.len() >= 3, "crash + suspect + evacuation at least");
+        assert!(faults
+            .iter()
+            .any(|f| f.get("kind").unwrap().as_str() == Some("node_crash")));
+        // Per-node client snapshots expose the abort count.
+        let nodes = doc.get("nodes").unwrap().as_array().unwrap();
+        let client = nodes[0].get("rmc_client").unwrap();
+        assert!(client.get("aborted").unwrap().as_u64().unwrap() >= 1);
     }
 
     #[test]

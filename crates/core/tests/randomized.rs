@@ -5,7 +5,7 @@
 //! reproducible from the loop seed via the simulator's own [`Rng`].
 
 use cohfree_core::world::{ThreadSpec, World};
-use cohfree_core::{ClusterConfig, NodeId, SimDuration, SimTime};
+use cohfree_core::{ClusterConfig, FaultEvent, FaultPlan, NodeId, SimDuration, SimTime};
 use cohfree_sim::Rng;
 
 fn n(i: u16) -> NodeId {
@@ -131,6 +131,61 @@ fn whole_world_determinism() {
             b.fabric().total_hops(),
             "seed {seed}"
         );
+    }
+}
+
+/// Robustness acceptance: under a mid-run node crash *plus* 1e-3 link loss,
+/// `run()` terminates (no hang, no panic) and every access of every thread
+/// is accounted for — completed, failed, or evacuated-and-retried.
+#[test]
+fn mid_run_crash_with_loss_accounts_for_every_access() {
+    for seed in 0..24 {
+        let mut rng = Rng::new(0xFA11 + seed);
+        let specs = arb_specs(&mut rng);
+        let crash_node = n(rng.range(1, 17) as u16);
+        let crash_at = SimTime::ZERO + SimDuration::us(rng.range(20, 200));
+        let mut cfg = ClusterConfig::prototype();
+        cfg.fabric.loss_rate = 1e-3;
+        cfg.recovery.max_retries = 4;
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: crash_at,
+            node: crash_node,
+        });
+        let mut w = World::new(cfg);
+        let mut ids = Vec::new();
+        for s in &specs {
+            let node = n(s.node);
+            let donor = if s.donor == s.node {
+                n(s.donor % 16 + 1)
+            } else {
+                n(s.donor)
+            };
+            let resv = w.reserve_remote(node, 256, Some(donor));
+            ids.push(w.spawn_thread(
+                ThreadSpec {
+                    node,
+                    zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                    accesses: s.accesses,
+                    bytes: 64,
+                    write_fraction: s.write_fraction,
+                    think: SimDuration::ns(5),
+                    seed: s.seed,
+                },
+                SimTime::ZERO,
+            ));
+        }
+        w.run(); // must terminate without panicking
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(
+                w.thread_completed(ids[i]) + w.thread_failed(ids[i]),
+                s.accesses,
+                "seed {seed}: thread {i} (node {}, donor {}, crash {crash_node}) \
+                 left accesses unaccounted",
+                s.node,
+                s.donor
+            );
+        }
+        assert!(w.node_is_dead(crash_node), "seed {seed}");
     }
 }
 

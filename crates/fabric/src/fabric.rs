@@ -20,7 +20,7 @@ use crate::topology::Topology;
 use cohfree_sim::queueing::FifoServer;
 use cohfree_sim::stats::Counter;
 use cohfree_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Physical-layer timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -77,8 +77,10 @@ pub enum Step {
         /// Arrival instant at that router.
         arrive: SimTime,
     },
-    /// The link lost the message (only with a non-zero
-    /// [`FabricConfig::loss_rate`]); recovery is the requester's problem.
+    /// The message is gone: the link lost it (non-zero
+    /// [`FabricConfig::loss_rate`]), or no live route toward the
+    /// destination exists (link/node outage). Recovery is the requester's
+    /// problem either way.
     Dropped,
 }
 
@@ -99,7 +101,18 @@ pub struct Fabric {
     delivered: Counter,
     total_hops: Counter,
     dropped: Counter,
+    rerouted: Counter,
+    unroutable: Counter,
     loss_rng: cohfree_sim::Rng,
+    /// Directed links administratively down (both directions of a failed
+    /// cable appear here; a direction that is not a physical link is
+    /// harmless dead weight).
+    down_links: HashSet<(NodeId, NodeId)>,
+    /// Routers that are down; every incident link is unusable.
+    down_nodes: HashSet<NodeId>,
+    /// Live next-hop table, rebuilt by BFS whenever the outage set changes.
+    /// Empty while the fabric is healthy (dimension-order routing applies).
+    routes: HashMap<(NodeId, NodeId), NodeId>,
 }
 
 impl Fabric {
@@ -116,9 +129,112 @@ impl Fabric {
             delivered: Counter::new(),
             total_hops: Counter::new(),
             dropped: Counter::new(),
+            rerouted: Counter::new(),
+            unroutable: Counter::new(),
             loss_rng: cohfree_sim::Rng::new(cfg.loss_seed),
+            down_links: HashSet::new(),
+            down_nodes: HashSet::new(),
+            routes: HashMap::new(),
             cfg,
         }
+    }
+
+    /// True while any link or node outage is active.
+    fn degraded(&self) -> bool {
+        !self.down_links.is_empty() || !self.down_nodes.is_empty()
+    }
+
+    /// A directed link is usable iff it is physically present, not
+    /// administratively down, and neither endpoint router is down.
+    fn usable(&self, u: NodeId, v: NodeId) -> bool {
+        !self.down_links.contains(&(u, v))
+            && !self.down_nodes.contains(&u)
+            && !self.down_nodes.contains(&v)
+    }
+
+    /// Recompute shortest live routes (BFS per destination over usable
+    /// links, smallest-id neighbor first, so the table is deterministic).
+    fn rebuild_routes(&mut self) {
+        self.routes.clear();
+        if !self.degraded() {
+            return; // healthy fabric: dimension-order routing, no table.
+        }
+        // Reverse adjacency over usable links: radj[x] = all w with w -> x.
+        let mut radj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut dsts: Vec<NodeId> = Vec::new();
+        for &(u, v) in self.links.keys() {
+            if self.usable(u, v) {
+                radj.entry(v).or_default().push(u);
+            }
+            dsts.push(v);
+        }
+        for preds in radj.values_mut() {
+            preds.sort_unstable_by_key(|n| n.get());
+        }
+        dsts.sort_unstable_by_key(|n| n.get());
+        dsts.dedup();
+        for dst in dsts {
+            let mut q = VecDeque::from([dst]);
+            let mut seen: HashSet<NodeId> = HashSet::from([dst]);
+            while let Some(x) = q.pop_front() {
+                let Some(preds) = radj.get(&x) else { continue };
+                for &w in preds {
+                    if seen.insert(w) {
+                        self.routes.insert((w, dst), x);
+                        q.push_back(w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Take the bidirectional link between `a` and `b` down; traffic
+    /// reroutes over the surviving topology (or drops as unroutable).
+    ///
+    /// # Panics
+    /// Panics if `a -> b` is not a physical link of the topology.
+    pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
+        assert!(
+            self.links.contains_key(&(a, b)),
+            "no physical link {a}->{b} to take down"
+        );
+        self.down_links.insert((a, b));
+        self.down_links.insert((b, a));
+        self.rebuild_routes();
+    }
+
+    /// Restore the bidirectional link between `a` and `b`.
+    pub fn set_link_up(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.remove(&(a, b));
+        self.down_links.remove(&(b, a));
+        self.rebuild_routes();
+    }
+
+    /// Take a router down: every incident link becomes unusable and no
+    /// message can be delivered to or forwarded through the node.
+    /// Independent link outages are tracked separately and survive a later
+    /// [`Fabric::set_node_up`].
+    pub fn set_node_down(&mut self, node: NodeId) {
+        self.down_nodes.insert(node);
+        self.rebuild_routes();
+    }
+
+    /// Bring a router back; only links downed via [`Fabric::set_link_down`]
+    /// stay down.
+    pub fn set_node_up(&mut self, node: NodeId) {
+        self.down_nodes.remove(&node);
+        self.rebuild_routes();
+    }
+
+    /// True if `node`'s router is currently down.
+    pub fn node_is_down(&self, node: NodeId) -> bool {
+        self.down_nodes.contains(&node)
+    }
+
+    /// Number of bidirectional links currently forced down (node outages
+    /// not included).
+    pub fn links_down(&self) -> usize {
+        self.down_links.len() / 2
     }
 
     /// The topology this fabric implements.
@@ -133,6 +249,11 @@ impl Fabric {
 
     /// Advance `msg`, currently at router `at` at time `now`, by one step.
     ///
+    /// With an active outage ([`Fabric::set_link_down`] /
+    /// [`Fabric::set_node_down`]) the live BFS route table replaces
+    /// dimension-order routing; a destination with no surviving path drops
+    /// the message (`unroutable`) without charging any link.
+    ///
     /// # Panics
     /// Panics if the route requires a link that does not exist (would
     /// indicate a routing bug — property tests pin this down).
@@ -141,7 +262,23 @@ impl Fabric {
             self.delivered.inc();
             return Step::Deliver { at: now };
         }
-        let next = self.topo.next_hop(at, msg.dst);
+        let next = if self.degraded() {
+            match self.routes.get(&(at, msg.dst)) {
+                Some(&hop) => {
+                    if hop != self.topo.next_hop(at, msg.dst) {
+                        self.rerouted.inc();
+                    }
+                    hop
+                }
+                None => {
+                    self.unroutable.inc();
+                    self.dropped.inc();
+                    return Step::Dropped;
+                }
+            }
+        } else {
+            self.topo.next_hop(at, msg.dst)
+        };
         let wire = msg.wire_bytes();
         let ser = self.cfg.serialization(wire);
         let link = self
@@ -183,9 +320,20 @@ impl Fabric {
         self.total_hops.get()
     }
 
-    /// Messages lost to link errors so far.
+    /// Messages lost so far (link errors plus unroutable drops).
     pub fn dropped(&self) -> u64 {
         self.dropped.get()
+    }
+
+    /// Hops taken that differ from the healthy dimension-order route
+    /// (outage-induced detours).
+    pub fn rerouted(&self) -> u64 {
+        self.rerouted.get()
+    }
+
+    /// Messages dropped because no live route to their destination existed.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable.get()
     }
 
     /// Bytes carried by the directed link `u -> v` so far.
@@ -247,6 +395,10 @@ impl Fabric {
             ("delivered", self.delivered.snapshot()),
             ("total_hops", self.total_hops.snapshot()),
             ("dropped", self.dropped.snapshot()),
+            ("rerouted", self.rerouted.snapshot()),
+            ("unroutable", self.unroutable.snapshot()),
+            ("links_down", Json::from(self.links_down() as u64)),
+            ("nodes_down", Json::from(self.down_nodes.len() as u64)),
             (
                 "max_link_utilization",
                 Json::from(self.max_link_utilization(horizon)),
@@ -406,6 +558,78 @@ mod tests {
         assert_eq!(o1, o2, "loss process must be deterministic");
         assert_eq!(d1, d2);
         assert!(d1 > 20 && d1 < 120, "drop count {d1} implausible for p=0.3");
+    }
+
+    #[test]
+    fn traffic_reroutes_around_a_downed_mesh_link() {
+        let mut f = mk_fabric();
+        f.set_link_down(n(1), n(2));
+        // Healthy route 1->2->3 is cut; the detour still delivers.
+        let msg = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, 0);
+        let (_, hops) = walk(&mut f, SimTime::ZERO, msg);
+        assert_eq!(hops, 4, "shortest detour on the mesh is 4 hops");
+        assert_eq!(f.delivered(), 1);
+        assert!(f.rerouted() > 0, "detour must be counted as rerouted");
+        assert_eq!(f.unroutable(), 0);
+        assert_eq!(f.links_down(), 1);
+        // Restoring the link restores dimension-order routing.
+        f.set_link_up(n(1), n(2));
+        let msg2 = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, 1);
+        let before = f.rerouted();
+        let (_, hops2) = walk(&mut f, SimTime::ZERO, msg2);
+        assert_eq!(hops2, 2);
+        assert_eq!(f.rerouted(), before);
+        assert_eq!(f.links_down(), 0);
+    }
+
+    #[test]
+    fn severed_destination_is_unroutable() {
+        // A unidirectional ring has exactly one path; cutting it strands
+        // the downstream neighbor.
+        let mut f = Fabric::new(Topology::Ring { nodes: 5 }, FabricConfig::default());
+        f.set_link_down(n(1), n(2));
+        let msg = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, 0);
+        assert_eq!(f.step(SimTime::ZERO, n(1), &msg), Step::Dropped);
+        assert_eq!(f.unroutable(), 1);
+        assert_eq!(f.dropped(), 1);
+        // The rest of the ring still works: 2 -> 1 rides 2->3->4->5->1.
+        let msg2 = Message::new(n(2), n(1), MsgKind::ReadReq { bytes: 64 }, 1);
+        let (_, hops) = walk(&mut f, SimTime::ZERO, msg2);
+        assert_eq!(hops, 4);
+    }
+
+    #[test]
+    fn node_down_blocks_delivery_and_transit_until_restored() {
+        let mut f = mk_fabric();
+        f.set_node_down(n(2));
+        assert!(f.node_is_down(n(2)));
+        // Messages *to* the dead router drop as unroutable.
+        let to_dead = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, 0);
+        assert_eq!(f.step(SimTime::ZERO, n(1), &to_dead), Step::Dropped);
+        assert!(f.unroutable() > 0);
+        // Messages *through* it detour and deliver.
+        let through = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, 1);
+        let (_, hops) = walk(&mut f, SimTime::ZERO, through);
+        assert_eq!(hops, 4);
+        // Restart heals everything; no residual link outages remain.
+        f.set_node_up(n(2));
+        assert!(!f.node_is_down(n(2)));
+        let again = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, 2);
+        let (_, hops) = walk(&mut f, SimTime::ZERO, again);
+        assert_eq!(hops, 1);
+    }
+
+    #[test]
+    fn node_restart_preserves_independent_link_outages() {
+        let mut f = mk_fabric();
+        f.set_link_down(n(5), n(6));
+        f.set_node_down(n(2));
+        f.set_node_up(n(2));
+        // The cable cut predates (and outlives) the node crash.
+        assert_eq!(f.links_down(), 1);
+        let msg = Message::new(n(5), n(6), MsgKind::ReadReq { bytes: 64 }, 0);
+        let (_, hops) = walk(&mut f, SimTime::ZERO, msg);
+        assert!(hops > 1, "5->6 must detour around the cut cable");
     }
 
     #[test]

@@ -98,6 +98,13 @@ impl Directory {
         self.free[donor.index()] += frames;
     }
 
+    /// Overwrite `node`'s free-frame count. Failure handling uses this to
+    /// zero a crashed donor (its pool is gone, grants and all) and to
+    /// re-seed a restarted one.
+    pub fn set_free(&mut self, node: NodeId, frames: u64) {
+        self.free[node.index()] = frames;
+    }
+
     /// Serializable view: total free frames and the per-node free counts
     /// (array index `i` is node `i + 1`).
     pub fn snapshot(&self) -> cohfree_sim::Json {

@@ -19,7 +19,7 @@
 use crate::frames::{FrameAllocator, FrameError};
 use cohfree_fabric::{Message, MsgKind, NodeId};
 use cohfree_rmc::addr::encode;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A granted reservation as seen by the requester.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +32,29 @@ pub struct Reservation {
     pub frames: u64,
 }
 
+/// One reservation request awaiting its ack, with retry bookkeeping: a
+/// `ResvReq` or `ResvAck` lost on a lossy fabric would otherwise strand the
+/// tag forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingResv {
+    /// Donor the request went to.
+    pub donor: NodeId,
+    /// Frames requested.
+    pub frames: u64,
+    /// Times the request has been (re)sent.
+    pub attempts: u32,
+}
+
 /// Requester-side protocol state for one node's kernel.
 #[derive(Debug)]
 pub struct ResvRequester {
     node: NodeId,
     next_tag: u64,
-    pending: HashMap<u64, u64>, // tag -> frames requested
+    pending: HashMap<u64, PendingResv>,
+    /// Tags already acked or cancelled — lets a retransmission-induced
+    /// duplicate ack (or a straggler after cancellation) be recognized as
+    /// stale instead of "unsolicited".
+    settled: HashSet<u64>,
     granted: Vec<Reservation>,
 }
 
@@ -48,6 +65,7 @@ impl ResvRequester {
             node,
             next_tag: (node.get() as u64) << 48 | 1 << 40, // disjoint from RMC tags
             pending: HashMap::new(),
+            settled: HashSet::new(),
             granted: Vec::new(),
         }
     }
@@ -58,22 +76,66 @@ impl ResvRequester {
         assert!(frames > 0, "zero-frame reservation");
         let tag = self.next_tag;
         self.next_tag += 1;
-        self.pending.insert(tag, frames);
+        self.pending.insert(
+            tag,
+            PendingResv {
+                donor,
+                frames,
+                attempts: 1,
+            },
+        );
         Message::new(self.node, donor, MsgKind::ResvReq { frames }, tag)
     }
 
-    /// Handle the donor's acknowledgement; returns the usable reservation.
+    /// Rebuild the request message for a still-pending tag after a loss
+    /// timeout. The same tag is reused so the donor can deduplicate.
+    /// Returns `None` if the tag is no longer pending (acked or cancelled
+    /// in the meantime — the stale timer should be ignored).
+    pub fn retry(&mut self, tag: u64) -> Option<Message> {
+        let p = self.pending.get_mut(&tag)?;
+        p.attempts += 1;
+        Some(Message::new(
+            self.node,
+            p.donor,
+            MsgKind::ResvReq { frames: p.frames },
+            tag,
+        ))
+    }
+
+    /// Give up on a pending request (donor declared dead). A straggler ack
+    /// arriving later is treated as stale. Returns the abandoned request,
+    /// or `None` if the tag was not pending.
+    pub fn cancel(&mut self, tag: u64) -> Option<PendingResv> {
+        let p = self.pending.remove(&tag)?;
+        self.settled.insert(tag);
+        Some(p)
+    }
+
+    /// Times the pending request `tag` has been sent (0 if not pending).
+    pub fn attempts(&self, tag: u64) -> u32 {
+        self.pending.get(&tag).map_or(0, |p| p.attempts)
+    }
+
+    /// Handle the donor's acknowledgement; returns the usable reservation,
+    /// or `None` for a stale duplicate (the retransmission race: our retry
+    /// and the donor's first ack crossed on the wire).
     ///
     /// # Panics
-    /// Panics on an ack that matches no pending request, or whose address
-    /// prefix does not name the donor (a broken donor would corrupt the
-    /// no-translation-table scheme).
-    pub fn on_ack(&mut self, msg: &Message) -> Reservation {
+    /// Panics on an ack that matches no request this endpoint ever sent, or
+    /// whose address prefix does not name the donor (a broken donor would
+    /// corrupt the no-translation-table scheme).
+    pub fn on_ack(&mut self, msg: &Message) -> Option<Reservation> {
         assert_eq!(msg.kind, MsgKind::ResvAck, "expected ResvAck");
-        let frames = self
-            .pending
-            .remove(&msg.tag)
-            .unwrap_or_else(|| panic!("unsolicited ResvAck tag {:#x}", msg.tag));
+        let Some(p) = self.pending.remove(&msg.tag) else {
+            assert!(
+                self.settled.contains(&msg.tag),
+                "unsolicited ResvAck tag {:#x}",
+                msg.tag
+            );
+            return None;
+        };
+        self.settled.insert(msg.tag);
+        let frames = p.frames;
         let (prefix, _) = cohfree_rmc::addr::split(msg.addr);
         assert_eq!(
             prefix,
@@ -89,7 +151,7 @@ impl ResvRequester {
             frames,
         };
         self.granted.push(r);
-        r
+        Some(r)
     }
 
     /// Build the release message for a previously granted reservation.
@@ -129,18 +191,27 @@ impl ResvRequester {
 #[derive(Debug)]
 pub struct ResvDonor {
     node: NodeId,
+    /// Acks already sent, by request tag: a retransmitted `ResvReq` (the
+    /// original ack was lost or slow) must re-send the same grant, not
+    /// carve a second zone.
+    granted: HashMap<u64, Message>,
 }
 
 impl ResvDonor {
     /// Protocol endpoint for `node`.
     pub fn new(node: NodeId) -> ResvDonor {
-        ResvDonor { node }
+        ResvDonor {
+            node,
+            granted: HashMap::new(),
+        }
     }
 
     /// Handle an incoming `ResvReq`: carve a zone out of the local pool and
-    /// build the ack whose address carries this node's prefix.
+    /// build the ack whose address carries this node's prefix. A duplicate
+    /// request (loss-recovery retransmission) replays the original ack
+    /// without reserving again.
     pub fn on_request(
-        &self,
+        &mut self,
         msg: &Message,
         frames_alloc: &mut FrameAllocator,
     ) -> Result<Message, FrameError> {
@@ -149,12 +220,16 @@ impl ResvDonor {
             other => panic!("donor got non-request {other:?}"),
         };
         assert_eq!(msg.dst, self.node, "misrouted reservation request");
+        if let Some(ack) = self.granted.get(&msg.tag) {
+            return Ok(*ack);
+        }
         let local_base = frames_alloc.reserve(frames, msg.src)?;
         let mut ack = msg.reply(MsgKind::ResvAck);
         // "One modification is done to that physical address before sending
         // it back: the 14 most significant bits are changed to reflect the
         // identifier of node 3."
         ack.addr = encode(self.node, local_base);
+        self.granted.insert(msg.tag, ack);
         Ok(ack)
     }
 
@@ -186,7 +261,7 @@ mod tests {
     #[test]
     fn full_grant_release_cycle() {
         let mut req = ResvRequester::new(n(1));
-        let donor = ResvDonor::new(n(3));
+        let mut donor = ResvDonor::new(n(3));
         let mut alloc = donor_alloc();
 
         let m = req.request(n(3), 16);
@@ -199,7 +274,7 @@ mod tests {
         assert_eq!(ack.addr >> 34, 3);
         assert_eq!(alloc.granted_frames(), 16);
 
-        let resv = req.on_ack(&ack);
+        let resv = req.on_ack(&ack).expect("fresh ack");
         assert_eq!(resv.home, n(3));
         assert_eq!(resv.frames, 16);
         assert_eq!(req.held().len(), 1);
@@ -217,11 +292,11 @@ mod tests {
         // Donor pool is placed so the first zone lands at a recognizable
         // base; the requester sees it with node 3's prefix.
         let mut req = ResvRequester::new(n(1));
-        let donor = ResvDonor::new(n(3));
+        let mut donor = ResvDonor::new(n(3));
         let mut alloc = FrameAllocator::new(0x4100_0000, 4 << 30);
         let m = req.request(n(3), (4u64 << 30) / PAGE_FRAME_BYTES);
         let ack = donor.on_request(&m, &mut alloc).unwrap();
-        let resv = req.on_ack(&ack);
+        let resv = req.on_ack(&ack).expect("fresh ack");
         assert_eq!(resv.prefixed_base, (3u64 << 34) | 0x4100_0000);
         // The requester's CPU later emits prefixed addresses; the donor RMC
         // strips back to the local zone.
@@ -234,7 +309,7 @@ mod tests {
     #[test]
     fn donor_exhaustion_propagates() {
         let mut req = ResvRequester::new(n(1));
-        let donor = ResvDonor::new(n(3));
+        let mut donor = ResvDonor::new(n(3));
         let mut alloc = donor_alloc();
         let m = req.request(n(3), 10_000);
         assert!(donor.on_request(&m, &mut alloc).is_err());
@@ -253,7 +328,7 @@ mod tests {
     #[should_panic(expected = "donor's node id")]
     fn ack_with_wrong_prefix_panics() {
         let mut req = ResvRequester::new(n(1));
-        let donor = ResvDonor::new(n(3));
+        let mut donor = ResvDonor::new(n(3));
         let mut alloc = donor_alloc();
         let m = req.request(n(3), 4);
         let mut ack = donor.on_request(&m, &mut alloc).unwrap();
@@ -268,15 +343,131 @@ mod tests {
     }
 
     #[test]
+    fn lost_request_is_retried_with_the_same_tag() {
+        // Regression: a ResvReq lost on the fabric used to strand the
+        // pending tag forever — there was no way to rebuild the message.
+        let mut req = ResvRequester::new(n(1));
+        let mut donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let m = req.request(n(3), 8);
+        // The fabric ate `m`. The kernel's timer fires and retries.
+        let m2 = req.retry(m.tag).expect("tag still pending");
+        assert_eq!(m2.tag, m.tag);
+        assert_eq!(m2.kind, m.kind);
+        assert_eq!(req.attempts(m.tag), 2);
+        let ack = donor.on_request(&m2, &mut alloc).unwrap();
+        let resv = req.on_ack(&ack).expect("fresh ack");
+        assert_eq!(resv.frames, 8);
+        assert_eq!(req.pending(), 0);
+        // A stale timer firing after the ack must not rebuild anything.
+        assert!(req.retry(m.tag).is_none());
+    }
+
+    #[test]
+    fn lost_ack_is_replayed_without_double_reservation() {
+        // The donor granted but the ack was lost: the retransmitted request
+        // must replay the same zone, not carve a second one.
+        let mut req = ResvRequester::new(n(1));
+        let mut donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let m = req.request(n(3), 8);
+        let ack1 = donor.on_request(&m, &mut alloc).unwrap(); // lost in flight
+        let m2 = req.retry(m.tag).unwrap();
+        let ack2 = donor.on_request(&m2, &mut alloc).unwrap();
+        assert_eq!(ack1, ack2, "duplicate request must replay the same grant");
+        assert_eq!(alloc.granted_frames(), 8, "no double reservation");
+        // Both acks eventually arrive; the second is recognized as stale.
+        assert!(req.on_ack(&ack1).is_some());
+        assert!(req.on_ack(&ack2).is_none());
+        assert_eq!(req.held().len(), 1);
+    }
+
+    #[test]
+    fn cancel_abandons_pending_and_ignores_straggler_ack() {
+        let mut req = ResvRequester::new(n(1));
+        let mut donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let m = req.request(n(3), 8);
+        let ack = donor.on_request(&m, &mut alloc).unwrap();
+        // Failure detection gives up on the donor before the ack arrives.
+        let abandoned = req.cancel(m.tag).expect("was pending");
+        assert_eq!(abandoned.donor, n(3));
+        assert_eq!(abandoned.frames, 8);
+        assert_eq!(req.pending(), 0);
+        assert!(req.cancel(m.tag).is_none(), "double cancel is a no-op");
+        assert!(req.retry(m.tag).is_none(), "cancelled tag cannot retry");
+        // The straggler ack is stale, not unsolicited.
+        assert!(req.on_ack(&ack).is_none());
+        assert!(req.held().is_empty());
+    }
+
+    #[test]
+    fn reservation_survives_a_lossy_fabric_via_retry() {
+        // End-to-end at the os level: drive the request/ack exchange over a
+        // real lossy Fabric, retrying on every loss, until the grant lands.
+        use cohfree_fabric::{Fabric, FabricConfig, Step, Topology};
+        use cohfree_sim::{SimDuration, SimTime};
+
+        let mut fabric = Fabric::new(
+            Topology::prototype(),
+            FabricConfig {
+                loss_rate: 0.4,
+                ..FabricConfig::default()
+            },
+        );
+        // Walk a message to delivery; None if the fabric dropped it.
+        let deliver = |f: &mut Fabric, start: SimTime, msg: &Message| -> Option<SimTime> {
+            let mut at = msg.src;
+            let mut now = start;
+            loop {
+                match f.step(now, at, msg) {
+                    Step::Deliver { at: t } => return Some(t),
+                    Step::Forward { next, arrive } => {
+                        at = next;
+                        now = arrive;
+                    }
+                    Step::Dropped => return None,
+                }
+            }
+        };
+
+        let mut req = ResvRequester::new(n(1));
+        let mut donor = ResvDonor::new(n(3));
+        let mut alloc = donor_alloc();
+        let mut now = SimTime::ZERO;
+        let first = req.request(n(3), 16);
+        let tag = first.tag;
+        let mut outbound = first;
+        let resv = loop {
+            assert!(req.attempts(tag) < 64, "retry loop failed to converge");
+            if let Some(t_req) = deliver(&mut fabric, now, &outbound) {
+                let ack = donor.on_request(&outbound, &mut alloc).unwrap();
+                if let Some(t_ack) = deliver(&mut fabric, t_req, &ack) {
+                    if let Some(r) = req.on_ack(&ack) {
+                        let _ = t_ack;
+                        break r;
+                    }
+                }
+            }
+            now += SimDuration::us(30); // loss timer
+            outbound = req.retry(tag).expect("still pending");
+        };
+        assert_eq!(resv.home, n(3));
+        assert_eq!(resv.frames, 16);
+        assert_eq!(alloc.granted_frames(), 16, "retries never double-reserve");
+        assert_eq!(req.pending(), 0);
+    }
+
+    #[test]
     fn two_borrowers_get_disjoint_zones() {
-        let donor = ResvDonor::new(n(4));
+        let mut donor = ResvDonor::new(n(4));
         let mut alloc = donor_alloc();
         let mut r3 = ResvRequester::new(n(3));
         let mut r5 = ResvRequester::new(n(5));
         let a3 = donor.on_request(&r3.request(n(4), 8), &mut alloc).unwrap();
         let a5 = donor.on_request(&r5.request(n(4), 8), &mut alloc).unwrap();
-        let z3 = r3.on_ack(&a3);
-        let z5 = r5.on_ack(&a5);
+        let z3 = r3.on_ack(&a3).unwrap();
+        let z5 = r5.on_ack(&a5).unwrap();
         let end3 = z3.prefixed_base + z3.frames * PAGE_FRAME_BYTES;
         assert!(
             z5.prefixed_base >= end3

@@ -173,7 +173,7 @@ fn reservation_protocol_disjoint_zones() {
     for seed in 0..CASES {
         let mut rng = Rng::new(0x2E5B + seed);
         let donor_node = NodeId::new(4);
-        let donor = ResvDonor::new(donor_node);
+        let mut donor = ResvDonor::new(donor_node);
         let mut alloc = FrameAllocator::new(1 << 20, 1 << 20);
         let mut req = ResvRequester::new(NodeId::new(1));
         let mut granted = Vec::new();
@@ -182,7 +182,7 @@ fn reservation_protocol_disjoint_zones() {
             let frames = rng.range(1, 32);
             let m = req.request(donor_node, frames);
             if let Ok(ack) = donor.on_request(&m, &mut alloc) {
-                granted.push(req.on_ack(&ack));
+                granted.push(req.on_ack(&ack).expect("fresh ack"));
             }
         }
         let mut zones: Vec<(u64, u64)> = granted

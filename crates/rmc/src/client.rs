@@ -23,7 +23,7 @@ use cohfree_fabric::{Message, MsgKind, NodeId};
 use cohfree_sim::queueing::FifoServer;
 use cohfree_sim::stats::{Counter, LatencyHistogram};
 use cohfree_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Outcome of offering a transaction to the client RMC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,8 @@ pub struct RmcClient {
     completions: Counter,
     retransmissions: Counter,
     duplicates: Counter,
+    aborted: Counter,
+    suspects: HashSet<NodeId>,
     latency: LatencyHistogram,
 }
 
@@ -94,6 +96,8 @@ impl RmcClient {
             completions: Counter::new(),
             retransmissions: Counter::new(),
             duplicates: Counter::new(),
+            aborted: Counter::new(),
+            suspects: HashSet::new(),
             latency: LatencyHistogram::new(),
         }
     }
@@ -184,6 +188,40 @@ impl RmcClient {
         self.engine.accept(now, self.cfg.proc_time)
     }
 
+    /// Abort a pending transaction: the retry budget to its home node is
+    /// exhausted and failure detection has given up on it. Frees the slot
+    /// without a completion; a response that arrives later is discarded as
+    /// a duplicate. Returns `true` if the tag was pending.
+    pub fn abort(&mut self, tag: u64) -> bool {
+        if self.in_flight.remove(&tag).is_some() {
+            self.aborted.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Mark `node` as suspect after exhausting the retry budget; the OS
+    /// fails accesses to it fast instead of burning retransmissions.
+    pub fn mark_suspect(&mut self, node: NodeId) {
+        self.suspects.insert(node);
+    }
+
+    /// Clear a suspicion (the node restarted).
+    pub fn clear_suspect(&mut self, node: NodeId) {
+        self.suspects.remove(&node);
+    }
+
+    /// True if `node` is currently declared suspect by this client.
+    pub fn is_suspect(&self, node: NodeId) -> bool {
+        self.suspects.contains(&node)
+    }
+
+    /// Transactions aborted by failure detection so far.
+    pub fn aborted(&self) -> u64 {
+        self.aborted.get()
+    }
+
     /// True if `tag` is still awaiting its response.
     pub fn is_pending(&self, tag: u64) -> bool {
         self.in_flight.contains_key(&tag)
@@ -249,6 +287,8 @@ impl RmcClient {
             ("nacks", self.nacks.snapshot()),
             ("retransmissions", self.retransmissions.snapshot()),
             ("duplicates", self.duplicates.snapshot()),
+            ("aborted", self.aborted.snapshot()),
+            ("suspects", cohfree_sim::Json::from(self.suspects.len())),
             ("in_flight", cohfree_sim::Json::from(self.in_flight.len())),
             ("engine", self.engine.snapshot(horizon)),
             ("latency", self.latency.snapshot()),
@@ -448,6 +488,49 @@ mod tests {
             &msg.reply(MsgKind::ReadResp { bytes: 64 }),
         );
         c.retransmit(SimTime::ZERO + SimDuration::us(2), msg.tag);
+    }
+
+    #[test]
+    fn abort_frees_slot_and_late_response_is_duplicate() {
+        let cfg = RmcConfig {
+            request_slots: 1,
+            ..RmcConfig::default()
+        };
+        let mut c = RmcClient::new(n(1), cfg);
+        let m = match c.submit(SimTime::ZERO, n(2), read64(), 0) {
+            Submit::Accepted { msg, .. } => msg,
+            _ => unreachable!(),
+        };
+        assert!(c.abort(m.tag));
+        assert!(!c.is_pending(m.tag));
+        assert_eq!(c.aborted(), 1);
+        assert_eq!(c.in_flight(), 0, "abort releases the slot");
+        // Aborting twice is a no-op.
+        assert!(!c.abort(m.tag));
+        assert_eq!(c.aborted(), 1);
+        // A straggler response for the aborted tag is discarded, not fatal.
+        let t = SimTime::ZERO + SimDuration::us(50);
+        assert!(c
+            .on_response(t, &m.reply(MsgKind::ReadResp { bytes: 64 }))
+            .is_none());
+        assert_eq!(c.duplicates(), 1);
+        assert_eq!(c.completions(), 0);
+        // The freed slot accepts new work.
+        assert!(matches!(
+            c.submit(t, n(2), read64(), 0),
+            Submit::Accepted { .. }
+        ));
+    }
+
+    #[test]
+    fn suspects_are_marked_and_cleared() {
+        let mut c = client();
+        assert!(!c.is_suspect(n(2)));
+        c.mark_suspect(n(2));
+        assert!(c.is_suspect(n(2)));
+        assert!(!c.is_suspect(n(3)));
+        c.clear_suspect(n(2));
+        assert!(!c.is_suspect(n(2)));
     }
 
     #[test]

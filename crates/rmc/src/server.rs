@@ -13,7 +13,7 @@ use crate::RmcConfig;
 use cohfree_fabric::{Message, MsgKind, NodeId};
 use cohfree_sim::queueing::FifoServer;
 use cohfree_sim::stats::{Counter, LatencyHistogram};
-use cohfree_sim::SimTime;
+use cohfree_sim::{SimDuration, SimTime};
 
 /// The RMC instruction to the home node's memory system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +36,7 @@ pub struct RmcServer {
     engine: FifoServer,
     requests: Counter,
     probes: Counter,
+    stalls: Counter,
     service: LatencyHistogram,
 }
 
@@ -48,6 +49,7 @@ impl RmcServer {
             engine: FifoServer::new(),
             requests: Counter::new(),
             probes: Counter::new(),
+            stalls: Counter::new(),
             service: LatencyHistogram::new(),
         }
     }
@@ -127,6 +129,21 @@ impl RmcServer {
         self.engine.accept(now, self.cfg.server_proc_time)
     }
 
+    /// Inject a fault: the front-end engine goes busy for `duration`
+    /// starting at `now` (firmware hiccup, ECC scrub storm, thermal
+    /// throttle). All queued and subsequently arriving work waits it out —
+    /// clients see it as a latency spike, possibly long enough to trip
+    /// their loss timers.
+    pub fn stall(&mut self, now: SimTime, duration: SimDuration) {
+        self.stalls.inc();
+        self.engine.accept(now, duration);
+    }
+
+    /// Injected front-end stalls so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+
     /// Requests handled so far.
     pub fn requests(&self) -> u64 {
         self.requests.get()
@@ -166,6 +183,7 @@ impl RmcServer {
         cohfree_sim::Json::obj([
             ("requests", self.requests.snapshot()),
             ("probes", self.probes.snapshot()),
+            ("stalls", self.stalls.snapshot()),
             ("engine", self.engine.snapshot(horizon)),
             ("service", self.service.snapshot()),
         ])
@@ -267,6 +285,21 @@ mod tests {
         assert_eq!(a.issue_at.since(SimTime::ZERO), proc);
         assert_eq!(b.issue_at.since(SimTime::ZERO), proc * 2);
         assert!(s.mean_engine_wait() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stall_delays_subsequent_requests() {
+        let mut s = server();
+        let proc = RmcConfig::default().server_proc_time;
+        let stall = SimDuration::us(5);
+        s.stall(SimTime::ZERO, stall);
+        assert_eq!(s.stalls(), 1);
+        // A request arriving mid-stall queues behind the fault.
+        let issue = s.on_request(
+            SimTime::ZERO + SimDuration::ns(10),
+            &read_req(encode(n(3), 0)),
+        );
+        assert_eq!(issue.issue_at, SimTime::ZERO + stall + proc);
     }
 
     #[test]

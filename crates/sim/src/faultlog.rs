@@ -1,0 +1,115 @@
+//! Timestamped fault/recovery event log.
+//!
+//! Failure handling is spread across layers — the fabric marks links down,
+//! the RMC client declares nodes suspect, the OS evacuates regions — so the
+//! observability story needs one ordered record of what happened when. The
+//! `World` in `cohfree-core` appends to a [`FaultLog`] from every layer's
+//! handler; the log serializes into the cluster snapshot (`"faults"` key)
+//! and from there into `COHFREE_JSON` reports.
+
+use crate::snapshot::Json;
+use crate::time::SimTime;
+
+/// One recorded fault or recovery action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultLogEntry {
+    /// Simulated instant the event happened.
+    pub at: SimTime,
+    /// Machine-matchable category (e.g. `node_crash`, `suspect`,
+    /// `evacuation`, `link_down`).
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Ordered record of fault injections, detections and recovery actions.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    entries: Vec<FaultLogEntry>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Append an event. Callers append in simulated-time order (the event
+    /// loop guarantees it), so the log never needs sorting.
+    pub fn record(&mut self, at: SimTime, kind: &str, detail: impl Into<String>) {
+        self.entries.push(FaultLogEntry {
+            at,
+            kind: kind.to_string(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All entries, in time order.
+    pub fn entries(&self) -> &[FaultLogEntry] {
+        &self.entries
+    }
+
+    /// Entries recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries of the given `kind`.
+    pub fn count(&self, kind: &str) -> usize {
+        self.entries.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Serializable view: an array of `{t_ns, kind, detail}` objects.
+    pub fn snapshot(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("t_ns", Json::from(e.at.as_ns())),
+                        ("kind", Json::from(e.kind.clone())),
+                        ("detail", Json::from(e.detail.clone())),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_in_order_and_counts_by_kind() {
+        let mut log = FaultLog::new();
+        assert!(log.is_empty());
+        let t0 = SimTime::ZERO + SimDuration::us(1);
+        let t1 = SimTime::ZERO + SimDuration::us(2);
+        log.record(t0, "node_crash", "node 2 crashed");
+        log.record(t1, "suspect", "node 1 declares 2 suspect");
+        log.record(t1, "evacuation", "zone re-homed 2 -> 5");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.count("suspect"), 1);
+        assert_eq!(log.count("evacuation"), 1);
+        assert_eq!(log.count("nothing"), 0);
+        assert_eq!(log.entries()[0].kind, "node_crash");
+    }
+
+    #[test]
+    fn snapshot_serializes_every_entry() {
+        let mut log = FaultLog::new();
+        log.record(SimTime::ZERO + SimDuration::ns(5), "link_down", "1<->2");
+        let doc = Json::parse(&log.snapshot().to_string()).expect("valid JSON");
+        let arr = doc.as_array().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("t_ns").unwrap().as_u64(), Some(5));
+        assert_eq!(arr[0].get("kind").unwrap().as_str(), Some("link_down"));
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`stats`] — counters, histograms and online summaries used by every
 //!   model component,
 //! * [`rng`] — a self-contained xoshiro256** PRNG so that every simulation is
-//!   reproducible from a single `u64` seed with no external dependencies.
+//!   reproducible from a single `u64` seed with no external dependencies,
+//! * [`faultlog`] — a timestamped record of fault injections, failure
+//!   detections and recovery actions, serialized into cluster snapshots.
 //!
 //! ## Modelling style
 //!
@@ -26,6 +28,7 @@
 //! free of dynamic dispatch.
 
 pub mod engine;
+pub mod faultlog;
 pub mod queueing;
 pub mod rng;
 pub mod snapshot;
@@ -33,6 +36,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::EventQueue;
+pub use faultlog::{FaultLog, FaultLogEntry};
 pub use queueing::FifoServer;
 pub use rng::Rng;
 pub use snapshot::Json;
