@@ -26,5 +26,7 @@ fn main() {
     ex::ext_locality::table(s).print();
     ex::ext_balloon::table(s).print();
     ex::ext_failover::table(s).print();
+    ex::ext_breakdown::table(s).print();
+    ex::ext_breakdown::overhead_table(s).print();
     cohfree_bench::report::finish();
 }

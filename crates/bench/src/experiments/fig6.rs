@@ -8,7 +8,7 @@
 use crate::table::Table;
 use crate::Scale;
 use cohfree_core::world::World;
-use cohfree_core::{MsgKind, Rng};
+use cohfree_core::{MsgKind, Rng, TraceConfig};
 
 /// One measured distance.
 #[derive(Debug, Clone, Copy)]
@@ -25,12 +25,21 @@ pub struct Row {
 
 /// Run the sweep. Returns `(local reference ns, per-distance rows)`.
 pub fn run(scale: Scale) -> (f64, Vec<Row>) {
+    run_traced(scale, TraceConfig::default(), true)
+}
+
+/// Run the sweep with an explicit trace configuration. `record` controls
+/// whether per-hop snapshots land in the report collector (the overhead
+/// benchmark re-runs the figure and must not duplicate them).
+pub fn run_traced(scale: Scale, trace: TraceConfig, record: bool) -> (f64, Vec<Row>) {
     let accesses = scale.pick(50u64, 2_000, 20_000);
     let client = super::n(1);
     let mut rows = Vec::new();
     let mut local_ref = 0.0;
     for hops in 1..=6u32 {
-        let mut w = World::new(super::cluster());
+        let mut cfg = super::cluster();
+        cfg.trace = trace;
+        let mut w = World::new(cfg);
         w.enable_sampling(super::sample_interval(scale));
         let server = *w
             .config()
@@ -59,7 +68,10 @@ pub fn run(scale: Scale) -> (f64, Vec<Row>) {
             p99_ns,
             unloaded_ns,
         });
-        crate::report::record_snapshot(&format!("fig6/hops{hops}"), w.snapshot());
+        let snap = w.snapshot();
+        if record {
+            crate::report::record_snapshot(&format!("fig6/hops{hops}"), snap);
+        }
     }
     (local_ref, rows)
 }

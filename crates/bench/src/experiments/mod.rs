@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod analytic;
 pub mod ext_balloon;
+pub mod ext_breakdown;
 pub mod ext_coherent;
 pub mod ext_db;
 pub mod ext_failover;

@@ -12,24 +12,39 @@
 //! the `COHFREE_JSON` environment variable (and does nothing when the
 //! variable is unset, so plain console runs are unchanged).
 //!
+//! Bins that trace in Full mode (currently `ext_breakdown`) also call
+//! [`record_trace`]; `finish` merges those span streams into one Chrome
+//! trace-event JSON file at the path named by `COHFREE_TRACE`, loadable
+//! in Perfetto / `chrome://tracing`. Both variables are independent.
+//!
 //! ```sh
 //! COHFREE_SCALE=smoke COHFREE_JSON=out.json \
 //!     cargo run --release -p cohfree-bench --bin all_figures
 //! ```
 
 use crate::table::Table;
+use cohfree_core::world::World;
 use cohfree_core::{ClusterSnapshot, Json};
 use std::sync::Mutex;
 
 static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
     tables: Vec::new(),
     snapshots: Vec::new(),
+    trace_events: Vec::new(),
+    traced_worlds: 0,
 });
 
 struct Collector {
     tables: Vec<Json>,
     snapshots: Vec<Json>,
+    trace_events: Vec<Json>,
+    traced_worlds: u64,
 }
+
+/// Pid stride between recorded worlds in the merged Chrome trace: each
+/// world's nodes occupy `[base + 1, base + 16]`, so strides of 100 keep
+/// them visually grouped per run in Perfetto.
+const TRACE_PID_STRIDE: u64 = 100;
 
 /// Record a finished results table. Called by [`Table::print`]; call it
 /// directly for tables that are built but never printed.
@@ -49,6 +64,33 @@ pub fn record_snapshot(name: &str, snap: ClusterSnapshot) {
         .expect("report collector poisoned")
         .snapshots
         .push(entry);
+}
+
+/// Record `world`'s retained span stream (Full trace mode) under `name`
+/// into the Chrome trace accumulated for `COHFREE_TRACE`. Each recorded
+/// world gets its own pid range so multiple runs coexist in one Perfetto
+/// view. A world traced in Off/Aggregate mode contributes nothing.
+pub fn record_trace(name: &str, world: &World) {
+    let mut c = COLLECTOR.lock().expect("report collector poisoned");
+    let pid_base = c.traced_worlds * TRACE_PID_STRIDE;
+    c.traced_worlds += 1;
+    let prefix = if name.is_empty() {
+        String::new()
+    } else {
+        format!("{name}/")
+    };
+    let events = world.trace().chrome_events(pid_base, &prefix);
+    c.trace_events.extend(events);
+}
+
+/// Assemble the Chrome trace-event document from every world recorded via
+/// [`record_trace`] so far. The collector is left intact.
+pub fn trace_document() -> Json {
+    let c = COLLECTOR.lock().expect("report collector poisoned");
+    Json::obj([
+        ("traceEvents", Json::Arr(c.trace_events.clone())),
+        ("displayTimeUnit", Json::from("ns")),
+    ])
 }
 
 /// Assemble the full report document from everything recorded so far.
@@ -71,23 +113,35 @@ pub fn write_to(path: &str) -> std::io::Result<()> {
 }
 
 /// End-of-run hook for every experiment bin: if `COHFREE_JSON` names a
-/// path, write the accumulated document there. A write failure is reported
-/// on stderr and exits non-zero — a CI artifact silently missing is worse
-/// than a failed job.
+/// path, write the accumulated document there, and if `COHFREE_TRACE`
+/// names a path, write the merged Chrome trace there. A write failure is
+/// reported on stderr and exits non-zero — a CI artifact silently missing
+/// is worse than a failed job.
 pub fn finish() {
-    let Ok(path) = std::env::var("COHFREE_JSON") else {
-        return;
-    };
-    if path.is_empty() {
-        return;
-    }
-    match write_to(&path) {
-        Ok(()) => eprintln!("report: wrote JSON document to {path}"),
-        Err(e) => {
-            eprintln!("report: failed to write {path}: {e}");
-            std::process::exit(1);
+    if let Some(path) = env_path("COHFREE_JSON") {
+        match write_to(&path) {
+            Ok(()) => eprintln!("report: wrote JSON document to {path}"),
+            Err(e) => {
+                eprintln!("report: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
+    if let Some(path) = env_path("COHFREE_TRACE") {
+        let mut text = trace_document().to_string();
+        text.push('\n');
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("report: wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("report: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn env_path(var: &str) -> Option<String> {
+    std::env::var(var).ok().filter(|p| !p.is_empty())
 }
 
 #[cfg(test)]

@@ -204,6 +204,16 @@ impl SwapSpace {
         self.node
     }
 
+    /// The underlying cluster when pages travel over the RMC fabric
+    /// (statistics, span traces); `None` for Ethernet/disk backing, which
+    /// never instantiate a cluster.
+    pub fn world(&self) -> Option<&World> {
+        match &self.backing {
+            Backing::FabricRemote { world, .. } => Some(world),
+            Backing::Ethernet { .. } | Backing::Disk { .. } => None,
+        }
+    }
+
     /// Resident-set statistics from the page cache.
     pub fn swap_stats(&self) -> cohfree_os::swap::SwapStats {
         self.page_cache.stats()

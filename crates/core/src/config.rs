@@ -11,6 +11,7 @@ use cohfree_mem::{CacheConfig, DramConfig};
 use cohfree_os::directory::DonorPolicy;
 use cohfree_os::pagetable::TlbConfig;
 use cohfree_rmc::RmcConfig;
+use cohfree_sim::span::{TraceMode, DEFAULT_TRACE_CAPACITY};
 use cohfree_sim::SimDuration;
 
 /// Software-path timing (everything the OS charges that hardware does not).
@@ -45,6 +46,48 @@ impl Default for OsTiming {
     }
 }
 
+/// Transaction-tracing configuration (see `cohfree_sim::span`).
+///
+/// `Off` costs nothing on the access path; `Aggregate` keeps per-phase
+/// latency histograms that fold into `World::snapshot()`; `Full`
+/// additionally retains the complete span stream (bounded by `capacity`)
+/// for Chrome-trace export.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Tracing level (default: `Off`).
+    pub mode: TraceMode,
+    /// Span-ring capacity in spans (Full mode); oldest spans are evicted
+    /// and counted once exceeded.
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            mode: TraceMode::Off,
+            capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Aggregate-mode preset (cheap per-phase histograms only).
+    pub fn aggregate() -> TraceConfig {
+        TraceConfig {
+            mode: TraceMode::Aggregate,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Full-mode preset (complete span stream, default ring bound).
+    pub fn full() -> TraceConfig {
+        TraceConfig {
+            mode: TraceMode::Full,
+            ..TraceConfig::default()
+        }
+    }
+}
+
 /// Full description of a simulated cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -75,6 +118,8 @@ pub struct ClusterConfig {
     pub faults: FaultPlan,
     /// Failure-detection and recovery parameters.
     pub recovery: RecoveryConfig,
+    /// Per-transaction span tracing (off by default).
+    pub trace: TraceConfig,
     /// Base PRNG seed (placement, workload streams fork from it).
     pub seed: u64,
 }
@@ -98,6 +143,7 @@ impl ClusterConfig {
             os: OsTiming::default(),
             faults: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
+            trace: TraceConfig::default(),
             seed: 0xC0DE_2010,
         }
     }

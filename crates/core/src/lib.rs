@@ -52,10 +52,13 @@ pub mod trace;
 pub mod world;
 
 pub use backend::{AllocPolicy, LocalMachine, MemSpace, RemoteMemorySpace, SwapSpace};
-pub use config::{ClusterConfig, OsTiming};
+pub use config::{ClusterConfig, OsTiming, TraceConfig};
 pub use fault::{EvacuationPolicy, FaultEvent, FaultPlan, RecoveryConfig, MAX_FAULT_EVENTS};
 pub use world::{AccessOutcome, ClusterSnapshot, Sample, ThreadSpec, World, WorldConfigError};
 
 // Re-export the substrate types a user of the public API needs.
 pub use cohfree_fabric::{MsgKind, NodeId, Topology};
-pub use cohfree_sim::{FaultLog, FaultLogEntry, Json, Rng, SimDuration, SimTime};
+pub use cohfree_sim::{
+    FaultLog, FaultLogEntry, Json, Phase, Rng, SimDuration, SimTime, SpanRecord, TraceMode,
+    TraceSink,
+};

@@ -35,6 +35,7 @@ use cohfree_os::frames::FrameAllocator;
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
+use cohfree_sim::span::{Phase, TraceSink};
 use cohfree_sim::{EventQueue, FaultLog, Json, Rng, SimDuration, SimTime};
 use std::collections::HashMap;
 use std::fmt;
@@ -236,6 +237,9 @@ struct Thread {
     evacuated_retries: u64,
     /// Access generated but NACKed, awaiting retry.
     pending: Option<(NodeId, MsgKind, u64)>,
+    /// When the pending access was *first* offered (serialization-stall
+    /// start for the span tracer; `None` for evacuation re-aims).
+    pending_since: Option<SimTime>,
     started: SimTime,
     finished: Option<SimTime>,
     nack_retries: u64,
@@ -284,6 +288,8 @@ pub struct World {
     /// Per owner node: `(old_base, new_base, frames)` of evacuated zones,
     /// so interrupted and not-yet-issued accesses can be re-aimed.
     evac_remaps: Vec<Vec<(u64, u64, u64)>>,
+    /// Per-transaction span tracer (mode per [`crate::TraceConfig`]).
+    trace: TraceSink,
 }
 
 impl World {
@@ -324,6 +330,7 @@ impl World {
             evacuations: 0,
             sync_failed: None,
             evac_remaps: vec![Vec::new(); n as usize],
+            trace: TraceSink::new(cfg.trace.mode, cfg.trace.capacity),
             queue,
             cfg,
         }
@@ -495,6 +502,11 @@ impl World {
             base: resv.prefixed_base,
             frames,
         });
+        // The reservation round is off the access path; the caller charges
+        // `OsTiming::reservation` to its own clock starting now.
+        let t0 = self.queue.now();
+        self.trace
+            .standalone(Phase::Resv, asker.get(), t0, t0 + self.cfg.os.reservation);
         resv
     }
 
@@ -523,88 +535,131 @@ impl World {
         match ev {
             // A message at a crashed router vanishes with the router.
             Ev::Hop { at, .. } if self.dead[at.index()] => {}
-            Ev::Hop { msg, at } => match self.fabric.step(now, at, &msg) {
-                Step::Forward { next, arrive } => {
-                    self.queue.schedule(arrive, Ev::Hop { msg, at: next });
+            Ev::Hop { msg, at } => {
+                let (step, queued) = self.fabric.step_traced(now, at, &msg);
+                if let Step::Forward { arrive, .. } = step {
+                    self.trace_hop(&msg, at, now, arrive, queued);
                 }
-                // Lost on a link; the requester's timeout recovers it.
-                Step::Dropped => {}
-                Step::Deliver { at: t } => match msg.kind {
-                    // --- coherent-DSM baseline choreography ---
-                    MsgKind::ProbeReq => {
-                        let (resp, inject_at) =
-                            self.nodes[msg.dst.index()].server.on_probe(t, &msg);
-                        self.queue.schedule(
-                            inject_at,
-                            Ev::Hop {
-                                msg: resp,
-                                at: resp.src,
-                            },
-                        );
+                match step {
+                    Step::Forward { next, arrive } => {
+                        self.queue.schedule(arrive, Ev::Hop { msg, at: next });
                     }
-                    MsgKind::ProbeResp => {
-                        let done = self.nodes[msg.dst.index()].server.on_probe_response(t);
-                        let st = self
-                            .coh
-                            .get_mut(&msg.tag)
-                            .expect("probe response for unknown coherent transaction");
-                        st.awaiting_probes -= 1;
-                        self.try_finish_coherent(msg.tag, done);
-                    }
-                    MsgKind::CohReadReq { .. } => {
-                        let home = msg.dst;
-                        let ctx = &mut self.nodes[home.index()];
-                        let issue = ctx.server.on_request(t, &msg);
-                        let done = ctx
-                            .mem
-                            .access(issue.issue_at, issue.local_addr, issue.bytes);
-                        self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
-                        // Broadcast snoops to every other domain member.
-                        let members: Vec<NodeId> = self
-                            .coherent_domain
-                            .iter()
-                            .copied()
-                            .filter(|&m| m != home && m != msg.src)
-                            .collect();
-                        self.coh.insert(
-                            msg.tag,
-                            CohState {
-                                awaiting_probes: members.len(),
-                                mem_done: None,
-                                req: msg,
-                                arrived: t,
-                            },
-                        );
-                        for m in members {
-                            let probe =
-                                Message::with_addr(home, m, MsgKind::ProbeReq, msg.tag, msg.addr);
+                    // Lost on a link; the requester's timeout recovers it.
+                    Step::Dropped => {}
+                    Step::Deliver { at: t } => match msg.kind {
+                        // --- coherent-DSM baseline choreography ---
+                        MsgKind::ProbeReq => {
+                            let (resp, inject_at) =
+                                self.nodes[msg.dst.index()].server.on_probe(t, &msg);
                             self.queue.schedule(
-                                issue.issue_at,
+                                inject_at,
                                 Ev::Hop {
-                                    msg: probe,
-                                    at: home,
+                                    msg: resp,
+                                    at: resp.src,
                                 },
                             );
                         }
-                    }
-                    // --- ordinary (non-coherent) paths ---
-                    _ if msg.kind.is_response() => {
-                        // None = duplicate response under loss recovery.
-                        if let Some(comp) = self.nodes[msg.dst.index()].client.on_response(t, &msg)
-                        {
-                            self.complete(comp);
+                        MsgKind::ProbeResp => {
+                            let done = self.nodes[msg.dst.index()].server.on_probe_response(t);
+                            let st = self
+                                .coh
+                                .get_mut(&msg.tag)
+                                .expect("probe response for unknown coherent transaction");
+                            st.awaiting_probes -= 1;
+                            self.try_finish_coherent(msg.tag, done);
                         }
-                    }
-                    _ => {
-                        let ctx = &mut self.nodes[msg.dst.index()];
-                        let issue = ctx.server.on_request(t, &msg);
-                        let done = ctx
-                            .mem
-                            .access(issue.issue_at, issue.local_addr, issue.bytes);
-                        self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
-                    }
-                },
-            },
+                        MsgKind::CohReadReq { .. } => {
+                            let home = msg.dst;
+                            let ctx = &mut self.nodes[home.index()];
+                            let issue = ctx.server.on_request(t, &msg);
+                            let done =
+                                ctx.mem
+                                    .access(issue.issue_at, issue.local_addr, issue.bytes);
+                            self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
+                            // Broadcast snoops to every other domain member.
+                            let members: Vec<NodeId> = self
+                                .coherent_domain
+                                .iter()
+                                .copied()
+                                .filter(|&m| m != home && m != msg.src)
+                                .collect();
+                            self.coh.insert(
+                                msg.tag,
+                                CohState {
+                                    awaiting_probes: members.len(),
+                                    mem_done: None,
+                                    req: msg,
+                                    arrived: t,
+                                },
+                            );
+                            for m in members {
+                                let probe = Message::with_addr(
+                                    home,
+                                    m,
+                                    MsgKind::ProbeReq,
+                                    msg.tag,
+                                    msg.addr,
+                                );
+                                self.queue.schedule(
+                                    issue.issue_at,
+                                    Ev::Hop {
+                                        msg: probe,
+                                        at: home,
+                                    },
+                                );
+                            }
+                        }
+                        // --- ordinary (non-coherent) paths ---
+                        _ if msg.kind.is_response() => {
+                            // None = duplicate response under loss recovery.
+                            if let Some(comp) =
+                                self.nodes[msg.dst.index()].client.on_response(t, &msg)
+                            {
+                                if self.trace.is_traced(comp.tag) {
+                                    let node = msg.dst.get();
+                                    let svc_start = comp.done_at - self.cfg.rmc.proc_time;
+                                    self.trace.push(
+                                        comp.tag,
+                                        Phase::ClientQueue,
+                                        node,
+                                        t,
+                                        svc_start,
+                                    );
+                                    self.trace.push(
+                                        comp.tag,
+                                        Phase::Reply,
+                                        node,
+                                        svc_start.max(t),
+                                        comp.done_at,
+                                    );
+                                }
+                                self.complete(comp);
+                            }
+                        }
+                        _ => {
+                            let ctx = &mut self.nodes[msg.dst.index()];
+                            let issue = ctx.server.on_request(t, &msg);
+                            let done =
+                                ctx.mem
+                                    .access(issue.issue_at, issue.local_addr, issue.bytes);
+                            if self.trace.is_traced(msg.tag) {
+                                let home = msg.dst.get();
+                                let svc_start = issue.issue_at - self.cfg.rmc.server_proc_time;
+                                self.trace
+                                    .push(msg.tag, Phase::ServerQueue, home, t, svc_start);
+                                self.trace.push(
+                                    msg.tag,
+                                    Phase::Service,
+                                    home,
+                                    svc_start.max(t),
+                                    done,
+                                );
+                            }
+                            self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
+                        }
+                    },
+                }
+            }
             // The DRAM completion of a node that crashed mid-service.
             Ev::MemDone { msg, .. } if self.dead[msg.dst.index()] => {}
             Ev::MemDone { msg, arrived } => {
@@ -619,6 +674,14 @@ impl World {
                     let (resp, inject_at) = self.nodes[msg.dst.index()]
                         .server
                         .on_mem_done(now, &msg, arrived);
+                    if self.trace.is_traced(msg.tag) {
+                        let home = msg.dst.get();
+                        let svc_start = inject_at - self.cfg.rmc.server_proc_time;
+                        self.trace
+                            .push(msg.tag, Phase::ServerQueue, home, now, svc_start);
+                        self.trace
+                            .push(msg.tag, Phase::Reply, home, svc_start.max(now), inject_at);
+                    }
                     self.queue.schedule(
                         inject_at,
                         Ev::Hop {
@@ -666,6 +729,16 @@ impl World {
         let (msg, new_attempt) = (p.msg, p.attempt);
         let src = msg.src;
         let inject_at = self.nodes[src.index()].client.retransmit(now, tag);
+        // The retransmit pass is loss-recovery work; the wait that led to
+        // this timeout becomes Retry too, via gap-filling at finish().
+        self.trace.push_attr(
+            tag,
+            Phase::Retry,
+            src.get(),
+            now,
+            inject_at,
+            Some(("attempt", new_attempt as u64)),
+        );
         self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
         self.arm_timeout(inject_at, tag, new_attempt);
     }
@@ -697,6 +770,7 @@ impl World {
         for (tag, p) in doomed {
             self.pending.remove(&tag);
             self.nodes[observer.index()].client.abort(tag);
+            self.trace.finish(tag, now, true);
             match p.owner {
                 Owner::Thread(id) => self.thread_abort(now, id, p.msg),
                 Owner::Sync => self.sync_failed = Some((tag, now)),
@@ -764,6 +838,8 @@ impl World {
             }
             self.evac_remaps[owner.index()].push((seg.base, new.prefixed_base, seg.frames));
             self.evacuations += 1;
+            self.trace
+                .standalone(Phase::Evac, owner.get(), now, now + self.cfg.os.reservation);
             self.fault_log.record(
                 now,
                 "evacuation",
@@ -827,10 +903,18 @@ impl World {
                 self.fault_log
                     .record(now, "node_crash", format!("node {node} crashed"));
                 // Threads on the node die with their remaining work failed.
-                for th in &mut self.threads {
+                for i in 0..self.threads.len() {
+                    let th = &mut self.threads[i];
                     if th.spec.node == node && th.finished.is_none() {
-                        th.failed += th.spec.accesses - th.completed - th.failed;
+                        let remaining = th.spec.accesses - th.completed - th.failed;
+                        th.failed += remaining;
                         th.finished = Some(now);
+                        // Keep the trace's tx accounting consistent with the
+                        // thread accounting: each bulk-failed access gets a
+                        // zero-length failed envelope.
+                        for _ in 0..remaining {
+                            self.trace.fail_fast(node.get(), now);
+                        }
                     }
                 }
                 // Transactions issued by the dead node vanish with it.
@@ -843,8 +927,15 @@ impl World {
                 for (tag, p) in gone {
                     self.pending.remove(&tag);
                     self.nodes[node.index()].client.abort(tag);
-                    if let Owner::Sync = p.owner {
-                        self.sync_failed = Some((tag, now));
+                    match p.owner {
+                        // The thread's bulk-fail above already accounted for
+                        // this access; drop the half-built trace silently.
+                        Owner::Thread(_) => self.trace.abandon(tag),
+                        Owner::Sync => {
+                            self.trace.finish(tag, now, true);
+                            self.sync_failed = Some((tag, now));
+                        }
+                        Owner::Posted => self.trace.finish(tag, now, true),
                     }
                 }
             }
@@ -915,6 +1006,7 @@ impl World {
     }
 
     fn complete(&mut self, comp: Completion) {
+        self.trace.finish(comp.tag, comp.done_at, false);
         match self.pending.remove(&comp.tag).map(|p| p.owner) {
             Some(Owner::Thread(id)) => {
                 let th = &mut self.threads[id];
@@ -987,8 +1079,10 @@ impl World {
             "blocking_transaction while traffic threads are active"
         );
         let mut t = start.max(self.queue.now());
+        let t_first = t;
         loop {
             if self.nodes[src.index()].client.is_suspect(dst) {
+                self.trace.fail_fast(src.get(), t);
                 return AccessOutcome::Failed { node: dst, at: t };
             }
             match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
@@ -1001,6 +1095,7 @@ impl World {
                             attempt: 0,
                         },
                     );
+                    self.trace_submitted(t_first, t, &msg, inject_at);
                     self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
                     self.arm_timeout(inject_at, msg.tag, 0);
                     break;
@@ -1049,6 +1144,7 @@ impl World {
         addr: u64,
     ) -> SimTime {
         let mut t = start.max(self.queue.now());
+        let t_first = t;
         loop {
             match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
                 Submit::Accepted { msg, inject_at } => {
@@ -1060,6 +1156,7 @@ impl World {
                             attempt: 0,
                         },
                     );
+                    self.trace_submitted(t_first, t, &msg, inject_at);
                     self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
                     self.arm_timeout(inject_at, msg.tag, 0);
                     return inject_at;
@@ -1169,6 +1266,7 @@ impl World {
             failed: 0,
             evacuated_retries: 0,
             pending: None,
+            pending_since: None,
             started: start,
             finished: None,
             nack_retries: 0,
@@ -1240,6 +1338,10 @@ impl World {
             }
         };
         let node = self.threads[id].spec.node;
+        // The instant the access was *first* offered to the RMC — NACK
+        // wake-ups re-offer the same access, and the serialization stall is
+        // measured from the very first attempt.
+        let first_offer = self.threads[id].pending_since.take().unwrap_or(now);
         // Accesses into an evacuated zone follow it to its new home
         // (pre-evacuation NACKed pendings, pre-rewrite generated addresses).
         let (dst, addr) = match self.evac_remaps[node.index()]
@@ -1257,6 +1359,7 @@ impl World {
         // An access aimed at a declared-failed home (no evacuation took it
         // in) fails instead of burning a retry budget each time.
         if self.nodes[node.index()].client.is_suspect(dst) {
+            self.trace.fail_fast(node.get(), now);
             self.thread_access_failed(now, id);
             return;
         }
@@ -1270,12 +1373,14 @@ impl World {
                         attempt: 0,
                     },
                 );
+                self.trace_submitted(first_offer, now, &msg, inject_at);
                 self.queue.schedule(inject_at, Ev::Hop { msg, at: node });
                 self.arm_timeout(inject_at, msg.tag, 0);
             }
             Submit::Nacked { retry_at } => {
                 let th = &mut self.threads[id];
                 th.pending = Some((dst, kind, addr));
+                th.pending_since = Some(first_offer);
                 th.nack_retries += 1;
                 self.queue.schedule(retry_at, Ev::ThreadWake { id });
             }
@@ -1297,6 +1402,16 @@ impl World {
                 self.queue.processed() <= limit,
                 "event budget exceeded: livelock at {at}"
             );
+        }
+        // Close the time series with a drain-time sample so the tail of the
+        // run (after the last whole interval) is represented too.
+        let now = self.queue.now();
+        let needs_final = self
+            .sampler
+            .as_ref()
+            .is_some_and(|s| s.samples.last().map(|x| x.at) != Some(now));
+        if needs_final {
+            self.take_sample(now);
         }
     }
 
@@ -1342,6 +1457,73 @@ impl World {
     /// The chronological fault/detection/recovery log.
     pub fn fault_log(&self) -> &FaultLog {
         &self.fault_log
+    }
+
+    /// The per-transaction span tracer (inert unless
+    /// [`crate::TraceConfig`] enables it).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Open a trace for an accepted submission and attribute its stall,
+    /// client-queue and issue phases. `first_offer` is when the core first
+    /// wanted the access out (may precede `accepted_at` by NACK rounds).
+    fn trace_submitted(
+        &mut self,
+        first_offer: SimTime,
+        accepted_at: SimTime,
+        msg: &Message,
+        inject_at: SimTime,
+    ) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let node = msg.src.get();
+        let tag = msg.tag;
+        self.trace.begin(tag, node, first_offer);
+        self.trace
+            .push(tag, Phase::Stall, node, first_offer, accepted_at);
+        let svc_start = inject_at - self.cfg.rmc.proc_time;
+        self.trace
+            .push(tag, Phase::ClientQueue, node, accepted_at, svc_start);
+        self.trace.push(
+            tag,
+            Phase::Issue,
+            node,
+            svc_start.max(accepted_at),
+            inject_at,
+        );
+    }
+
+    /// Attribute one forwarded hop to its wire and fabric-queue phases.
+    /// Probe traffic shares its parent's tag and is not part of the
+    /// requester-observed critical path, so it is excluded.
+    fn trace_hop(
+        &mut self,
+        msg: &Message,
+        at: NodeId,
+        now: SimTime,
+        arrive: SimTime,
+        queued: SimDuration,
+    ) {
+        if matches!(msg.kind, MsgKind::ProbeReq | MsgKind::ProbeResp)
+            || !self.trace.is_traced(msg.tag)
+        {
+            return;
+        }
+        let node = at.get();
+        if queued.is_zero() {
+            self.trace.push(msg.tag, Phase::Wire, node, now, arrive);
+        } else {
+            // Router pass, FIFO wait on the link serializer, then
+            // serialization + flight: three sub-intervals that tile the hop.
+            let enq = now + self.cfg.fabric.router_delay;
+            self.trace.push(msg.tag, Phase::Wire, node, now, enq);
+            self.trace
+                .push(msg.tag, Phase::FabricQueue, node, enq, enq + queued);
+            self.trace
+                .push(msg.tag, Phase::Wire, node, enq + queued, arrive);
+        }
     }
 
     /// True while `node` is crashed.
@@ -1390,6 +1572,9 @@ impl World {
             ("evacuations".to_string(), Json::from(self.evacuations)),
             ("faults".to_string(), self.fault_log.snapshot()),
         ];
+        if self.trace.enabled() {
+            fields.push(("trace".to_string(), self.trace.snapshot()));
+        }
         if let Some(sampler) = &self.sampler {
             let series = sampler
                 .samples

@@ -258,9 +258,17 @@ impl Fabric {
     /// Panics if the route requires a link that does not exist (would
     /// indicate a routing bug — property tests pin this down).
     pub fn step(&mut self, now: SimTime, at: NodeId, msg: &Message) -> Step {
+        self.step_traced(now, at, msg).0
+    }
+
+    /// [`Fabric::step`] plus the FIFO wait the message spent queued behind
+    /// other traffic on the link serializer (zero for `Deliver`/`Dropped`
+    /// outcomes and uncontended links). The span tracer uses the wait to
+    /// split each hop into its wire and fabric-queue phases.
+    pub fn step_traced(&mut self, now: SimTime, at: NodeId, msg: &Message) -> (Step, SimDuration) {
         if at == msg.dst {
             self.delivered.inc();
-            return Step::Deliver { at: now };
+            return (Step::Deliver { at: now }, SimDuration::ZERO);
         }
         let next = if self.degraded() {
             match self.routes.get(&(at, msg.dst)) {
@@ -273,7 +281,7 @@ impl Fabric {
                 None => {
                     self.unroutable.inc();
                     self.dropped.inc();
-                    return Step::Dropped;
+                    return (Step::Dropped, SimDuration::ZERO);
                 }
             }
         } else {
@@ -288,17 +296,21 @@ impl Fabric {
         // Router traversal, then FIFO on the link serializer, then flight time.
         let enq = now + self.cfg.router_delay;
         let depart = link.server.accept(enq, ser);
+        let queued = depart.saturating_since(enq).saturating_sub(ser);
         link.messages.inc();
         link.bytes.add(wire as u64);
         self.total_hops.inc();
         if self.cfg.loss_rate > 0.0 && self.loss_rng.chance(self.cfg.loss_rate) {
             self.dropped.inc();
-            return Step::Dropped;
+            return (Step::Dropped, queued);
         }
-        Step::Forward {
-            next,
-            arrive: depart + self.cfg.link_latency,
-        }
+        (
+            Step::Forward {
+                next,
+                arrive: depart + self.cfg.link_latency,
+            },
+            queued,
+        )
     }
 
     /// Unloaded end-to-end traversal time for a message of `wire_bytes`

@@ -23,25 +23,61 @@ pub struct FaultLogEntry {
 }
 
 /// Ordered record of fault injections, detections and recovery actions.
-#[derive(Debug, Default)]
+///
+/// Bounded like [`crate::span::TraceSink`]: at most `capacity` entries are
+/// retained and overflow is counted in [`FaultLog::dropped`]. The log keeps
+/// the *earliest* entries — in a fault cascade the root causes come first
+/// and the tail is usually repetition.
+#[derive(Debug)]
 pub struct FaultLog {
     entries: Vec<FaultLogEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Default retention bound: ample for any experiment in the suite while
+/// capping a pathological fault storm at a few MB.
+pub const DEFAULT_FAULTLOG_CAPACITY: usize = 65_536;
+
+impl Default for FaultLog {
+    fn default() -> Self {
+        FaultLog::with_capacity(DEFAULT_FAULTLOG_CAPACITY)
+    }
 }
 
 impl FaultLog {
-    /// An empty log.
+    /// An empty log with the default retention bound.
     pub fn new() -> FaultLog {
         FaultLog::default()
     }
 
+    /// An empty log retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> FaultLog {
+        FaultLog {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
     /// Append an event. Callers append in simulated-time order (the event
-    /// loop guarantees it), so the log never needs sorting.
+    /// loop guarantees it), so the log never needs sorting. Once the
+    /// retention bound is reached further events are counted, not stored.
     pub fn record(&mut self, at: SimTime, kind: &str, detail: impl Into<String>) {
+        if self.entries.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
         self.entries.push(FaultLogEntry {
             at,
             kind: kind.to_string(),
             detail: detail.into(),
         });
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// All entries, in time order.
@@ -100,6 +136,21 @@ mod tests {
         assert_eq!(log.count("evacuation"), 1);
         assert_eq!(log.count("nothing"), 0);
         assert_eq!(log.entries()[0].kind, "node_crash");
+    }
+
+    #[test]
+    fn bounded_log_counts_overflow() {
+        let mut log = FaultLog::with_capacity(2);
+        let t0 = SimTime::ZERO + SimDuration::us(1);
+        log.record(t0, "a", "1");
+        log.record(t0, "b", "2");
+        log.record(t0, "c", "3");
+        log.record(t0, "d", "4");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 2);
+        // The earliest entries are the ones retained.
+        assert_eq!(log.entries()[0].kind, "a");
+        assert_eq!(log.entries()[1].kind, "b");
     }
 
     #[test]

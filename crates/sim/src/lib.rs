@@ -16,7 +16,11 @@
 //! * [`rng`] — a self-contained xoshiro256** PRNG so that every simulation is
 //!   reproducible from a single `u64` seed with no external dependencies,
 //! * [`faultlog`] — a timestamped record of fault injections, failure
-//!   detections and recovery actions, serialized into cluster snapshots.
+//!   detections and recovery actions, serialized into cluster snapshots,
+//! * [`span`] — per-transaction span tracing: a bounded [`TraceSink`]
+//!   attributing each traced access's end-to-end latency to phases
+//!   (stall, wire, queueing, service, ...), exportable as a Chrome
+//!   trace-event document.
 //!
 //! ## Modelling style
 //!
@@ -32,6 +36,7 @@ pub mod faultlog;
 pub mod queueing;
 pub mod rng;
 pub mod snapshot;
+pub mod span;
 pub mod stats;
 pub mod time;
 
@@ -40,4 +45,5 @@ pub use faultlog::{FaultLog, FaultLogEntry};
 pub use queueing::FifoServer;
 pub use rng::Rng;
 pub use snapshot::Json;
+pub use span::{Phase, SpanRecord, TraceMode, TraceSink};
 pub use time::{SimDuration, SimTime};

@@ -123,18 +123,29 @@ impl OnlineSummary {
     }
 }
 
-/// Log₂-bucketed latency histogram over nanosecond values.
+/// Log-linear latency histogram over nanosecond values.
 ///
-/// Bucket `i` covers `[2^i, 2^(i+1))` ns, with bucket 0 covering `[0, 2)` ns.
-/// Quantile queries interpolate linearly inside a bucket, giving ≤ 2×
-/// relative error — ample for latency-distribution shape comparisons.
+/// Each power-of-two octave is split into [`HIST_SUB_BUCKETS`] equal-width
+/// sub-buckets (HDR-histogram style): values below `HIST_SUB_BUCKETS` get
+/// exact unit buckets, and a value in octave `[2^o, 2^(o+1))` lands in one
+/// of 4 sub-ranges of width `2^(o-2)`. That bounds the relative bucket
+/// width at 25%, so interpolated quantiles carry ≤ ~12% relative error —
+/// tight enough for per-phase latency attribution, versus the ≤ 2× error
+/// of plain log₂ buckets.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
-    summary: OnlineSummary,
+    count: u64,
+    sum_ns: f64,
+    max_ns: f64,
 }
 
-const HIST_BUCKETS: usize = 40; // up to ~2^39 ns ≈ 9 minutes
+/// Sub-buckets per power-of-two octave (must be a power of two).
+pub const HIST_SUB_BUCKETS: usize = 4;
+const HIST_SUB_BITS: u32 = HIST_SUB_BUCKETS.trailing_zeros();
+// Octaves 2..=39 at 4 sub-buckets each, plus the 4 exact unit buckets:
+// covers up to ~2^40 ns ≈ 18 minutes.
+const HIST_BUCKETS: usize = HIST_SUB_BUCKETS + 38 * HIST_SUB_BUCKETS;
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
@@ -147,38 +158,71 @@ impl LatencyHistogram {
     pub fn new() -> Self {
         LatencyHistogram {
             buckets: vec![0; HIST_BUCKETS],
-            summary: OnlineSummary::new(),
+            count: 0,
+            sum_ns: 0.0,
+            max_ns: 0.0,
         }
     }
 
     fn bucket_of(ns: u64) -> usize {
-        if ns < 2 {
-            0
-        } else {
-            ((63 - ns.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        if ns < HIST_SUB_BUCKETS as u64 {
+            return ns as usize;
         }
+        let octave = 63 - ns.leading_zeros(); // >= HIST_SUB_BITS here
+        let sub = ((ns >> (octave - HIST_SUB_BITS)) as usize) & (HIST_SUB_BUCKETS - 1);
+        let idx = (octave - HIST_SUB_BITS + 1) as usize * HIST_SUB_BUCKETS + sub;
+        idx.min(HIST_BUCKETS - 1)
     }
 
-    /// Record one latency.
+    /// `[lo, hi)` nanosecond range covered by bucket `i`.
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i < HIST_SUB_BUCKETS {
+            return (i as f64, (i + 1) as f64);
+        }
+        let octave = (i / HIST_SUB_BUCKETS) as u32 + HIST_SUB_BITS - 1;
+        let sub = (i % HIST_SUB_BUCKETS) as u64;
+        let width = 1u64 << (octave - HIST_SUB_BITS);
+        let lo = (1u64 << octave) + sub * width;
+        (lo as f64, (lo + width) as f64)
+    }
+
+    /// Record one latency. Deliberately lean — a bucket increment and a
+    /// running sum/max — because trace-enabled runs call this on every
+    /// finished transaction phase (see `cohfree_sim::span`).
+    #[inline]
     pub fn record(&mut self, d: SimDuration) {
         let ns = d.as_ns();
         self.buckets[Self::bucket_of(ns)] += 1;
-        self.summary.record(d.as_ns_f64());
+        self.count += 1;
+        let x = d.as_ns_f64();
+        self.sum_ns += x;
+        if x > self.max_ns {
+            self.max_ns = x;
+        }
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.summary.count()
+        self.count
     }
 
     /// Mean latency in nanoseconds.
     pub fn mean_ns(&self) -> f64 {
-        self.summary.mean()
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns / self.count as f64
+        }
     }
 
-    /// Largest recorded latency in nanoseconds.
+    /// Sum of all recorded latencies in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.sum_ns
+    }
+
+    /// Largest recorded latency in nanoseconds (0 when empty).
     pub fn max_ns(&self) -> f64 {
-        self.summary.max().unwrap_or(0.0)
+        self.max_ns
     }
 
     /// Approximate quantile (`q` in `[0, 1]`) in nanoseconds.
@@ -195,8 +239,7 @@ impl LatencyHistogram {
                 continue;
             }
             if acc + c >= target {
-                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
-                let hi = (1u64 << (i + 1)) as f64;
+                let (lo, hi) = Self::bucket_bounds(i);
                 let frac = (target - acc) as f64 / c as f64;
                 return lo + frac * (hi - lo);
             }
@@ -210,26 +253,9 @@ impl LatencyHistogram {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
-        // Rebuild summary moments via weighted combination.
-        let n1 = self.summary.count() as f64;
-        let n2 = other.summary.count() as f64;
-        if n2 == 0.0 {
-            return;
-        }
-        if n1 == 0.0 {
-            self.summary = other.summary.clone();
-            return;
-        }
-        let mean = (self.summary.mean() * n1 + other.summary.mean() * n2) / (n1 + n2);
-        let delta = other.summary.mean() - self.summary.mean();
-        let m2 = self.summary.m2 + other.summary.m2 + delta * delta * n1 * n2 / (n1 + n2);
-        self.summary = OnlineSummary {
-            n: (n1 + n2) as u64,
-            mean,
-            m2,
-            min: self.summary.min.min(other.summary.min),
-            max: self.summary.max.max(other.summary.max),
-        };
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
     }
 }
 
@@ -345,14 +371,46 @@ mod tests {
 
     #[test]
     fn histogram_buckets() {
+        // Exact unit buckets below HIST_SUB_BUCKETS.
         assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(1), 0);
-        assert_eq!(LatencyHistogram::bucket_of(2), 1);
-        assert_eq!(LatencyHistogram::bucket_of(3), 1);
-        assert_eq!(LatencyHistogram::bucket_of(4), 2);
-        assert_eq!(LatencyHistogram::bucket_of(1023), 9);
-        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 3);
+        // Octave [4, 8): four sub-buckets of width 1.
+        assert_eq!(LatencyHistogram::bucket_of(4), 4);
+        assert_eq!(LatencyHistogram::bucket_of(5), 5);
+        assert_eq!(LatencyHistogram::bucket_of(7), 7);
+        // Octave [8, 16): four sub-buckets of width 2.
+        assert_eq!(LatencyHistogram::bucket_of(8), 8);
+        assert_eq!(LatencyHistogram::bucket_of(9), 8);
+        assert_eq!(LatencyHistogram::bucket_of(10), 9);
+        // 1023 is in [896, 1024), the last sub-bucket of octave 9.
+        assert_eq!(
+            LatencyHistogram::bucket_of(1023),
+            LatencyHistogram::bucket_of(896)
+        );
+        assert_ne!(
+            LatencyHistogram::bucket_of(1023),
+            LatencyHistogram::bucket_of(1024)
+        );
         assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        // Buckets are monotone and contiguous over a wide range.
+        let mut prev = 0usize;
+        for ns in 0..100_000u64 {
+            let b = LatencyHistogram::bucket_of(ns);
+            assert!(b == prev || b == prev + 1, "ns {ns}: {prev} -> {b}");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_bounds_invert_bucket_of() {
+        for i in 0..HIST_BUCKETS - 1 {
+            let (lo, hi) = LatencyHistogram::bucket_bounds(i);
+            assert_eq!(LatencyHistogram::bucket_of(lo as u64), i);
+            assert_eq!(LatencyHistogram::bucket_of(hi as u64 - 1), i);
+            assert_eq!(LatencyHistogram::bucket_of(hi as u64), i + 1);
+        }
     }
 
     #[test]
@@ -363,10 +421,13 @@ mod tests {
         }
         assert_eq!(h.count(), 1000);
         let p50 = h.quantile_ns(0.5);
-        // True median is 500; log-bucket interpolation keeps us within 2x.
-        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        // True median is 500; 4-per-octave sub-buckets keep interpolation
+        // within ~12% of truth (the old log₂ buckets only promised 2×).
+        assert!((460.0..=540.0).contains(&p50), "p50 {p50}");
+        let p90 = h.quantile_ns(0.9);
+        assert!((820.0..=980.0).contains(&p90), "p90 {p90}");
         let p100 = h.quantile_ns(1.0);
-        assert!(p100 >= 512.0, "p100 {p100}");
+        assert!(p100 >= 896.0, "p100 {p100}");
         assert!((h.mean_ns() - 500.5).abs() < 1e-9);
         assert_eq!(h.max_ns(), 1000.0);
     }
