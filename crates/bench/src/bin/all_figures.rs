@@ -1,32 +1,7 @@
 //! Runs every figure and ablation in sequence (the full reproduction).
-use cohfree_bench::{experiments as ex, Scale};
+use cohfree_bench::{experiments, Scale};
 
 fn main() {
-    let s = Scale::from_env();
-    ex::fig6::table(s).print();
-    ex::fig7::table(s).print();
-    ex::fig8::table(s).print();
-    ex::fig9::table(s).print();
-    ex::fig10::table(s).print();
-    ex::fig11::table(s).print();
-    ex::analytic::table(s).print();
-    ex::ablations::outstanding(s).print();
-    ex::ablations::prefetch(s).print();
-    ex::ablations::topology(s).print();
-    ex::ablations::cacheable(s).print();
-    ex::ablations::hash_vs_btree(s).print();
-    ex::ablations::residency(s).print();
-    ex::ablations::reliability(s).print();
-    ex::ablations::posted(s).print();
-    ex::ablations::l1_hierarchy(s).print();
-    ex::ext_db::table(s).print();
-    ex::ext_parallel::table(s).print();
-    ex::ext_tenants::table(s).print();
-    ex::ext_coherent::table(s).print();
-    ex::ext_locality::table(s).print();
-    ex::ext_balloon::table(s).print();
-    ex::ext_failover::table(s).print();
-    ex::ext_breakdown::table(s).print();
-    ex::ext_breakdown::overhead_table(s).print();
+    experiments::run_all(Scale::from_env());
     cohfree_bench::report::finish();
 }

@@ -23,45 +23,53 @@ pub fn outstanding(scale: Scale) -> Table {
         "ABL-OUTST — 4-thread random-read time vs. RMC request slots",
         &["front_end", "slots", "time_us", "nacks"],
     );
+    let mut points = Vec::new();
     for (label, base) in [
         ("fpga", cohfree_rmc::RmcConfig::default()),
         ("asic", cohfree_rmc::RmcConfig::asic()),
     ] {
         for slots in [1usize, 2, 4, 8, 16] {
-            let mut cfg = ClusterConfig::prototype();
-            cfg.rmc = cohfree_rmc::RmcConfig {
-                request_slots: slots,
-                ..base
-            };
-            let mut w = World::new(cfg);
-            let client = super::n(6);
-            let resv = w.reserve_remote(client, 8_192, Some(super::n(2)));
-            let ids: Vec<usize> = (0..4)
-                .map(|k| {
-                    w.spawn_thread(
-                        ThreadSpec {
-                            node: client,
-                            zones: vec![(resv.prefixed_base, resv.frames * 4096)],
-                            accesses: total / 4,
-                            bytes: 64,
-                            write_fraction: 0.0,
-                            think: SimDuration::ns(5),
-                            seed: 40 + k,
-                        },
-                        SimTime::ZERO,
-                    )
-                })
-                .collect();
-            w.run();
-            let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
-            let nacks: u64 = ids.iter().map(|&i| w.thread_nacks(i)).sum();
-            t.row(vec![
-                label.into(),
-                slots.to_string(),
-                format!("{:.1}", time.as_us_f64()),
-                nacks.to_string(),
-            ]);
+            points.push((label, base, slots));
         }
+    }
+    // Independent worlds per (front-end, slots) point: run them on the
+    // worker pool and append rows in input order.
+    for cells in crate::parallel_map(points, |(label, base, slots)| {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.rmc = cohfree_rmc::RmcConfig {
+            request_slots: slots,
+            ..base
+        };
+        let mut w = World::new(cfg);
+        let client = super::n(6);
+        let resv = w.reserve_remote(client, 8_192, Some(super::n(2)));
+        let ids: Vec<usize> = (0..4)
+            .map(|k| {
+                w.spawn_thread(
+                    ThreadSpec {
+                        node: client,
+                        zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                        accesses: total / 4,
+                        bytes: 64,
+                        write_fraction: 0.0,
+                        think: SimDuration::ns(5),
+                        seed: 40 + k,
+                    },
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        w.run();
+        let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
+        let nacks: u64 = ids.iter().map(|&i| w.thread_nacks(i)).sum();
+        vec![
+            label.into(),
+            slots.to_string(),
+            format!("{:.1}", time.as_us_f64()),
+            nacks.to_string(),
+        ]
+    }) {
+        t.row(cells);
     }
     t
 }
@@ -137,7 +145,7 @@ pub fn topology(scale: Scale) -> Table {
         ),
         ("fully-connected", Topology::FullyConnected { nodes: 16 }),
     ];
-    for (name, topo) in topos {
+    for cells in crate::parallel_map(topos.to_vec(), |(name, topo)| {
         let mut cfg = ClusterConfig::prototype();
         cfg.topology = topo;
         let mut w = World::new(cfg);
@@ -163,11 +171,13 @@ pub fn topology(scale: Scale) -> Table {
             .collect();
         w.run();
         let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
-        t.row(vec![
+        vec![
             name.into(),
             hops.to_string(),
             format!("{:.1}", time.as_us_f64()),
-        ]);
+        ]
+    }) {
+        t.row(cells);
     }
     t
 }
@@ -286,38 +296,44 @@ pub fn residency(scale: Scale) -> Table {
             "faults_per_search",
         ],
     );
+    let mut points = Vec::new();
     for frac in [8u64, 4, 2, 1] {
         for transport in [SwapTransport::default(), SwapTransport::Fabric] {
-            let cache_pages = (tree_pages as u64 / frac).max(16) as usize;
-            let mut m = SwapSpace::remote(
-                super::cluster(),
-                super::n(1),
-                SwapConfig {
-                    cache_pages,
-                    transport,
-                    ..SwapConfig::default()
-                },
-            );
-            let tree = BTree::bulk_load(&mut m, &keys, 167);
-            let mut rng = Rng::new(0x33);
-            let f0 = m.stats().major_faults;
-            let t0 = m.now();
-            for _ in 0..searches {
-                tree.search(&mut m, keys[rng.below(n_keys as u64) as usize]);
-            }
-            let us = m.now().since(t0).as_us_f64() / searches as f64;
-            let fps = (m.stats().major_faults - f0) as f64 / searches as f64;
-            let label = match transport {
-                SwapTransport::Ethernet { .. } => "ethernet",
-                SwapTransport::Fabric => "fabric",
-            };
-            t.row(vec![
-                format!("1/{frac}"),
-                label.into(),
-                format!("{us:.2}"),
-                format!("{fps:.2}"),
-            ]);
+            points.push((frac, transport));
         }
+    }
+    for cells in crate::parallel_map(points, |(frac, transport)| {
+        let cache_pages = (tree_pages as u64 / frac).max(16) as usize;
+        let mut m = SwapSpace::remote(
+            super::cluster(),
+            super::n(1),
+            SwapConfig {
+                cache_pages,
+                transport,
+                ..SwapConfig::default()
+            },
+        );
+        let tree = BTree::bulk_load(&mut m, &keys, 167);
+        let mut rng = Rng::new(0x33);
+        let f0 = m.stats().major_faults;
+        let t0 = m.now();
+        for _ in 0..searches {
+            tree.search(&mut m, keys[rng.below(n_keys as u64) as usize]);
+        }
+        let us = m.now().since(t0).as_us_f64() / searches as f64;
+        let fps = (m.stats().major_faults - f0) as f64 / searches as f64;
+        let label = match transport {
+            SwapTransport::Ethernet { .. } => "ethernet",
+            SwapTransport::Fabric => "fabric",
+        };
+        vec![
+            format!("1/{frac}"),
+            label.into(),
+            format!("{us:.2}"),
+            format!("{fps:.2}"),
+        ]
+    }) {
+        t.row(cells);
     }
     t
 }
@@ -439,7 +455,7 @@ pub fn reliability(scale: Scale) -> Table {
             "duplicates",
         ],
     );
-    for loss in [0.0, 1e-5, 1e-4, 1e-3, 1e-2] {
+    for cells in crate::parallel_map(vec![0.0, 1e-5, 1e-4, 1e-3, 1e-2], |loss| {
         let mut cfg = ClusterConfig::prototype();
         cfg.fabric.loss_rate = loss;
         let mut w = World::new(cfg);
@@ -471,13 +487,15 @@ pub fn reliability(scale: Scale) -> Table {
             .map(|i| w.client(super::n(i)).retransmissions())
             .sum();
         let dups: u64 = nodes.map(|i| w.client(super::n(i)).duplicates()).sum();
-        t.row(vec![
+        vec![
             format!("{loss:.0e}"),
             format!("{:.1}", time.as_us_f64()),
             w.fabric().dropped().to_string(),
             retx.to_string(),
             dups.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(cells);
     }
     t
 }

@@ -34,9 +34,11 @@ pub fn run(scale: Scale) -> (f64, Vec<Row>) {
 pub fn run_traced(scale: Scale, trace: TraceConfig, record: bool) -> (f64, Vec<Row>) {
     let accesses = scale.pick(50u64, 2_000, 20_000);
     let client = super::n(1);
-    let mut rows = Vec::new();
-    let mut local_ref = 0.0;
-    for hops in 1..=6u32 {
+    // Each distance is an independent world with its own derived seed, so
+    // the sweep points run on the worker pool; results and snapshots are
+    // merged back in input order to keep the report byte-identical to the
+    // sequential sweep.
+    let points = crate::parallel_map((1..=6u32).collect(), |hops| {
         let mut cfg = super::cluster();
         cfg.trace = trace;
         let mut w = World::new(cfg);
@@ -61,17 +63,23 @@ pub fn run_traced(scale: Scale, trace: TraceConfig, record: bool) -> (f64, Vec<R
             .estimate_remote_read_latency(client, server, 64)
             .as_ns_f64();
         // Local reference: unloaded DRAM access on the client node.
-        local_ref = w.memory(client).unloaded_latency(64).as_ns_f64();
-        rows.push(Row {
+        let local_ns = w.memory(client).unloaded_latency(64).as_ns_f64();
+        let row = Row {
             hops,
             mean_ns,
             p99_ns,
             unloaded_ns,
-        });
-        let snap = w.snapshot();
+        };
+        (row, local_ns, w.snapshot())
+    });
+    let mut rows = Vec::new();
+    let mut local_ref = 0.0;
+    for (row, local_ns, snap) in points {
+        local_ref = local_ns;
         if record {
-            crate::report::record_snapshot(&format!("fig6/hops{hops}"), snap);
+            crate::report::record_snapshot(&format!("fig6/hops{}", row.hops), snap);
         }
+        rows.push(row);
     }
     (local_ref, rows)
 }

@@ -39,6 +39,38 @@ pub fn sample_interval(scale: crate::Scale) -> SimDuration {
     )
 }
 
+/// Run every figure and ablation in sequence (the full reproduction),
+/// printing each table and recording it into the report collector. This is
+/// the body of the `all_figures` bin, factored out so the determinism
+/// end-to-end test can run the whole suite in-process.
+pub fn run_all(s: crate::Scale) {
+    fig6::table(s).print();
+    fig7::table(s).print();
+    fig8::table(s).print();
+    fig9::table(s).print();
+    fig10::table(s).print();
+    fig11::table(s).print();
+    analytic::table(s).print();
+    ablations::outstanding(s).print();
+    ablations::prefetch(s).print();
+    ablations::topology(s).print();
+    ablations::cacheable(s).print();
+    ablations::hash_vs_btree(s).print();
+    ablations::residency(s).print();
+    ablations::reliability(s).print();
+    ablations::posted(s).print();
+    ablations::l1_hierarchy(s).print();
+    ext_db::table(s).print();
+    ext_parallel::table(s).print();
+    ext_tenants::table(s).print();
+    ext_coherent::table(s).print();
+    ext_locality::table(s).print();
+    ext_balloon::table(s).print();
+    ext_failover::table(s).print();
+    ext_breakdown::table(s).print();
+    ext_breakdown::overhead_table(s).print();
+}
+
 /// Generate `count` strictly-ascending pseudo-random u64 keys (dedup'd,
 /// deterministic), for bulk-loading trees/indexes.
 pub fn random_sorted_keys(count: usize, seed: u64) -> Vec<u64> {

@@ -17,6 +17,7 @@
 
 pub mod bencher;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod table;
 

@@ -1,0 +1,317 @@
+//! The performance-regression harness behind `--bin perf`.
+//!
+//! Micro benchmarks time the simulator's hottest primitives (event-queue
+//! push/pop, one fabric hop, one blocking remote transaction) with the
+//! batched [`crate::bencher`]; macro benchmarks time whole smoke-scale
+//! figure runs and report engine throughput in events per second. Results
+//! land in the standard report document (`COHFREE_JSON=BENCH_PERF.json`)
+//! and can be gated against a checked-in baseline with a wide,
+//! machine-tolerant regression bound.
+//!
+//! ## Baseline policy
+//!
+//! `crates/bench/perf_baseline.json` is a committed `BENCH_PERF.json` from
+//! a routine dev-container run. Absolute nanoseconds vary between hosts by
+//! far more than any optimization we care about, so the compare mode only
+//! fails on *gross* regressions — `current > tolerance × baseline` with a
+//! default tolerance of 3× — which survives noisy shared CI runners while
+//! still catching an accidental return to heap-per-event or hash-per-hop
+//! behaviour. Refresh the baseline whenever an intentional change moves the
+//! numbers: rerun the bin with `COHFREE_JSON` pointing at the baseline
+//! path and commit the result.
+
+use crate::bencher::{bench_function, BenchResult};
+use crate::table::Table;
+use crate::Scale;
+use cohfree_core::world::World;
+use cohfree_core::{Json, MsgKind, SimDuration, SimTime};
+use cohfree_sim::EventQueue;
+
+/// One macro measurement: a whole smoke-scale experiment.
+#[derive(Debug, Clone)]
+pub struct MacroResult {
+    /// Benchmark name (`macro/fig6`, ...).
+    pub name: String,
+    /// Best-of-repetitions wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Engine events processed per wall-clock second (0 when the
+    /// experiment does not expose an event count).
+    pub events_per_sec: f64,
+}
+
+/// Run the micro suite and return one result per primitive.
+pub fn micro() -> Vec<BenchResult> {
+    let mut out = Vec::new();
+
+    // Event queue: steady-state schedule+pop against a populated queue,
+    // delays spread across front, ring and overflow ranges.
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut t = SimTime::ZERO;
+    for i in 0..4_096u64 {
+        q.schedule(t + SimDuration::ns(i % 900), i);
+    }
+    let mut i = 0u64;
+    out.push(bench_function("micro/event_queue_push_pop", || {
+        let (at, v) = q.pop().expect("queue stays non-empty");
+        t = at;
+        // Re-schedule at a delay that cycles through bucket regimes.
+        let dly = [7u64, 130, 950, 17_000, 70_000][(i % 5) as usize];
+        q.schedule(t + SimDuration::ns(dly), v);
+        i += 1;
+    }));
+
+    // One fabric hop: forwarding step of a 64 B read between neighbours,
+    // including link FIFO accounting.
+    let mut fabric = cohfree_fabric::Fabric::new(
+        cohfree_core::Topology::Mesh2D {
+            width: 4,
+            height: 4,
+        },
+        cohfree_fabric::FabricConfig::default(),
+    );
+    let src = cohfree_core::NodeId::new(1);
+    let msg = cohfree_fabric::Message::new(
+        src,
+        cohfree_core::NodeId::new(2),
+        MsgKind::ReadReq { bytes: 64 },
+        1,
+    );
+    let mut now = SimTime::ZERO;
+    out.push(bench_function("micro/fabric_hop", || {
+        now += SimDuration::ns(100);
+        std::hint::black_box(fabric.step(now, src, &msg));
+    }));
+
+    // One blocking remote transaction end to end: client RMC, six fabric
+    // hops each way, server RMC and DRAM — the simulator's unit of work.
+    let mut w = World::new(cohfree_core::ClusterConfig::prototype());
+    let client = cohfree_core::NodeId::new(1);
+    let server = cohfree_core::NodeId::new(16);
+    let resv = w.reserve_remote(client, 1_024, Some(server));
+    let mut at = SimTime::ZERO;
+    let mut addr = resv.prefixed_base;
+    out.push(bench_function("micro/remote_transaction", || {
+        at = w.blocking_transaction(at, client, server, MsgKind::ReadReq { bytes: 64 }, addr);
+        addr = resv.prefixed_base + (addr + 64 - resv.prefixed_base) % (resv.frames * 4096);
+    }));
+
+    out
+}
+
+/// Run the macro suite: smoke-scale figure wall clock plus engine
+/// throughput. Wall times are best-of-3 to suppress scheduler noise.
+pub fn macro_suite() -> Vec<MacroResult> {
+    let mut out = Vec::new();
+    let best_of = |f: &dyn Fn()| {
+        (0..3)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let wall_ms = best_of(&|| {
+        std::hint::black_box(crate::experiments::fig6::run(Scale::Smoke));
+    });
+    out.push(MacroResult {
+        name: "macro/fig6".into(),
+        wall_ms,
+        events_per_sec: 0.0,
+    });
+
+    let wall_ms = best_of(&|| {
+        std::hint::black_box(crate::experiments::fig7::run(Scale::Smoke));
+    });
+    out.push(MacroResult {
+        name: "macro/fig7".into(),
+        wall_ms,
+        events_per_sec: 0.0,
+    });
+
+    // Engine throughput: a saturated 8-thread random-read world, measured
+    // as events processed per wall second.
+    let mut best = (f64::INFINITY, 0.0);
+    for _ in 0..3 {
+        let mut w = World::new(cohfree_core::ClusterConfig::prototype());
+        let client = cohfree_core::NodeId::new(1);
+        let resv = w.reserve_remote(client, 8_192, Some(cohfree_core::NodeId::new(16)));
+        for k in 0..8u64 {
+            w.spawn_thread(
+                cohfree_core::world::ThreadSpec {
+                    node: client,
+                    zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                    accesses: 4_000,
+                    bytes: 64,
+                    write_fraction: 0.2,
+                    think: SimDuration::ns(5),
+                    seed: 7_000 + k,
+                },
+                SimTime::ZERO,
+            );
+        }
+        let t0 = std::time::Instant::now();
+        w.run();
+        let secs = t0.elapsed().as_secs_f64();
+        let eps = w.events_processed() as f64 / secs.max(1e-9);
+        if secs * 1e3 < best.0 {
+            best = (secs * 1e3, eps);
+        }
+    }
+    out.push(MacroResult {
+        name: "macro/engine_throughput".into(),
+        wall_ms: best.0,
+        events_per_sec: best.1,
+    });
+
+    out
+}
+
+/// Render both suites as report tables (recorded via [`Table::print`]).
+pub fn tables(micro: &[BenchResult], mac: &[MacroResult]) -> (Table, Table) {
+    let mut tm = Table::new(
+        "PERF — microbenchmarks (batched, median of samples)",
+        &["name", "median_ns", "best_ns", "batch"],
+    );
+    for r in micro {
+        tm.row(vec![
+            r.name.clone(),
+            format!("{:.1}", r.median_ns),
+            format!("{:.1}", r.best_ns),
+            r.batch.to_string(),
+        ]);
+    }
+    let mut tg = Table::new(
+        "PERF — macrobenchmarks (smoke scale, best of 3)",
+        &["name", "wall_ms", "events_per_sec"],
+    );
+    for r in mac {
+        tg.row(vec![
+            r.name.clone(),
+            format!("{:.1}", r.wall_ms),
+            if r.events_per_sec > 0.0 {
+                format!("{:.0}", r.events_per_sec)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    (tm, tg)
+}
+
+/// `(name, headline-metric)` pairs for the regression gate: median ns for
+/// micro rows, wall ms for macro rows. Lower is better for every metric.
+pub fn metrics(micro: &[BenchResult], mac: &[MacroResult]) -> Vec<(String, f64)> {
+    micro
+        .iter()
+        .map(|r| (r.name.clone(), r.median_ns))
+        .chain(mac.iter().map(|r| (r.name.clone(), r.wall_ms)))
+        .collect()
+}
+
+/// Extract the same `(name, metric)` pairs from a previously written
+/// `BENCH_PERF.json` document (the checked-in baseline).
+pub fn metrics_from_document(doc: &Json) -> Result<Vec<(String, f64)>, String> {
+    let tables = doc
+        .get("tables")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no tables array")?;
+    let mut out = Vec::new();
+    for t in tables {
+        let title = t.get("title").and_then(Json::as_str).unwrap_or("");
+        // Column 1 carries the headline metric in both PERF tables.
+        if !title.starts_with("PERF — ") {
+            continue;
+        }
+        for row in t
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("PERF table has no rows")?
+        {
+            let cells = row.as_array().ok_or("PERF row is not an array")?;
+            let name = cells
+                .first()
+                .and_then(Json::as_str)
+                .ok_or("PERF row has no name")?;
+            let metric: f64 = cells
+                .get(1)
+                .and_then(Json::as_str)
+                .ok_or("PERF row has no metric")?
+                .parse()
+                .map_err(|e| format!("unparsable metric for {name}: {e}"))?;
+            out.push((name.to_string(), metric));
+        }
+    }
+    if out.is_empty() {
+        return Err("no PERF rows found in baseline".into());
+    }
+    Ok(out)
+}
+
+/// Compare current metrics against a baseline: every benchmark present in
+/// both must satisfy `current <= tolerance * baseline`. Returns the list of
+/// violations as human-readable lines (empty = pass). Benchmarks only on
+/// one side are reported informationally by the caller, never failures —
+/// adding a bench must not break an older baseline.
+pub fn compare(
+    current: &[(String, f64)],
+    baseline: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, cur) in current {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        if *cur > tolerance * base {
+            violations.push(format!(
+                "{name}: {cur:.1} vs baseline {base:.1} (>{tolerance:.1}x)"
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_flags_only_gross_regressions() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 10.0)];
+        let ok = vec![("a".to_string(), 250.0), ("b".to_string(), 9.0)];
+        assert!(compare(&ok, &base, 3.0).is_empty());
+        let bad = vec![("a".to_string(), 301.0), ("b".to_string(), 9.0)];
+        let v = compare(&bad, &base, 3.0);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("a:"), "{v:?}");
+        // A bench missing from the baseline is not a failure.
+        let newer = vec![("c".to_string(), 1e9)];
+        assert!(compare(&newer, &base, 3.0).is_empty());
+    }
+
+    #[test]
+    fn metrics_round_trip_through_the_report_document() {
+        let micro = vec![BenchResult {
+            name: "micro/x".into(),
+            median_ns: 12.5,
+            best_ns: 11.0,
+            batch: 1024,
+            samples: 25,
+        }];
+        let mac = vec![MacroResult {
+            name: "macro/y".into(),
+            wall_ms: 42.0,
+            events_per_sec: 1e6,
+        }];
+        let (tm, tg) = tables(&micro, &mac);
+        let doc = Json::obj([("tables", Json::Arr(vec![tm.to_json(), tg.to_json()]))]);
+        let parsed = metrics_from_document(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("micro/x".to_string(), 12.5));
+        assert_eq!(parsed[1], ("macro/y".to_string(), 42.0));
+        // The gate compares like for like.
+        assert!(compare(&parsed, &parsed, 1.0).is_empty());
+    }
+}

@@ -83,6 +83,17 @@ pub fn record_trace(name: &str, world: &World) {
     c.trace_events.extend(events);
 }
 
+/// Drop everything recorded so far — tables, snapshots and trace streams.
+/// The determinism end-to-end test runs the full suite twice in one process
+/// and must start the second pass from an empty collector.
+pub fn reset() {
+    let mut c = COLLECTOR.lock().expect("report collector poisoned");
+    c.tables.clear();
+    c.snapshots.clear();
+    c.trace_events.clear();
+    c.traced_worlds = 0;
+}
+
 /// Assemble the Chrome trace-event document from every world recorded via
 /// [`record_trace`] so far. The collector is left intact.
 pub fn trace_document() -> Json {

@@ -22,8 +22,7 @@ use cohfree_mem::{CacheHierarchy, Level, SparseStore};
 use cohfree_os::pagetable::{PageTable, Translation, PAGE_BYTES};
 use cohfree_rmc::addr::RemoteRef;
 use cohfree_rmc::{Prefetcher, PrefetcherConfig};
-use cohfree_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use cohfree_sim::{FastMap, SimDuration, SimTime};
 
 /// Where allocations land.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +92,7 @@ pub struct RemoteMemorySpace {
     server_rr: usize,
     prefetcher: Option<Prefetcher>,
     /// line address -> instant the prefetched line becomes usable.
-    prefetch_ready: HashMap<u64, SimTime>,
+    prefetch_ready: FastMap<u64, SimTime>,
 }
 
 impl RemoteMemorySpace {
@@ -125,7 +124,7 @@ impl RemoteMemorySpace {
             zone: None,
             server_rr: 0,
             prefetcher,
-            prefetch_ready: HashMap::new(),
+            prefetch_ready: FastMap::default(),
         }
     }
 

@@ -21,8 +21,7 @@ use cohfree_mem::{CacheHierarchy, Level, SparseStore};
 use cohfree_os::disk::{Disk, DiskConfig};
 use cohfree_os::pagetable::{PageTable, Translation, PAGE_BYTES};
 use cohfree_os::swap::{PageCache, Touch};
-use cohfree_sim::{SimDuration, SimTime};
-use std::collections::HashMap;
+use cohfree_sim::{FastMap, SimDuration, SimTime};
 
 /// How remote-swap pages travel.
 ///
@@ -120,8 +119,8 @@ pub struct SwapSpace {
     pt: PageTable,
     cache: CacheHierarchy,
     page_cache: PageCache,
-    homes: HashMap<u64, PageHome>,
-    frame_of: HashMap<u64, u64>,
+    homes: FastMap<u64, PageHome>,
+    frame_of: FastMap<u64, u64>,
     next_frame: u64,
     store: SparseStore,
     clock: SimTime,
@@ -183,8 +182,8 @@ impl SwapSpace {
             pt: PageTable::new(cfg.tlb),
             cache: CacheHierarchy::new(cfg.l1, cfg.cache),
             page_cache: PageCache::new(swap_cfg.cache_pages),
-            homes: HashMap::new(),
-            frame_of: HashMap::new(),
+            homes: FastMap::default(),
+            frame_of: FastMap::default(),
             next_frame: 0,
             store: SparseStore::new(),
             clock: SimTime::ZERO,

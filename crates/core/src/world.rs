@@ -36,8 +36,7 @@ use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
 use cohfree_sim::span::{Phase, TraceSink};
-use cohfree_sim::{EventQueue, FaultLog, Json, Rng, SimDuration, SimTime};
-use std::collections::HashMap;
+use cohfree_sim::{EventQueue, FastMap, FaultLog, Json, Rng, SimDuration, SimTime};
 use std::fmt;
 
 /// Per-node timed components.
@@ -269,12 +268,12 @@ pub struct World {
     nodes: Vec<NodeCtx>,
     directory: Directory,
     threads: Vec<Thread>,
-    pending: HashMap<u64, PendingTx>,
+    pending: FastMap<u64, PendingTx>,
     sync_done: Option<(u64, SimTime)>,
     /// Members of the (single, experiment-wide) inter-node coherency domain
     /// for the coherent-DSM baseline; empty = the paper's architecture.
     coherent_domain: Vec<NodeId>,
-    coh: HashMap<u64, CohState>,
+    coh: FastMap<u64, CohState>,
     sampler: Option<Sampler>,
     /// Crash state per node (index `i` is node `i + 1`).
     dead: Vec<bool>,
@@ -320,10 +319,10 @@ impl World {
             nodes,
             directory: Directory::new(cfg.topology, cfg.pool_frames_per_node(), cfg.donor_policy),
             threads: Vec::new(),
-            pending: HashMap::new(),
+            pending: FastMap::default(),
             sync_done: None,
             coherent_domain: Vec::new(),
-            coh: HashMap::new(),
+            coh: FastMap::default(),
             sampler: None,
             dead: vec![false; n as usize],
             fault_log: FaultLog::new(),
@@ -422,6 +421,12 @@ impl World {
     /// Current simulated time of the event engine.
     pub fn now(&self) -> SimTime {
         self.queue.now()
+    }
+
+    /// Events processed by the engine since construction. The perf harness
+    /// divides this by wall time for an events/second throughput figure.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
     }
 
     /// The interconnect (for statistics).

@@ -19,8 +19,8 @@ use crate::msg::{Message, NodeId};
 use crate::topology::Topology;
 use cohfree_sim::queueing::FifoServer;
 use cohfree_sim::stats::Counter;
-use cohfree_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet, VecDeque};
+use cohfree_sim::{FastMap, FastSet, SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// Physical-layer timing parameters.
 #[derive(Debug, Clone, Copy)]
@@ -97,7 +97,12 @@ struct Link {
 pub struct Fabric {
     topo: Topology,
     cfg: FabricConfig,
-    links: HashMap<(NodeId, NodeId), Link>,
+    /// Per-source adjacency: `adj[u]` holds `(v, link state)` for every
+    /// physical directed link `u -> v`, sorted by `v`. Router degree is
+    /// small (≤ 4 on the mesh), so the per-hop link lookup is a short
+    /// linear scan instead of a hash, and snapshots enumerate links in
+    /// `(from, to)` order without sorting.
+    adj: Vec<Vec<(NodeId, Link)>>,
     delivered: Counter,
     total_hops: Counter,
     dropped: Counter,
@@ -107,36 +112,70 @@ pub struct Fabric {
     /// Directed links administratively down (both directions of a failed
     /// cable appear here; a direction that is not a physical link is
     /// harmless dead weight).
-    down_links: HashSet<(NodeId, NodeId)>,
+    down_links: FastSet<(NodeId, NodeId)>,
     /// Routers that are down; every incident link is unusable.
-    down_nodes: HashSet<NodeId>,
+    down_nodes: FastSet<NodeId>,
     /// Live next-hop table, rebuilt by BFS whenever the outage set changes.
     /// Empty while the fabric is healthy (dimension-order routing applies).
-    routes: HashMap<(NodeId, NodeId), NodeId>,
+    routes: FastMap<(NodeId, NodeId), NodeId>,
 }
 
 impl Fabric {
     /// Build a fabric over `topo` with physical parameters `cfg`.
     pub fn new(topo: Topology, cfg: FabricConfig) -> Fabric {
-        let links = topo
-            .links()
-            .into_iter()
-            .map(|l| (l, Link::default()))
-            .collect();
+        let mut links = topo.links();
+        links.sort_unstable_by_key(|&(u, v)| (u.get(), v.get()));
+        let max_id = links
+            .iter()
+            .map(|&(u, v)| u.get().max(v.get()))
+            .max()
+            .unwrap_or(0) as usize;
+        let mut adj: Vec<Vec<(NodeId, Link)>> = (0..=max_id).map(|_| Vec::new()).collect();
+        for (u, v) in links {
+            adj[u.get() as usize].push((v, Link::default()));
+        }
         Fabric {
             topo,
-            links,
+            adj,
             delivered: Counter::new(),
             total_hops: Counter::new(),
             dropped: Counter::new(),
             rerouted: Counter::new(),
             unroutable: Counter::new(),
             loss_rng: cohfree_sim::Rng::new(cfg.loss_seed),
-            down_links: HashSet::new(),
-            down_nodes: HashSet::new(),
-            routes: HashMap::new(),
+            down_links: FastSet::default(),
+            down_nodes: FastSet::default(),
+            routes: FastMap::default(),
             cfg,
         }
+    }
+
+    /// Shared state of the directed link `u -> v`, if it physically exists.
+    #[inline]
+    fn link(&self, u: NodeId, v: NodeId) -> Option<&Link> {
+        self.adj
+            .get(u.get() as usize)?
+            .iter()
+            .find(|&&(n, _)| n == v)
+            .map(|(_, l)| l)
+    }
+
+    /// Mutable state of the directed link `u -> v`, if it physically exists.
+    #[inline]
+    fn link_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut Link> {
+        self.adj
+            .get_mut(u.get() as usize)?
+            .iter_mut()
+            .find(|&&mut (n, _)| n == v)
+            .map(|(_, l)| l)
+    }
+
+    /// All physical directed links in `(from, to)` order.
+    fn links_iter(&self) -> impl Iterator<Item = (NodeId, NodeId, &Link)> {
+        self.adj.iter().enumerate().flat_map(|(u, vs)| {
+            vs.iter()
+                .map(move |&(v, ref l)| (NodeId::new(u as u16), v, l))
+        })
     }
 
     /// True while any link or node outage is active.
@@ -160,9 +199,9 @@ impl Fabric {
             return; // healthy fabric: dimension-order routing, no table.
         }
         // Reverse adjacency over usable links: radj[x] = all w with w -> x.
-        let mut radj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let mut radj: FastMap<NodeId, Vec<NodeId>> = FastMap::default();
         let mut dsts: Vec<NodeId> = Vec::new();
-        for &(u, v) in self.links.keys() {
+        for (u, v, _) in self.links_iter() {
             if self.usable(u, v) {
                 radj.entry(v).or_default().push(u);
             }
@@ -175,7 +214,8 @@ impl Fabric {
         dsts.dedup();
         for dst in dsts {
             let mut q = VecDeque::from([dst]);
-            let mut seen: HashSet<NodeId> = HashSet::from([dst]);
+            let mut seen: FastSet<NodeId> = FastSet::default();
+            seen.insert(dst);
             while let Some(x) = q.pop_front() {
                 let Some(preds) = radj.get(&x) else { continue };
                 for &w in preds {
@@ -195,7 +235,7 @@ impl Fabric {
     /// Panics if `a -> b` is not a physical link of the topology.
     pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
         assert!(
-            self.links.contains_key(&(a, b)),
+            self.link(a, b).is_some(),
             "no physical link {a}->{b} to take down"
         );
         self.down_links.insert((a, b));
@@ -289,12 +329,12 @@ impl Fabric {
         };
         let wire = msg.wire_bytes();
         let ser = self.cfg.serialization(wire);
+        let router_delay = self.cfg.router_delay;
         let link = self
-            .links
-            .get_mut(&(at, next))
+            .link_mut(at, next)
             .unwrap_or_else(|| panic!("no physical link {at}->{next}"));
         // Router traversal, then FIFO on the link serializer, then flight time.
-        let enq = now + self.cfg.router_delay;
+        let enq = now + router_delay;
         let depart = link.server.accept(enq, ser);
         let queued = depart.saturating_since(enq).saturating_sub(ser);
         link.messages.inc();
@@ -350,35 +390,32 @@ impl Fabric {
 
     /// Bytes carried by the directed link `u -> v` so far.
     pub fn link_bytes(&self, u: NodeId, v: NodeId) -> u64 {
-        self.links.get(&(u, v)).map_or(0, |l| l.bytes.get())
+        self.link(u, v).map_or(0, |l| l.bytes.get())
     }
 
     /// Messages carried by the directed link `u -> v` so far.
     pub fn link_messages(&self, u: NodeId, v: NodeId) -> u64 {
-        self.links.get(&(u, v)).map_or(0, |l| l.messages.get())
+        self.link(u, v).map_or(0, |l| l.messages.get())
     }
 
     /// Utilization of the busiest directed link over `[0, horizon]`.
     pub fn max_link_utilization(&self, horizon: SimTime) -> f64 {
-        self.links
-            .values()
-            .map(|l| l.server.utilization(horizon))
+        self.links_iter()
+            .map(|(_, _, l)| l.server.utilization(horizon))
             .fold(0.0, f64::max)
     }
 
     /// Largest time-to-drain backlog across links as seen at `now`.
     pub fn max_link_backlog(&self, now: SimTime) -> SimDuration {
-        self.links
-            .values()
-            .map(|l| l.server.backlog(now))
+        self.links_iter()
+            .map(|(_, _, l)| l.server.backlog(now))
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
 
     /// Mean queueing wait on the directed link `u -> v`.
     pub fn link_mean_wait(&self, u: NodeId, v: NodeId) -> SimDuration {
-        self.links
-            .get(&(u, v))
+        self.link(u, v)
             .map_or(SimDuration::ZERO, |l| l.server.mean_wait())
     }
 
@@ -387,12 +424,10 @@ impl Fabric {
     /// `(from, to)` so the output is stable across runs.
     pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
         use cohfree_sim::Json;
-        let mut keys: Vec<(NodeId, NodeId)> = self.links.keys().copied().collect();
-        keys.sort_unstable_by_key(|&(u, v)| (u.get(), v.get()));
-        let links = keys
-            .into_iter()
-            .map(|(u, v)| {
-                let l = &self.links[&(u, v)];
+        // Adjacency lists are built sorted, so this is already (from, to) order.
+        let links = self
+            .links_iter()
+            .map(|(u, v, l)| {
                 Json::obj([
                     ("from", Json::from(u.get() as u64)),
                     ("to", Json::from(v.get() as u64)),
@@ -642,6 +677,41 @@ mod tests {
         let msg = Message::new(n(5), n(6), MsgKind::ReadReq { bytes: 64 }, 0);
         let (_, hops) = walk(&mut f, SimTime::ZERO, msg);
         assert!(hops > 1, "5->6 must detour around the cut cable");
+    }
+
+    #[test]
+    fn reroute_counters_accumulate_across_repeated_link_flaps() {
+        let mut f = mk_fabric();
+        let mut expected_rerouted = 0;
+        for flap in 0..5u64 {
+            f.set_link_down(n(1), n(2));
+            // Down: 1->3 detours (healthy route is 1->2->3, 4 hops around),
+            // and every detour hop that differs from dimension-order counts.
+            let msg = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, flap * 2);
+            let before = f.rerouted();
+            let (_, hops) = walk(&mut f, SimTime::ZERO, msg);
+            assert_eq!(hops, 4, "flap {flap}: detour must be 4 hops");
+            let gained = f.rerouted() - before;
+            assert!(gained > 0, "flap {flap}: detour not counted");
+            expected_rerouted += gained;
+            assert_eq!(f.links_down(), 1);
+            // Up: dimension-order routing returns, counter stays flat.
+            f.set_link_up(n(1), n(2));
+            let msg = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, flap * 2 + 1);
+            let before = f.rerouted();
+            let (_, hops) = walk(&mut f, SimTime::ZERO, msg);
+            assert_eq!(hops, 2, "flap {flap}: healthy route must return");
+            assert_eq!(f.rerouted(), before, "flap {flap}: healthy hop counted");
+            assert_eq!(f.links_down(), 0);
+        }
+        assert_eq!(f.rerouted(), expected_rerouted);
+        assert_eq!(f.unroutable(), 0);
+        assert_eq!(f.dropped(), 0);
+        assert_eq!(f.delivered(), 10);
+        // Flapping must not leak route-table state: a healthy fabric keeps
+        // an empty table and the same counters as a never-flapped one.
+        assert!(!f.degraded());
+        assert!(f.routes.is_empty());
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //! region (Section IV-B of the paper).
 
 use cohfree_sim::stats::Counter;
+use cohfree_sim::FastMap;
+
+/// Log2 of the residency-group size in lines: groups of 64 lines (one 4 KiB
+/// page at 64 B lines) get a resident-line count so range flushes can skip
+/// groups with nothing cached.
+const GROUP_SHIFT: u32 = 6;
 
 /// Cache geometry.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +76,11 @@ struct Line {
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Line>>,
+    /// Resident lines per 64-line group (key: line index >> GROUP_SHIFT).
+    /// Lets `flush_range` skip groups with no cached lines — the dominant
+    /// case when the swap path flushes a cold victim page on every
+    /// page-cache eviction.
+    group_lines: FastMap<u64, u32>,
     clock: u64,
     hits: Counter,
     misses: Counter,
@@ -95,6 +106,7 @@ impl Cache {
             sets: (0..cfg.sets)
                 .map(|_| Vec::with_capacity(cfg.ways as usize))
                 .collect(),
+            group_lines: FastMap::default(),
             cfg,
             clock: 0,
             hits: Counter::new(),
@@ -128,6 +140,25 @@ impl Cache {
         (tag * self.cfg.sets as u64 + set as u64) * self.cfg.line_bytes as u64
     }
 
+    /// Track a line fill in the per-group residency count.
+    #[inline]
+    fn note_fill(&mut self, li: u64) {
+        *self.group_lines.entry(li >> GROUP_SHIFT).or_insert(0) += 1;
+    }
+
+    /// Track a line eviction in the per-group residency count.
+    #[inline]
+    fn note_evict(&mut self, li: u64) {
+        let g = li >> GROUP_SHIFT;
+        match self.group_lines.get_mut(&g) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.group_lines.remove(&g);
+            }
+            None => debug_assert!(false, "evicting a line from an untracked group"),
+        }
+    }
+
     /// Look up the line containing `addr`; fill on miss. `write` marks the
     /// line dirty.
     pub fn access(&mut self, addr: u64, write: bool) -> CacheOutcome {
@@ -146,6 +177,7 @@ impl Cache {
         }
 
         self.misses.inc();
+        let mut evicted_line = None;
         let victim_writeback = if set.len() < ways {
             set.push(Line {
                 tag,
@@ -165,6 +197,7 @@ impl Cache {
                 dirty: write,
                 lru: self.clock,
             };
+            evicted_line = Some(victim.tag * self.cfg.sets as u64 + set_idx as u64);
             if victim.dirty {
                 self.writebacks.inc();
                 Some(self.addr_of(set_idx, victim.tag))
@@ -172,6 +205,10 @@ impl Cache {
                 None
             }
         };
+        self.note_fill(la / self.cfg.line_bytes as u64);
+        if let Some(li) = evicted_line {
+            self.note_evict(li);
+        }
         CacheOutcome::Miss { victim_writeback }
     }
 
@@ -196,6 +233,7 @@ impl Cache {
                 dirty: true,
                 lru: self.clock,
             });
+            self.note_fill(la / self.cfg.line_bytes as u64);
             return None;
         }
         let (vi, _) = set
@@ -209,6 +247,9 @@ impl Cache {
             dirty: true,
             lru: self.clock,
         };
+        let victim_li = victim.tag * self.cfg.sets as u64 + set_idx as u64;
+        self.note_fill(la / self.cfg.line_bytes as u64);
+        self.note_evict(victim_li);
         if victim.dirty {
             self.writebacks.inc();
             Some(self.addr_of(set_idx, victim.tag))
@@ -236,6 +277,7 @@ impl Cache {
                 }
             }
         }
+        self.group_lines.clear();
         self.writebacks.add(dirty.len() as u64);
         dirty.sort_unstable();
         dirty
@@ -246,20 +288,49 @@ impl Cache {
         let mut dirty = Vec::new();
         let lb = self.cfg.line_bytes as u64;
         let nsets = self.cfg.sets as u64;
-        for set_idx in 0..self.sets.len() {
-            let set = &mut self.sets[set_idx];
-            let mut kept = Vec::with_capacity(set.len());
-            for line in set.drain(..) {
-                let addr = (line.tag * nsets + set_idx as u64) * lb;
-                if addr >= base && addr < base + len {
+        let set_shift = nsets.trailing_zeros();
+        // Walk the range one residency group at a time: a group with no
+        // resident lines is skipped with a single map probe — the dominant
+        // case when the swap path flushes a cold victim page on every
+        // page-cache eviction. Within a live group, each line maps to
+        // exactly one (set, tag), so it is a targeted probe per line, not a
+        // whole-cache scan.
+        let first_line = base.div_ceil(lb);
+        let end_line = (base + len).div_ceil(lb).max(first_line);
+        let first_group = first_line >> GROUP_SHIFT;
+        let last_group = if end_line == first_line {
+            first_group
+        } else {
+            ((end_line - 1) >> GROUP_SHIFT) + 1
+        };
+        for g in first_group..last_group {
+            let Some(&count) = self.group_lines.get(&g) else {
+                continue;
+            };
+            let lo = (g << GROUP_SHIFT).max(first_line);
+            let hi = ((g + 1) << GROUP_SHIFT).min(end_line);
+            let whole_group = hi - lo == 1 << GROUP_SHIFT;
+            let mut removed = 0u32;
+            for li in lo..hi {
+                if whole_group && removed == count {
+                    break;
+                }
+                let set_idx = (li & (nsets - 1)) as usize;
+                let tag = li >> set_shift;
+                let set = &mut self.sets[set_idx];
+                if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+                    let line = set.swap_remove(pos);
                     if line.dirty {
-                        dirty.push(addr);
+                        dirty.push(li * lb);
                     }
-                } else {
-                    kept.push(line);
+                    removed += 1;
                 }
             }
-            self.sets[set_idx] = kept;
+            if removed == count {
+                self.group_lines.remove(&g);
+            } else if removed > 0 {
+                *self.group_lines.get_mut(&g).expect("group tracked") -= removed;
+            }
         }
         self.writebacks.add(dirty.len() as u64);
         dirty.sort_unstable();
@@ -308,6 +379,58 @@ mod tests {
             sets: 4,
             ways: 2,
         })
+    }
+
+    /// The group residency counts must mirror the sets exactly through any
+    /// access/install/flush interleaving, and flush_range must behave
+    /// identically to a brute-force scan of every set.
+    #[test]
+    fn group_residency_tracks_sets_through_random_ops() {
+        let mut rng = cohfree_sim::Rng::new(77);
+        let mut c = Cache::new(CacheConfig {
+            line_bytes: 64,
+            sets: 16,
+            ways: 2,
+        });
+        for _ in 0..20_000 {
+            match rng.below(100) {
+                0..=79 => {
+                    let addr = rng.below(1 << 14);
+                    c.access(addr, rng.below(2) == 0);
+                }
+                80..=89 => {
+                    c.install_dirty(rng.below(1 << 14));
+                }
+                90..=97 => {
+                    let base = rng.below(1 << 14) & !4095;
+                    let dirty = c.flush_range(base, 4096);
+                    for addr in dirty {
+                        assert!(addr >= base && addr < base + 4096);
+                    }
+                    for set_idx in 0..16u64 {
+                        for line in &c.sets[set_idx as usize] {
+                            let addr = (line.tag * 16 + set_idx) * 64;
+                            assert!(addr < base || addr >= base + 4096, "line survived flush");
+                        }
+                    }
+                }
+                _ => {
+                    c.flush_all();
+                    assert_eq!(c.resident_lines(), 0);
+                }
+            }
+            // Rebuild the residency counts from the sets and compare.
+            let mut expect: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+            for (set_idx, set) in c.sets.iter().enumerate() {
+                for line in set {
+                    let li = line.tag * 16 + set_idx as u64;
+                    *expect.entry(li >> GROUP_SHIFT).or_insert(0) += 1;
+                }
+            }
+            let got: std::collections::HashMap<u64, u32> =
+                c.group_lines.iter().map(|(&k, &v)| (k, v)).collect();
+            assert_eq!(got, expect);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! would be unusable, while the sparse model costs memory proportional to the
 //! bytes actually written.
 
-use std::collections::HashMap;
+use cohfree_sim::FastMap;
 
 /// Page size used by the backing store and by the OS model (x86-64 base pages).
 pub const PAGE_BYTES: u64 = 4096;
@@ -17,14 +17,14 @@ pub const PAGE_BYTES: u64 = 4096;
 /// page, so read-mostly probes stay cheap.
 #[derive(Debug, Default)]
 pub struct SparseStore {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
+    pages: FastMap<u64, Box<[u8; PAGE_BYTES as usize]>>,
 }
 
 impl SparseStore {
     /// An empty (all-zero) store.
     pub fn new() -> SparseStore {
         SparseStore {
-            pages: HashMap::new(),
+            pages: FastMap::default(),
         }
     }
 

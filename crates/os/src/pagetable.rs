@@ -12,7 +12,7 @@
 //! * translation outcomes distinguishing TLB hits, walks, and faults, so the
 //!   owning backend can charge the right costs.
 
-use std::collections::HashMap;
+use cohfree_sim::FastMap;
 
 /// Page size (matches the frame size).
 pub const PAGE_BYTES: u64 = 4096;
@@ -80,7 +80,7 @@ impl Default for TlbConfig {
 pub struct Tlb {
     cfg: TlbConfig,
     /// vpn -> (phys page base, lru stamp)
-    map: HashMap<u64, (u64, u64)>,
+    map: FastMap<u64, (u64, u64)>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -92,7 +92,7 @@ impl Tlb {
         assert!(cfg.entries > 0, "TLB needs at least one entry");
         Tlb {
             cfg,
-            map: HashMap::new(),
+            map: FastMap::default(),
             clock: 0,
             hits: 0,
             misses: 0,
@@ -160,7 +160,7 @@ impl Tlb {
 /// A per-process page table plus its TLB.
 #[derive(Debug)]
 pub struct PageTable {
-    ptes: HashMap<u64, Pte>,
+    ptes: FastMap<u64, Pte>,
     tlb: Tlb,
     walks: u64,
     major_faults: u64,
@@ -170,7 +170,7 @@ impl PageTable {
     /// An empty address space.
     pub fn new(tlb: TlbConfig) -> PageTable {
         PageTable {
-            ptes: HashMap::new(),
+            ptes: FastMap::default(),
             tlb: Tlb::new(tlb),
             walks: 0,
             major_faults: 0,

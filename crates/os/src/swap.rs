@@ -11,7 +11,7 @@
 //! by the owning backend in `cohfree-core`; this module decides *which*
 //! page moves and keeps the accounting.
 
-use std::collections::HashMap;
+use cohfree_sim::FastMap;
 
 /// A page evicted to make room.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +61,7 @@ pub struct SwapStats {
 pub struct PageCache {
     capacity: usize,
     slots: Vec<Slot>,
-    map: HashMap<u64, usize>,
+    map: FastMap<u64, usize>,
     hand: usize,
     stats: SwapStats,
 }
@@ -76,7 +76,7 @@ impl PageCache {
         PageCache {
             capacity,
             slots: Vec::with_capacity(capacity),
-            map: HashMap::new(),
+            map: FastMap::default(),
             hand: 0,
             stats: SwapStats::default(),
         }

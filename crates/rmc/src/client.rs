@@ -22,8 +22,7 @@ use crate::RmcConfig;
 use cohfree_fabric::{Message, MsgKind, NodeId};
 use cohfree_sim::queueing::FifoServer;
 use cohfree_sim::stats::{Counter, LatencyHistogram};
-use cohfree_sim::{SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use cohfree_sim::{FastSet, SimDuration, SimTime};
 
 /// Outcome of offering a transaction to the client RMC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +63,11 @@ pub struct RmcClient {
     cfg: RmcConfig,
     node: NodeId,
     engine: FifoServer,
-    in_flight: HashMap<u64, InFlight>,
+    /// Pending transactions as `(tag, info)` pairs. The slot count is tiny
+    /// (the prototype arbitration bound), so a linear scan over a flat
+    /// vector beats a hash map and allocates nothing per transaction after
+    /// the first few submissions.
+    in_flight: Vec<(u64, InFlight)>,
     next_tag: u64,
     nacks: Counter,
     reads: Counter,
@@ -73,7 +76,7 @@ pub struct RmcClient {
     retransmissions: Counter,
     duplicates: Counter,
     aborted: Counter,
-    suspects: HashSet<NodeId>,
+    suspects: FastSet<NodeId>,
     latency: LatencyHistogram,
 }
 
@@ -88,7 +91,7 @@ impl RmcClient {
             cfg,
             node,
             engine: FifoServer::new(),
-            in_flight: HashMap::new(),
+            in_flight: Vec::new(),
             next_tag: (node.get() as u64) << 48,
             nacks: Counter::new(),
             reads: Counter::new(),
@@ -97,7 +100,7 @@ impl RmcClient {
             retransmissions: Counter::new(),
             duplicates: Counter::new(),
             aborted: Counter::new(),
-            suspects: HashSet::new(),
+            suspects: FastSet::default(),
             latency: LatencyHistogram::new(),
         }
     }
@@ -126,7 +129,7 @@ impl RmcClient {
         }
         let tag = self.next_tag;
         self.next_tag += 1;
-        self.in_flight.insert(tag, InFlight { submitted_at: now });
+        self.in_flight.push((tag, InFlight { submitted_at: now }));
         match kind {
             MsgKind::ReadReq { .. } | MsgKind::PageReq { .. } | MsgKind::CohReadReq { .. } => {
                 self.reads.inc()
@@ -156,11 +159,12 @@ impl RmcClient {
             "client RMC received non-response {:?}",
             msg.kind
         );
-        let Some(info) = self.in_flight.remove(&msg.tag) else {
+        let Some(idx) = self.in_flight.iter().position(|&(t, _)| t == msg.tag) else {
             self.duplicates.inc();
             self.engine.accept(now, self.cfg.proc_time);
             return None;
         };
+        let (_, info) = self.in_flight.swap_remove(idx);
         let done_at = self.engine.accept(now, self.cfg.proc_time);
         let latency = done_at.since(info.submitted_at);
         self.completions.inc();
@@ -181,7 +185,7 @@ impl RmcClient {
     /// retransmitted — the caller checks first).
     pub fn retransmit(&mut self, now: SimTime, tag: u64) -> SimTime {
         assert!(
-            self.in_flight.contains_key(&tag),
+            self.is_pending(tag),
             "retransmit of non-pending tag {tag:#x}"
         );
         self.retransmissions.inc();
@@ -193,7 +197,8 @@ impl RmcClient {
     /// without a completion; a response that arrives later is discarded as
     /// a duplicate. Returns `true` if the tag was pending.
     pub fn abort(&mut self, tag: u64) -> bool {
-        if self.in_flight.remove(&tag).is_some() {
+        if let Some(idx) = self.in_flight.iter().position(|&(t, _)| t == tag) {
+            self.in_flight.swap_remove(idx);
             self.aborted.inc();
             true
         } else {
@@ -224,7 +229,7 @@ impl RmcClient {
 
     /// True if `tag` is still awaiting its response.
     pub fn is_pending(&self, tag: u64) -> bool {
-        self.in_flight.contains_key(&tag)
+        self.in_flight.iter().any(|&(t, _)| t == tag)
     }
 
     /// Transactions currently awaiting a response.

@@ -8,12 +8,48 @@
 //!
 //! The queue owns the simulation clock: popping an event advances `now` to
 //! the event's timestamp. Scheduling in the past is a logic error and panics.
+//!
+//! ## Implementation: hybrid calendar queue
+//!
+//! Simulated delays cluster tightly around the hardware constants (tens of
+//! nanoseconds for links, routers and DRAM), so a comparison-based heap pays
+//! `O(log n)` sift costs for what is nearly FIFO traffic. Instead the queue
+//! keeps three tiers, ordered by distance from the clock:
+//!
+//! * **front** — every pending event in the *current* bucket (and any event
+//!   scheduled at-or-before it), kept sorted by `(time, seq)` in a
+//!   `VecDeque`; `pop` is `O(1)` from the head and a same-instant
+//!   `schedule_now` is a sorted insert near the tail.
+//! * **ring** — `NUM_BUCKETS` FIFO buckets of [`BUCKET_WIDTH`] picoseconds
+//!   each covering the near future; scheduling is an `O(1)` push plus an
+//!   occupancy-bitmap update.
+//! * **overflow** — a `BinaryHeap` for the far future beyond the ring
+//!   horizon (timeouts, sampling probes).
+//!
+//! When `front` drains, *refill* advances the epoch straight to the earliest
+//! non-empty bucket (bitmap scan / overflow peek), moves that bucket's
+//! events into `front` and sorts them — restoring the exact `(time, seq)`
+//! order a global heap would have produced. The total order is therefore
+//! identical to the previous `BinaryHeap` implementation, which survives as
+//! a `#[cfg(test)]` oracle driven against the calendar queue by a seeded
+//! differential test.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// Internal heap entry: ordered by `(time, seq)` ascending.
+/// Log2 of the bucket width in picoseconds: 2^16 ps ≈ 65.5 ns, on the order
+/// of one router/link/DRAM hop, so near-future traffic lands a few buckets
+/// ahead.
+const BUCKET_WIDTH_BITS: u32 = 16;
+/// Number of ring buckets; the ring horizon is `NUM_BUCKETS * 65.5 ns ≈
+/// 16.8 us` ahead of the current bucket. Must be a multiple of 64 for the
+/// occupancy bitmap.
+const NUM_BUCKETS: usize = 256;
+/// Occupancy bitmap words.
+const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
+
+/// Overflow-heap entry: ordered by `(time, seq)` ascending.
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -56,7 +92,20 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// All pending events in bucket `epoch` or earlier, sorted ascending by
+    /// `(at, seq)`. Non-empty whenever `len > 0` (eager refill), so `pop`
+    /// and `peek_time` never search the ring.
+    front: VecDeque<(SimTime, u64, E)>,
+    /// Near-future FIFO buckets; slot `b % NUM_BUCKETS` holds events whose
+    /// bucket `b` lies in `(epoch, epoch + NUM_BUCKETS)`.
+    ring: Box<[Vec<(SimTime, u64, E)>; NUM_BUCKETS]>,
+    /// One bit per ring slot: set iff the slot is non-empty.
+    occupied: [u64; BITMAP_WORDS],
+    /// Far-future events beyond the ring horizon.
+    overflow: BinaryHeap<Entry<E>>,
+    /// Absolute index of the bucket `front` currently covers.
+    epoch: u64,
+    len: usize,
     now: SimTime,
     seq: u64,
     processed: u64,
@@ -68,11 +117,21 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+#[inline]
+fn bucket_of(at: SimTime) -> u64 {
+    at.0 >> BUCKET_WIDTH_BITS
+}
+
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            front: VecDeque::new(),
+            ring: Box::new(std::array::from_fn(|_| Vec::new())),
+            occupied: [0; BITMAP_WORDS],
+            overflow: BinaryHeap::new(),
+            epoch: 0,
+            len: 0,
             now: SimTime::ZERO,
             seq: 0,
             processed: 0,
@@ -88,13 +147,13 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events popped so far.
@@ -117,7 +176,30 @@ impl<E> EventQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.len += 1;
+        if self.len == 1 {
+            // Queue was empty: adopt this event's bucket as the epoch and
+            // serve it straight from `front`.
+            self.epoch = bucket_of(at);
+            self.front.push_back((at, seq, event));
+            return;
+        }
+        let b = bucket_of(at);
+        if b <= self.epoch {
+            // Current (or earlier-than-epoch) bucket: sorted insert keeps
+            // `front` the exact prefix of the global order. New events carry
+            // the largest `seq`, so ties land after existing same-instant
+            // events (FIFO) and the common "latest time" case inserts at the
+            // tail in O(1).
+            let idx = self.front.partition_point(|&(t, s, _)| (t, s) < (at, seq));
+            self.front.insert(idx, (at, seq, event));
+        } else if b - self.epoch < NUM_BUCKETS as u64 {
+            let slot = (b % NUM_BUCKETS as u64) as usize;
+            self.ring[slot].push((at, seq, event));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow.push(Entry { at, seq, event });
+        }
     }
 
     /// Schedule `event` after `delay` from the current clock.
@@ -134,22 +216,110 @@ impl<E> EventQueue<E> {
     }
 
     /// Timestamp of the next pending event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.front.front().map(|&(at, _, _)| at)
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now, "event queue clock regression");
-        self.now = entry.at;
+        let (at, _seq, event) = self.front.pop_front()?;
+        debug_assert!(at >= self.now, "event queue clock regression");
+        self.now = at;
         self.processed += 1;
-        Some((entry.at, entry.event))
+        self.len -= 1;
+        if self.front.is_empty() && self.len > 0 {
+            self.refill();
+        }
+        Some((at, event))
     }
 
     /// Drain and drop all pending events without advancing the clock.
+    /// The sequence counter keeps counting, so ordering guarantees span
+    /// a clear.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.front.clear();
+        let mut remaining = self.occupied;
+        for (w, word) in remaining.iter_mut().enumerate() {
+            while *word != 0 {
+                let slot = w * 64 + word.trailing_zeros() as usize;
+                self.ring[slot].clear();
+                *word &= *word - 1;
+            }
+        }
+        self.occupied = [0; BITMAP_WORDS];
+        self.overflow.clear();
+        self.len = 0;
+    }
+
+    /// Advance `epoch` to the earliest non-empty bucket and move its events
+    /// (ring slot plus any overflow stragglers in the same bucket) into
+    /// `front`, sorted by `(at, seq)`. Called only when `front` is empty
+    /// and events remain.
+    #[cold]
+    fn refill(&mut self) {
+        debug_assert!(self.front.is_empty() && self.len > 0);
+        let e_slot = (self.epoch % NUM_BUCKETS as u64) as usize;
+        let ring_bucket = self
+            .next_occupied_slot((e_slot + 1) % NUM_BUCKETS)
+            .map(|slot| {
+                let delta = (slot + NUM_BUCKETS - e_slot) % NUM_BUCKETS;
+                debug_assert!(delta > 0);
+                self.epoch + delta as u64
+            });
+        let ovf_bucket = self.overflow.peek().map(|e| bucket_of(e.at));
+        self.epoch = match (ring_bucket, ovf_bucket) {
+            (Some(r), Some(o)) => r.min(o),
+            (Some(r), None) => r,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("refill with no pending events"),
+        };
+        let slot = (self.epoch % NUM_BUCKETS as u64) as usize;
+        if self.occupied[slot / 64] & (1 << (slot % 64)) != 0 {
+            for item in self.ring[slot].drain(..) {
+                debug_assert_eq!(bucket_of(item.0), self.epoch);
+                self.front.push_back(item);
+            }
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+        // Overflow may hold events inside the (advanced) ring window; they
+        // are picked up bucket-by-bucket as the epoch reaches them.
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|e| bucket_of(e.at) == self.epoch)
+        {
+            let Entry { at, seq, event } = self.overflow.pop().expect("peeked");
+            self.front.push_back((at, seq, event));
+        }
+        self.front
+            .make_contiguous()
+            .sort_unstable_by_key(|e| (e.0, e.1));
+        debug_assert!(!self.front.is_empty());
+    }
+
+    /// First occupied ring slot in circular order starting at `start`, or
+    /// `None` if the ring is empty. Word-at-a-time bitmap scan.
+    #[inline]
+    fn next_occupied_slot(&self, start: usize) -> Option<usize> {
+        let (sw, sb) = (start / 64, start % 64);
+        let w = self.occupied[sw] & (u64::MAX << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        for k in 1..BITMAP_WORDS {
+            let wi = (sw + k) % BITMAP_WORDS;
+            let w = self.occupied[wi];
+            if w != 0 {
+                return Some(wi * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrapped around to the start word: check the bits below `start`.
+        let w = self.occupied[sw] & !(u64::MAX << sb);
+        if w != 0 {
+            return Some(sw * 64 + w.trailing_zeros() as usize);
+        }
+        None
     }
 
     /// Run the event loop to completion: pop every event and feed it to
@@ -179,6 +349,45 @@ impl<E> EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::Rng;
+
+    /// Width of one calendar bucket in picoseconds.
+    const BUCKET_WIDTH_PS: u64 = 1 << BUCKET_WIDTH_BITS;
+
+    /// The previous `BinaryHeap`-only implementation, kept verbatim as the
+    /// ordering oracle for the differential test below.
+    struct OracleQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        now: SimTime,
+        seq: u64,
+        processed: u64,
+    }
+
+    impl<E> OracleQueue<E> {
+        fn new() -> Self {
+            OracleQueue {
+                heap: BinaryHeap::new(),
+                now: SimTime::ZERO,
+                seq: 0,
+                processed: 0,
+            }
+        }
+        fn schedule(&mut self, at: SimTime, event: E) {
+            assert!(at >= self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { at, seq, event });
+        }
+        fn pop(&mut self) -> Option<(SimTime, E)> {
+            let entry = self.heap.pop()?;
+            self.now = entry.at;
+            self.processed += 1;
+            Some((entry.at, entry.event))
+        }
+        fn clear(&mut self) {
+            self.heap.clear();
+        }
+    }
 
     #[test]
     fn pops_in_time_order() {
@@ -267,5 +476,125 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn events_cross_the_ring_horizon_in_order() {
+        // One event per bucket-sized stride far past the ring horizon, plus
+        // near-future fillers, interleaved: order must still be global.
+        let mut q = EventQueue::new();
+        let horizon = BUCKET_WIDTH_PS * NUM_BUCKETS as u64;
+        q.schedule(SimTime(3 * horizon), 30u64);
+        q.schedule(SimTime(7), 1);
+        q.schedule(SimTime(horizon + 5), 20);
+        q.schedule(SimTime(BUCKET_WIDTH_PS + 1), 2);
+        q.schedule(SimTime(3 * horizon), 31); // same far instant, FIFO
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 20, 30, 31]);
+        assert_eq!(q.now(), SimTime(3 * horizon));
+    }
+
+    #[test]
+    fn clear_keeps_clock_and_sequence_counter() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), 0u32);
+        q.schedule(SimTime(BUCKET_WIDTH_PS * 500), 1); // overflow tier
+        q.schedule(SimTime(BUCKET_WIDTH_PS * 2), 2); // ring tier
+        assert_eq!(q.pop(), Some((SimTime(100), 0)));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        // The clock does not rewind, and scheduling before it still panics.
+        assert_eq!(q.now(), SimTime(100));
+        assert_eq!(q.processed(), 1);
+        // FIFO ordering spans the clear: the sequence counter keeps
+        // counting, so a pre-clear tie-breaker can never outrank a
+        // post-clear event at the same instant.
+        q.schedule(SimTime(200), 10);
+        q.schedule(SimTime(200), 11);
+        assert_eq!(q.pop(), Some((SimTime(200), 10)));
+        assert_eq!(q.pop(), Some((SimTime(200), 11)));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn clear_then_reschedule_in_an_earlier_bucket_works() {
+        // After a far-future-only population the epoch sits far ahead;
+        // clearing and scheduling near-past-the-clock must still serve the
+        // new event first.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(BUCKET_WIDTH_PS * 1000), 1u32);
+        q.clear();
+        q.schedule(SimTime(5), 2);
+        q.schedule(SimTime(BUCKET_WIDTH_PS * 1000), 3);
+        assert_eq!(q.pop(), Some((SimTime(5), 2)));
+        assert_eq!(q.pop(), Some((SimTime(BUCKET_WIDTH_PS * 1000), 3)));
+    }
+
+    /// The differential net from the issue: ~1M seeded random
+    /// schedule/pop/clear interleavings against the `BinaryHeap` oracle,
+    /// with heavy same-instant collisions and far-future outliers crossing
+    /// the bucket horizon. Pop sequences, clock values and processed counts
+    /// must match exactly.
+    #[test]
+    fn differential_against_binary_heap_oracle() {
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut o: OracleQueue<u64> = OracleQueue::new();
+        let mut next_id = 0u64;
+        let horizon = BUCKET_WIDTH_PS * NUM_BUCKETS as u64;
+        let mut ops = 0u64;
+        while ops < 1_000_000 {
+            match rng.below(100) {
+                // 55%: schedule with a tier-stressing delay distribution.
+                0..=54 => {
+                    let delay = match rng.below(10) {
+                        // Same instant — collides with everything pending now.
+                        0..=2 => 0,
+                        // Within the current bucket.
+                        3..=4 => rng.below(BUCKET_WIDTH_PS),
+                        // Near future: a few buckets out.
+                        5..=7 => rng.below(BUCKET_WIDTH_PS * 8),
+                        // Across the ring — lands near the horizon edge.
+                        8 => horizon - BUCKET_WIDTH_PS * 2 + rng.below(BUCKET_WIDTH_PS * 4),
+                        // Far-future outlier, deep in the overflow tier.
+                        _ => horizon * (1 + rng.below(4)) + rng.below(horizon),
+                    };
+                    let at = q.now() + SimDuration(delay);
+                    q.schedule(at, next_id);
+                    o.schedule(at, next_id);
+                    next_id += 1;
+                }
+                // 44%: pop and compare.
+                55..=98 => {
+                    let got = q.pop();
+                    let want = o.pop();
+                    assert_eq!(got, want, "pop diverged after {ops} ops");
+                    assert_eq!(q.now(), o.now, "clock diverged after {ops} ops");
+                }
+                // 1%: clear both.
+                _ => {
+                    q.clear();
+                    o.clear();
+                    assert!(q.is_empty());
+                    assert_eq!(q.peek_time(), None);
+                }
+            }
+            assert_eq!(q.len(), o.heap.len());
+            ops += 1;
+        }
+        // Drain what's left; sequences must stay identical to the end.
+        loop {
+            let got = q.pop();
+            let want = o.pop();
+            assert_eq!(got, want, "drain diverged");
+            if got.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q.processed(), o.processed);
+        assert_eq!(q.now(), o.now);
+        assert!(q.processed() > 300_000, "pop arm under-exercised");
     }
 }

@@ -33,6 +33,7 @@
 
 pub mod engine;
 pub mod faultlog;
+pub mod fxhash;
 pub mod queueing;
 pub mod rng;
 pub mod snapshot;
@@ -42,6 +43,7 @@ pub mod time;
 
 pub use engine::EventQueue;
 pub use faultlog::{FaultLog, FaultLogEntry};
+pub use fxhash::{FastMap, FastSet};
 pub use queueing::FifoServer;
 pub use rng::Rng;
 pub use snapshot::Json;

@@ -166,6 +166,7 @@ impl Json {
     /// Parse a JSON document. Rejects trailing garbage.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
+            text,
             bytes: text.as_bytes(),
             pos: 0,
         };
@@ -242,6 +243,7 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -384,11 +386,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so this is
-                    // always on a char boundary).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("peeked a byte");
+                    // Consume one UTF-8 scalar. The input is a `&str` and
+                    // every other advance is over ASCII, so `pos` is always
+                    // on a char boundary — slice the original text instead
+                    // of re-validating the whole tail per character (which
+                    // made parsing quadratic in document size).
+                    let c = self.text[self.pos..].chars().next().expect("peeked a byte");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
