@@ -59,6 +59,7 @@ pub fn outstanding(scale: Scale) -> Table {
                 )
             })
             .collect();
+        super::apply_parallel(&mut w);
         w.run();
         let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
         let nacks: u64 = ids.iter().map(|&i| w.thread_nacks(i)).sum();
@@ -169,6 +170,7 @@ pub fn topology(scale: Scale) -> Table {
                 )
             })
             .collect();
+        super::apply_parallel(&mut w);
         w.run();
         let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
         vec![
@@ -477,6 +479,7 @@ pub fn reliability(scale: Scale) -> Table {
                 )
             })
             .collect();
+        super::apply_parallel(&mut w);
         w.run();
         let time = ids.iter().map(|&i| w.thread_elapsed(i)).max().unwrap();
         // Sum recovery counters across every client RMC, not just node 1's:

@@ -72,6 +72,7 @@ fn run_config(
             )
         })
         .collect();
+    super::apply_parallel(&mut w);
     w.run();
     let t = ids
         .iter()

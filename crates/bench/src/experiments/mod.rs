@@ -17,7 +17,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 
-use cohfree_core::{ClusterConfig, NodeId, SimDuration};
+use cohfree_core::{ClusterConfig, NodeId, SimDuration, World};
 
 /// The standard experiment cluster (the 16-node prototype).
 pub fn cluster() -> ClusterConfig {
@@ -27,6 +27,27 @@ pub fn cluster() -> ClusterConfig {
 /// Shorthand node constructor.
 pub fn n(i: u16) -> NodeId {
     NodeId::new(i)
+}
+
+/// The `--parallel-world` knob: partition count for the conservative
+/// parallel engine inside each thread-driven experiment world, read from
+/// `COHFREE_PARALLEL_WORLD` (default 1 = the sequential engine). The
+/// parallel engine is output-invariant — any partition count produces
+/// byte-identical reports — so the knob only changes wall-clock time on
+/// multi-core hosts.
+pub fn parallel_world() -> usize {
+    std::env::var("COHFREE_PARALLEL_WORLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&p| p >= 1)
+        .unwrap_or(1)
+}
+
+/// Apply the `--parallel-world` knob to a world about to `run()`. Worlds
+/// that cannot parallelize (a coherent domain, a single node) degrade to
+/// sequential via [`World::set_parallel`]'s clamping.
+pub fn apply_parallel(w: &mut World) {
+    w.set_parallel(parallel_world());
 }
 
 /// Interval for the cluster-wide sampling probe, scaled so each tier keeps

@@ -165,7 +165,66 @@ pub fn macro_suite() -> Vec<MacroResult> {
         events_per_sec: best.1,
     });
 
+    // Big-world engine rows: the same 256-node swap-heavy world run on the
+    // sequential engine and on the conservative parallel engine with 8
+    // partitions. The parallel engine is output-invariant, so these rows
+    // differ only in wall clock; `big_world_seq` guards the sequential
+    // default against regression and `big_world_par8` guards the parallel
+    // path (its baseline, like every row, is host-relative — on multi-core
+    // machines it lands well below `big_world_seq`).
+    for (name, parts) in [("macro/big_world_seq", 1), ("macro/big_world_par8", 8)] {
+        let mut best = (f64::INFINITY, 0.0);
+        for _ in 0..3 {
+            let mut w = big_world();
+            w.set_parallel(parts);
+            let t0 = std::time::Instant::now();
+            w.run();
+            let secs = t0.elapsed().as_secs_f64();
+            let eps = w.events_processed() as f64 / secs.max(1e-9);
+            if secs * 1e3 < best.0 {
+                best = (secs * 1e3, eps);
+            }
+        }
+        out.push(MacroResult {
+            name: name.into(),
+            wall_ms: best.0,
+            events_per_sec: best.1,
+        });
+    }
+
     out
+}
+
+/// The ≥256-node world behind the `macro/big_world_*` rows: a 16×16 mesh
+/// with 128 swap-heavy client threads spread across the machine, each
+/// hammering a zone borrowed from a distant donor. Every node is either a
+/// client or a donor, so traffic crosses partition boundaries constantly
+/// and the event density keeps each conservative window full.
+fn big_world() -> World {
+    let mut cfg = cohfree_core::ClusterConfig::prototype();
+    cfg.topology = cohfree_core::Topology::Mesh2D {
+        width: 16,
+        height: 16,
+    };
+    let mut w = World::new(cfg);
+    for k in 0..128u64 {
+        let client = cohfree_core::NodeId::new((k * 2 + 1) as u16);
+        let donor = cohfree_core::NodeId::new((256 - k * 2) as u16);
+        let resv = w.reserve_remote(client, 1_024, Some(donor));
+        w.spawn_thread(
+            cohfree_core::world::ThreadSpec {
+                node: client,
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 625,
+                bytes: 64,
+                write_fraction: 0.3,
+                think: SimDuration::ns(5),
+                seed: 9_900 + k,
+            },
+            SimTime::ZERO,
+        );
+    }
+    w
 }
 
 /// Render both suites as report tables (recorded via [`Table::print`]).

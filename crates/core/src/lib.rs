@@ -47,7 +47,9 @@
 pub mod analytic;
 pub mod backend;
 pub mod config;
+mod exec;
 pub mod fault;
+mod par;
 pub mod trace;
 pub mod world;
 

@@ -1,0 +1,607 @@
+//! Conservative parallel discrete-event engine for a single world.
+//!
+//! [`run_parallel`] partitions the cluster's nodes into contiguous lane
+//! ranges (*shards*), each with its own event queue, and advances all shards
+//! concurrently through synchronized time windows. The window length is the
+//! fabric's minimum per-hop latency `W = router_delay + link_latency`: a lane
+//! event executing at `now` can only schedule cross-shard work at
+//! `now + W` or later (messages must cross at least one hop; suspect
+//! declarations are deferred a full window by construction), so every event
+//! inside the window `[window start, window start + W)` is causally
+//! independent of anything another shard does in the same window.
+//!
+//! The contract is **byte-identical output** with the sequential engine, not
+//! merely statistical equivalence:
+//!
+//! * Every event carries the content-determined ordering key of
+//!   [`crate::exec::make_key`]; both engines derive identical keys for
+//!   identical events, so popping each shard's queue in `(time, key)` order
+//!   executes exactly the sequential order restricted to that shard's lanes.
+//! * Per-lane state (node, threads, pending transactions, fabric router
+//!   rows) is *owned* by its shard — no locks, no sharing; cross-shard
+//!   events travel through an outbox that the coordinator routes at window
+//!   barriers.
+//! * Trace calls are deferred into per-shard logs stamped with
+//!   `(time, key, opseq)` and replayed against the real sink in global event
+//!   order at every barrier, so even Full-mode span streams come out
+//!   byte-identical.
+//! * Global events (`Sample`, `Fault`, `Suspect`) never run against a shard.
+//!   When one is due, the coordinator merges every shard back into the
+//!   [`World`] and runs it through the *same* `&mut World` code path the
+//!   sequential engine uses, then re-partitions. Correctness never depends
+//!   on a parallel re-implementation of whole-world behaviour.
+
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+use cohfree_fabric::{FabricCounters, FabricRow, FabricShared};
+use cohfree_sim::{EventQueue, FastMap, SimTime};
+
+use crate::config::ClusterConfig;
+use crate::exec::{self, TraceLog};
+use crate::world::{Ev, NodeCtx, PendingTx, Thread, World};
+
+/// A cross-shard event awaiting routing: `(at, key, destination lane, ev)`.
+type OutboxEntry = (SimTime, u128, u16, Ev);
+
+/// One worker assignment: the shard to run, the window end, and the global
+/// event budget (livelock bound).
+type Cmd = (Shard, SimTime, u64);
+
+/// What [`split_world`] returns: the shards, the holding queue for pending
+/// global (lane 0) events, and the global-thread-id -> (shard, slot) map.
+type SplitWorld = (Vec<Option<Shard>>, EventQueue<Ev>, Vec<(u16, u32)>);
+
+/// One partition of the world: a contiguous lane range `[lo, hi]` with
+/// exclusive ownership of everything those lanes mutate.
+struct Shard {
+    idx: u16,
+    /// First lane (node id) owned by this shard.
+    lo: u16,
+    /// Last lane owned by this shard (inclusive).
+    hi: u16,
+    cfg: ClusterConfig,
+    nodes: Vec<NodeCtx>,
+    threads: Vec<Thread>,
+    /// Global thread id -> (shard, local slot), identical in every shard.
+    tmap: Vec<(u16, u32)>,
+    pending: FastMap<u64, PendingTx>,
+    evac_remaps: Vec<Vec<(u64, u64, u64)>>,
+    exec_counts: Vec<u64>,
+    /// Fabric router rows for lanes `lo..=hi` (index `lane - lo`).
+    rows: Vec<FabricRow>,
+    queue: EventQueue<Ev>,
+    outbox: Vec<OutboxEntry>,
+    shared: FabricShared,
+    counters: FabricCounters,
+    dead: Vec<bool>,
+    tlog: TraceLog,
+    /// Dummy completion slots: blocking drivers never run in parallel, so
+    /// these must still be `None` at every merge (asserted there).
+    sync_done: Option<(u64, SimTime)>,
+}
+
+impl Shard {
+    /// Execute every pending event with `time < t_end` in `(time, key)`
+    /// order — or, with `single`, exactly the one next event (used to make
+    /// progress when saturated timers sit at `SimTime::MAX`, where no
+    /// strictly-later window end exists).
+    fn run_window(&mut self, t_end: SimTime, single: bool, limit: u64) {
+        while let Some((at, _)) = self.queue.peek_key() {
+            if !single && at >= t_end {
+                return;
+            }
+            let (at, key, ev) = self.queue.pop_entry().expect("peeked event vanished");
+            self.exec(at, key, ev);
+            assert!(
+                self.queue.processed() <= limit,
+                "event budget exceeded: livelock at {at} (shard {})",
+                self.idx
+            );
+            if single {
+                return;
+            }
+        }
+    }
+
+    /// Run one lane event through the shared executor over this shard.
+    fn exec(&mut self, now: SimTime, key: u128, ev: Ev) {
+        let lane = exec::key_lane(key);
+        debug_assert!(
+            lane >= self.lo && lane <= self.hi,
+            "event for lane {lane} popped by shard {} [{}..={}]",
+            self.idx,
+            self.lo,
+            self.hi
+        );
+        let slot = (lane - self.lo) as usize;
+        let idx = self.exec_counts[slot];
+        self.exec_counts[slot] += 1;
+        let mut ctx = exec::LaneCtx {
+            cfg: &self.cfg,
+            first: self.lo,
+            nodes: &mut self.nodes,
+            threads: &mut self.threads,
+            tmap: Some(&self.tmap),
+            shard: self.idx,
+            pending: &mut self.pending,
+            evac_remaps: &mut self.evac_remaps,
+            rows: &mut self.rows,
+            fab_shared: &self.shared,
+            fab_counters: &mut self.counters,
+            dead: &self.dead,
+            coh: None, // a coherent domain forces the sequential engine
+            trace: exec::TraceCtx::Log(&mut self.tlog),
+            sink: exec::SchedSink::Par {
+                queue: &mut self.queue,
+                outbox: &mut self.outbox,
+                lo: self.lo,
+                hi: self.hi,
+            },
+            sync_done: &mut self.sync_done,
+            now,
+            cur_lane: 0,
+            cur_gen: 0,
+            cur_key: 0,
+            cur_idx: 0,
+            child: 0,
+        };
+        exec::exec_event(&mut ctx, now, key, idx, ev);
+    }
+}
+
+/// A window-executing worker thread. Shards move to the worker by value for
+/// each window and move back at the barrier, so no shard state is ever
+/// shared between threads.
+struct Worker {
+    cmd: mpsc::Sender<Cmd>,
+    result: mpsc::Receiver<Shard>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Worker-pool size for `parts` partitions: one window-executing thread
+/// per spare hardware core (the coordinator occupies one and always runs
+/// one busy shard itself); busy shards beyond the pool queue round-robin
+/// on the workers' channels. On a single-core host the pool is empty and
+/// every window runs inline on the coordinator — identical output, zero
+/// channel traffic. `COHFREE_PAR_WORKERS` overrides the spare-core count
+/// (useful for exercising the channel path on small hosts).
+fn pool_size(parts: usize) -> usize {
+    let spare = match std::env::var("COHFREE_PAR_WORKERS") {
+        Ok(v) => v.parse().unwrap_or(0),
+        Err(_) => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .saturating_sub(1),
+    };
+    (parts - 1).min(spare)
+}
+
+/// Receive from `rx`, spinning briefly before blocking. Windows are short
+/// (often a few microseconds of work), so at the barrier the next message
+/// is usually moments away; a bounded spin turns the common handoff into a
+/// couple hundred nanoseconds instead of a futex sleep/wake cycle.
+fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Result<T, mpsc::RecvError> {
+    for _ in 0..1_024 {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(mpsc::TryRecvError::Disconnected) => return Err(mpsc::RecvError),
+        }
+    }
+    rx.recv()
+}
+
+impl Worker {
+    fn spawn() -> Worker {
+        let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+        let (res_tx, res_rx) = mpsc::channel::<Shard>();
+        let handle = std::thread::spawn(move || {
+            while let Ok((mut shard, t_end, limit)) = spin_recv(&cmd_rx) {
+                shard.run_window(t_end, false, limit);
+                if res_tx.send(shard).is_err() {
+                    break;
+                }
+            }
+        });
+        Worker {
+            cmd: cmd_tx,
+            result: res_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Receive the shard back after a window, forwarding any worker panic.
+    fn recv(&mut self) -> Shard {
+        match spin_recv(&self.result) {
+            Ok(shard) => shard,
+            Err(_) => {
+                let handle = self.handle.take().expect("worker joined twice");
+                match handle.join() {
+                    Err(payload) => std::panic::resume_unwind(payload),
+                    Ok(()) => unreachable!("worker exited mid-window without panicking"),
+                }
+            }
+        }
+    }
+
+    /// Shut the worker down, forwarding any pending panic.
+    fn finish(mut self) {
+        drop(self.cmd);
+        drop(self.result);
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Split `v`, indexed by `lane - base`, into the per-range chunks
+/// `[lo - base, hi - base]`; whatever precedes the first range stays in `v`.
+fn split_lanes<T>(v: &mut Vec<T>, ranges: &[(u16, u16)], base: u16) -> Vec<Vec<T>> {
+    let mut parts = Vec::with_capacity(ranges.len());
+    for &(lo, _) in ranges.iter().rev() {
+        parts.push(v.split_off((lo - base) as usize));
+    }
+    parts.reverse();
+    parts
+}
+
+/// Tear the world's per-lane state apart into one [`Shard`] per range, plus
+/// a holding queue for pending global (lane 0) events. The world keeps its
+/// clock, processed count, and all whole-world state (directory, sampler,
+/// fault log, trace sink).
+fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> SplitWorld {
+    let parts = ranges.len();
+
+    // Threads leave in global-id order; `tmap` records where each one went
+    // so lane code can address them by global id and the merge can restore
+    // the exact original order.
+    let mut tmap: Vec<(u16, u32)> = Vec::with_capacity(world.threads.len());
+    let mut threads_parts: Vec<Vec<Thread>> =
+        std::iter::repeat_with(Vec::new).take(parts).collect();
+    for th in world.threads.drain(..) {
+        let s = owner[th.spec.node.get() as usize] as usize;
+        tmap.push((s as u16, threads_parts[s].len() as u32));
+        threads_parts[s].push(th);
+    }
+
+    let mut nodes = std::mem::take(&mut world.nodes);
+    let nodes_parts = split_lanes(&mut nodes, ranges, 1);
+    debug_assert!(nodes.is_empty());
+    let mut evacs = std::mem::take(&mut world.evac_remaps);
+    let evac_parts = split_lanes(&mut evacs, ranges, 1);
+    debug_assert!(evacs.is_empty());
+    let mut counts = std::mem::take(&mut world.exec_counts);
+    let count_parts = split_lanes(&mut counts, ranges, 1);
+    debug_assert!(counts.is_empty());
+
+    // Row 0 is the "there is no node 0" placeholder; drop it here and
+    // recreate it at merge.
+    let mut rows = world.fabric.take_rows();
+    let rows_parts = split_lanes(&mut rows, ranges, 0);
+    debug_assert_eq!(rows.len(), 1);
+
+    // In-flight transactions belong to the lane of their source node
+    // (tag's node prefix), the only lane whose events touch them.
+    let mut pending_parts: Vec<FastMap<u64, PendingTx>> = std::iter::repeat_with(FastMap::default)
+        .take(parts)
+        .collect();
+    for (tag, p) in world.pending.drain() {
+        pending_parts[owner[(tag >> 48) as usize] as usize].insert(tag, p);
+    }
+
+    // Pending events route by the lane encoded in their key (threads are
+    // already drained, so `lane_of` could not resolve `ThreadWake`s here).
+    let mut queues: Vec<EventQueue<Ev>> = std::iter::repeat_with(EventQueue::new)
+        .take(parts)
+        .collect();
+    let mut global = EventQueue::new();
+    for (at, key, ev) in world.queue.drain_entries() {
+        let lane = exec::key_lane(key);
+        if lane == exec::GLOBAL_LANE {
+            global.schedule_keyed(at, key, ev);
+        } else {
+            queues[owner[lane as usize] as usize].schedule_keyed(at, key, ev);
+        }
+    }
+
+    let shared = world.fabric.share();
+    let trace_on = world.trace.enabled();
+    let mut shards: Vec<Option<Shard>> = Vec::with_capacity(parts);
+    let zipped = nodes_parts
+        .into_iter()
+        .zip(threads_parts)
+        .zip(evac_parts)
+        .zip(count_parts)
+        .zip(rows_parts)
+        .zip(pending_parts)
+        .zip(queues);
+    for (s, ((((((nodes, threads), evac_remaps), exec_counts), rows), pending), queue)) in
+        zipped.enumerate()
+    {
+        let (lo, hi) = ranges[s];
+        shards.push(Some(Shard {
+            idx: s as u16,
+            lo,
+            hi,
+            cfg: world.cfg,
+            nodes,
+            threads,
+            tmap: tmap.clone(),
+            pending,
+            evac_remaps,
+            exec_counts,
+            rows,
+            queue,
+            outbox: Vec::new(),
+            shared: shared.clone(),
+            counters: FabricCounters::default(),
+            dead: world.dead.clone(),
+            tlog: TraceLog::new(trace_on),
+            sync_done: None,
+        }));
+    }
+    (shards, global, tmap)
+}
+
+/// Fold every shard (and the global holding queue) back into the world,
+/// restoring the exact sequential layout. Returns the latest instant any
+/// shard's clock reached (the global end time once all queues are empty).
+fn merge_shards(
+    world: &mut World,
+    slots: &mut [Option<Shard>],
+    tmap: &[(u16, u32)],
+    global: &mut EventQueue<Ev>,
+) -> SimTime {
+    let mut t_final = world.queue.now();
+    let mut rows = vec![FabricRow::default()]; // the "no node 0" placeholder
+    let mut thread_iters: Vec<std::vec::IntoIter<Thread>> = Vec::with_capacity(slots.len());
+    for slot in slots.iter_mut() {
+        let mut s = slot.take().expect("shard out at a worker during merge");
+        debug_assert!(s.outbox.is_empty(), "unrouted outbox at merge");
+        debug_assert!(s.tlog.buf.is_empty(), "unreplayed trace log at merge");
+        debug_assert!(s.sync_done.is_none());
+        t_final = t_final.max(s.queue.now());
+        world.nodes.append(&mut s.nodes);
+        world.evac_remaps.append(&mut s.evac_remaps);
+        world.exec_counts.append(&mut s.exec_counts);
+        rows.append(&mut s.rows);
+        world.pending.extend(s.pending);
+        world.fabric.absorb_counters(&mut s.counters);
+        world.queue.add_processed(s.queue.processed());
+        for (at, key, ev) in s.queue.drain_entries() {
+            world.queue.schedule_keyed(at, key, ev);
+        }
+        thread_iters.push(s.threads.into_iter());
+    }
+    world.fabric.put_rows(rows);
+    for &(shard, _) in tmap {
+        let th = thread_iters[shard as usize]
+            .next()
+            .expect("thread map out of sync with shard thread counts");
+        world.threads.push(th);
+    }
+    debug_assert!(thread_iters.into_iter().all(|mut it| it.next().is_none()));
+    for (at, key, ev) in global.drain_entries() {
+        world.queue.schedule_keyed(at, key, ev);
+    }
+    t_final
+}
+
+/// Route every shard's outbox: global events to the holding queue, lane
+/// events to their owning shard. All entries must be at or past the window
+/// barrier `t_end` — that is the conservative-lookahead invariant.
+fn route_outboxes(
+    slots: &mut [Option<Shard>],
+    global: &mut EventQueue<Ev>,
+    owner: &[u16],
+    t_end: SimTime,
+) {
+    for i in 0..slots.len() {
+        let outbox = std::mem::take(
+            &mut slots[i]
+                .as_mut()
+                .expect("shard out at a worker during routing")
+                .outbox,
+        );
+        for (at, key, lane, ev) in outbox {
+            debug_assert!(
+                at >= t_end,
+                "cross-shard event at {at} violates the window barrier {t_end}"
+            );
+            if lane == exec::GLOBAL_LANE {
+                global.schedule_keyed(at, key, ev);
+            } else {
+                let dst = owner[lane as usize] as usize;
+                slots[dst]
+                    .as_mut()
+                    .expect("shard out at a worker during routing")
+                    .queue
+                    .schedule_keyed(at, key, ev);
+            }
+        }
+    }
+}
+
+/// Replay every shard's deferred trace calls against the world's sink in
+/// global `(time, key, opseq)` order. Called at every barrier — before any
+/// merged-world global event makes *direct* sink calls — so the sink sees
+/// calls in exactly the sequential order.
+fn apply_trace_logs(world: &mut World, slots: &mut [Option<Shard>]) {
+    let mut recs = Vec::new();
+    for slot in slots.iter_mut() {
+        if let Some(s) = slot.as_mut() {
+            recs.append(&mut s.tlog.buf);
+        }
+    }
+    if !recs.is_empty() {
+        exec::replay_trace(&mut world.trace, recs);
+    }
+}
+
+/// Drive `world` to completion with `world.parallel` shards. Pops the same
+/// events in the same `(time, key)` order as the sequential loop in
+/// [`World::run`], and leaves the world in a byte-identical final state.
+pub(crate) fn run_parallel(world: &mut World, limit: u64) {
+    debug_assert!(
+        world.coherent_domain.is_empty(),
+        "coherent domains require the sequential engine"
+    );
+    let lookahead = world.fabric.shared_ref().min_hop_latency();
+    assert!(
+        !lookahead.is_zero(),
+        "zero-latency fabric requires the sequential engine"
+    );
+    let n = world.nodes.len();
+    let parts = world.parallel.min(n).max(1);
+
+    // Contiguous near-equal lane ranges [1, n], and lane -> shard index.
+    let mut ranges: Vec<(u16, u16)> = Vec::with_capacity(parts);
+    let (base, extra) = (n / parts, n % parts);
+    let mut lo: u16 = 1;
+    for s in 0..parts {
+        let len = (base + usize::from(s < extra)) as u16;
+        ranges.push((lo, lo + len - 1));
+        lo += len;
+    }
+    let mut owner = vec![0u16; n + 1];
+    for (s, &(lo, hi)) in ranges.iter().enumerate() {
+        for lane in lo..=hi {
+            owner[lane as usize] = s as u16;
+        }
+    }
+
+    let mut workers: Vec<Worker> = (0..pool_size(parts)).map(|_| Worker::spawn()).collect();
+    let (mut slots, mut global, tmap) = split_world(world, &ranges, &owner);
+
+    loop {
+        let shard_next = slots
+            .iter()
+            .filter_map(|s| s.as_ref().expect("shard at barrier").queue.peek_key())
+            .min();
+        let global_due = match (global.peek_key(), shard_next) {
+            (Some(g), Some(s)) => g <= s,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+
+        if global_due {
+            // Reassemble the full world and run the due global burst through
+            // the unmodified sequential code path.
+            apply_trace_logs(world, &mut slots);
+            merge_shards(world, &mut slots, &tmap, &mut global);
+            while world
+                .queue
+                .peek_key()
+                .is_some_and(|(_, k)| exec::key_lane(k) == exec::GLOBAL_LANE)
+            {
+                let (at, key, ev) = world.queue.pop_entry().expect("peeked event vanished");
+                world.handle(at, key, ev);
+                assert!(
+                    world.queue.processed() <= limit,
+                    "event budget exceeded: livelock at {at}"
+                );
+            }
+            if world.queue.is_empty() {
+                break;
+            }
+            let (s, g, _) = split_world(world, &ranges, &owner);
+            slots = s;
+            global = g;
+            continue;
+        }
+
+        let Some((next_t, _)) = shard_next else {
+            // Fully drained: fold everything back and surface the end time.
+            apply_trace_logs(world, &mut slots);
+            let t_final = merge_shards(world, &mut slots, &tmap, &mut global);
+            world.queue.advance_to(t_final);
+            break;
+        };
+
+        let t_end = if next_t == SimTime::MAX {
+            // Saturated (effectively-infinite) timers: no strictly-later
+            // window end exists, so run the single globally-next event.
+            let (i, _) = slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    s.as_ref()
+                        .expect("shard at barrier")
+                        .queue
+                        .peek_key()
+                        .map(|k| (i, k))
+                })
+                .min_by_key(|&(_, k)| k)
+                .expect("nonempty shard exists");
+            slots[i]
+                .as_mut()
+                .expect("shard at barrier")
+                .run_window(SimTime::MAX, true, limit);
+            SimTime::MAX
+        } else {
+            // One conservative window: every event below `t_end` is causally
+            // independent across shards.
+            let mut t_end = next_t.saturating_add(lookahead);
+            if let Some((gt, _)) = global.peek_key() {
+                t_end = t_end.min(gt);
+            }
+            let busy: Vec<usize> = (0..slots.len())
+                .filter(|&i| {
+                    slots[i]
+                        .as_ref()
+                        .expect("shard at barrier")
+                        .queue
+                        .peek_key()
+                        .is_some_and(|(t, _)| t < t_end)
+                })
+                .collect();
+            // The first busy shard always runs inline on the coordinator —
+            // a window with a single busy shard never touches a channel —
+            // and the rest spread round-robin over the worker pool (all of
+            // them run inline when the pool is empty).
+            let mut sent: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+            let mut inline: Vec<usize> = Vec::new();
+            for (j, &i) in busy.iter().enumerate() {
+                if j == 0 || workers.is_empty() {
+                    inline.push(i);
+                } else {
+                    let w = (j - 1) % workers.len();
+                    let shard = slots[i].take().expect("shard at barrier");
+                    workers[w]
+                        .cmd
+                        .send((shard, t_end, limit))
+                        .expect("worker hung up");
+                    sent[w].push(i);
+                }
+            }
+            for i in inline {
+                slots[i]
+                    .as_mut()
+                    .expect("shard at barrier")
+                    .run_window(t_end, false, limit);
+            }
+            for (w, list) in workers.iter_mut().zip(&sent) {
+                for &i in list {
+                    slots[i] = Some(w.recv());
+                }
+            }
+            t_end
+        };
+
+        route_outboxes(&mut slots, &mut global, &owner, t_end);
+        apply_trace_logs(world, &mut slots);
+        let total = world.queue.processed()
+            + slots
+                .iter()
+                .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
+                .sum::<u64>();
+        assert!(total <= limit, "event budget exceeded: livelock (parallel)");
+    }
+
+    for w in workers {
+        w.finish();
+    }
+}

@@ -27,32 +27,33 @@
 //! reservation latency to the caller's clock.
 
 use crate::config::ClusterConfig;
+use crate::exec;
 use crate::fault::{EvacuationPolicy, FaultEvent};
-use cohfree_fabric::{Fabric, Message, MsgKind, NodeId, Step};
+use cohfree_fabric::{Fabric, Message, MsgKind, NodeId};
 use cohfree_mem::NodeMemory;
 use cohfree_os::directory::Directory;
 use cohfree_os::frames::FrameAllocator;
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
-use cohfree_rmc::{Completion, RmcClient, RmcServer, Submit};
+use cohfree_rmc::{RmcClient, RmcServer, Submit};
 use cohfree_sim::span::{Phase, TraceSink};
 use cohfree_sim::{EventQueue, FastMap, FaultLog, Json, Rng, SimDuration, SimTime};
 use std::fmt;
 
 /// Per-node timed components.
-struct NodeCtx {
-    mem: NodeMemory,
-    client: RmcClient,
-    server: RmcServer,
-    frames: FrameAllocator,
-    requester: ResvRequester,
-    donor: ResvDonor,
-    region: Region,
+pub(crate) struct NodeCtx {
+    pub(crate) mem: NodeMemory,
+    pub(crate) client: RmcClient,
+    pub(crate) server: RmcServer,
+    pub(crate) frames: FrameAllocator,
+    pub(crate) requester: ResvRequester,
+    pub(crate) donor: ResvDonor,
+    pub(crate) region: Region,
 }
 
 /// Events moving through the cluster.
 #[derive(Debug, Clone, Copy)]
-enum Ev {
+pub(crate) enum Ev {
     /// `msg` is at router `at` (first hop: its source node).
     Hop { msg: Message, at: NodeId },
     /// The home node's DRAM finished serving `msg` (which arrived at the
@@ -71,6 +72,17 @@ enum Ev {
     /// A scheduled fault (or repair) from the configuration's
     /// [`crate::FaultPlan`] strikes.
     Fault(FaultEvent),
+    /// `observer`'s client RMC exhausted its retry budget against `dead`
+    /// and declares it failed. Declaration touches cluster-wide state
+    /// (directory, evacuation, doomed-transaction sweep), so it runs as a
+    /// global event one fabric lookahead window after the exhaustion —
+    /// keeping it mergeable under any partitioning.
+    Suspect {
+        /// The node giving up.
+        observer: NodeId,
+        /// The node being declared failed.
+        dead: NodeId,
+    },
 }
 
 /// One observation of the periodic sampling probe.
@@ -172,7 +184,7 @@ pub enum AccessOutcome {
 
 /// Who is waiting on a transaction tag.
 #[derive(Debug, Clone, Copy)]
-enum Owner {
+pub(crate) enum Owner {
     Thread(usize),
     Sync,
     /// Nobody waits: a posted write — the core already moved on.
@@ -181,21 +193,21 @@ enum Owner {
 
 /// Bookkeeping for an in-flight transaction (needed for loss recovery).
 #[derive(Debug, Clone, Copy)]
-struct PendingTx {
-    owner: Owner,
-    msg: Message,
-    attempt: u32,
+pub(crate) struct PendingTx {
+    pub(crate) owner: Owner,
+    pub(crate) msg: Message,
+    pub(crate) attempt: u32,
 }
 
 /// Home-side state of one coherent-DSM transaction (baseline model): the
 /// response may only leave once the DRAM read *and* every snoop response
 /// have arrived.
 #[derive(Debug, Clone, Copy)]
-struct CohState {
-    awaiting_probes: usize,
-    mem_done: Option<SimTime>,
-    req: Message,
-    arrived: SimTime,
+pub(crate) struct CohState {
+    pub(crate) awaiting_probes: usize,
+    pub(crate) mem_done: Option<SimTime>,
+    pub(crate) req: Message,
+    pub(crate) arrived: SimTime,
 }
 
 /// Specification of one traffic-generator thread (Figs. 7–8 style).
@@ -218,30 +230,30 @@ pub struct ThreadSpec {
     pub seed: u64,
 }
 
-struct Thread {
-    spec: ThreadSpec,
-    rng: Rng,
+pub(crate) struct Thread {
+    pub(crate) spec: ThreadSpec,
+    pub(crate) rng: Rng,
     /// Stream the zones in address order instead of uniformly at random
     /// (models the read-only parallel phases of Section IV-B).
-    sequential: bool,
+    pub(crate) sequential: bool,
     /// Issue coherent-DSM reads (the 3Leaf-style baseline) instead of the
     /// paper's non-coherent reads.
-    coherent: bool,
-    issued: u64,
-    completed: u64,
+    pub(crate) coherent: bool,
+    pub(crate) issued: u64,
+    pub(crate) completed: u64,
     /// Accesses abandoned because their home node was declared failed (or
     /// because this thread's own node crashed).
-    failed: u64,
+    pub(crate) failed: u64,
     /// Accesses re-issued against a new home after an evacuation.
-    evacuated_retries: u64,
+    pub(crate) evacuated_retries: u64,
     /// Access generated but NACKed, awaiting retry.
-    pending: Option<(NodeId, MsgKind, u64)>,
+    pub(crate) pending: Option<(NodeId, MsgKind, u64)>,
     /// When the pending access was *first* offered (serialization-stall
     /// start for the span tracer; `None` for evacuation re-aims).
-    pending_since: Option<SimTime>,
-    started: SimTime,
-    finished: Option<SimTime>,
-    nack_retries: u64,
+    pub(crate) pending_since: Option<SimTime>,
+    pub(crate) started: SimTime,
+    pub(crate) finished: Option<SimTime>,
+    pub(crate) nack_retries: u64,
 }
 
 /// The simulated cluster.
@@ -262,33 +274,41 @@ struct Thread {
 /// assert!(done.as_ns() > 800, "a remote read is ~1 us on the prototype");
 /// ```
 pub struct World {
-    cfg: ClusterConfig,
-    queue: EventQueue<Ev>,
-    fabric: Fabric,
-    nodes: Vec<NodeCtx>,
-    directory: Directory,
-    threads: Vec<Thread>,
-    pending: FastMap<u64, PendingTx>,
-    sync_done: Option<(u64, SimTime)>,
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) fabric: Fabric,
+    pub(crate) nodes: Vec<NodeCtx>,
+    pub(crate) directory: Directory,
+    pub(crate) threads: Vec<Thread>,
+    pub(crate) pending: FastMap<u64, PendingTx>,
+    pub(crate) sync_done: Option<(u64, SimTime)>,
     /// Members of the (single, experiment-wide) inter-node coherency domain
     /// for the coherent-DSM baseline; empty = the paper's architecture.
-    coherent_domain: Vec<NodeId>,
-    coh: FastMap<u64, CohState>,
+    pub(crate) coherent_domain: Vec<NodeId>,
+    pub(crate) coh: FastMap<u64, CohState>,
     sampler: Option<Sampler>,
     /// Crash state per node (index `i` is node `i + 1`).
-    dead: Vec<bool>,
+    pub(crate) dead: Vec<bool>,
     /// Chronological record of faults, detections and recoveries.
     fault_log: FaultLog,
     /// Zones successfully re-homed after a donor failure.
     evacuations: u64,
     /// A blocking transaction's home was declared failed (mirror of
     /// `sync_done` for the failure path).
-    sync_failed: Option<(u64, SimTime)>,
+    pub(crate) sync_failed: Option<(u64, SimTime)>,
     /// Per owner node: `(old_base, new_base, frames)` of evacuated zones,
     /// so interrupted and not-yet-issued accesses can be re-aimed.
-    evac_remaps: Vec<Vec<(u64, u64, u64)>>,
+    pub(crate) evac_remaps: Vec<Vec<(u64, u64, u64)>>,
     /// Per-transaction span tracer (mode per [`crate::TraceConfig`]).
-    trace: TraceSink,
+    pub(crate) trace: TraceSink,
+    /// Sequence number for global-context scheduling keys ([`World::gsched`]):
+    /// both engines perform these calls in the same order, so the keys agree.
+    pub(crate) gseq: u64,
+    /// Lane events executed so far per lane (index `i` is node `i + 1`); an
+    /// event's per-lane ordinal feeds its children's ordering keys.
+    pub(crate) exec_counts: Vec<u64>,
+    /// Worker-partition count for [`World::run`] (1 = sequential engine).
+    pub(crate) parallel: usize,
 }
 
 impl World {
@@ -310,11 +330,7 @@ impl World {
                 }
             })
             .collect();
-        let mut queue = EventQueue::new();
-        for ev in cfg.faults.events() {
-            queue.schedule(ev.at(), Ev::Fault(ev));
-        }
-        World {
+        let mut world = World {
             fabric: Fabric::new(cfg.topology, cfg.fabric),
             nodes,
             directory: Directory::new(cfg.topology, cfg.pool_frames_per_node(), cfg.donor_policy),
@@ -330,9 +346,17 @@ impl World {
             sync_failed: None,
             evac_remaps: vec![Vec::new(); n as usize],
             trace: TraceSink::new(cfg.trace.mode, cfg.trace.capacity),
-            queue,
+            queue: EventQueue::new(),
+            gseq: 0,
+            exec_counts: vec![0; n as usize],
+            parallel: 1,
             cfg,
+        };
+        let faults: Vec<FaultEvent> = world.cfg.faults.events().collect();
+        for ev in faults {
+            world.gsched(ev.at(), Ev::Fault(ev));
         }
+        world
     }
 
     /// Arm the periodic sampling probe: every `interval` of simulated time,
@@ -351,7 +375,8 @@ impl World {
             interval,
             samples: Vec::new(),
         });
-        self.queue.schedule_in(interval, Ev::Sample);
+        let at = self.queue.now() + interval;
+        self.gsched(at, Ev::Sample);
     }
 
     /// Observations recorded by the sampling probe so far (empty unless
@@ -364,6 +389,7 @@ impl World {
         let Some(sampler) = self.sampler.as_mut() else {
             return;
         };
+        let interval = sampler.interval;
         sampler.samples.push(Sample {
             at: now,
             client_in_flight: self.nodes.iter().map(|n| n.client.in_flight()).collect(),
@@ -385,8 +411,7 @@ impl World {
         // probe is the only queued event, sampling would keep the run alive
         // forever.
         if !self.queue.is_empty() {
-            let interval = sampler.interval;
-            self.queue.schedule(now + interval, Ev::Sample);
+            self.gsched(now + interval, Ev::Sample);
         }
     }
 
@@ -410,7 +435,37 @@ impl World {
             return Err(WorldConfigError::FaultyCoherentDomain);
         }
         self.coherent_domain = domain;
+        // The snoop choreography mutates cross-node protocol state at one
+        // instant; it only runs on the sequential engine.
+        self.parallel = 1;
         Ok(())
+    }
+
+    /// Set the worker-partition count for [`World::run`]. `1` (the default)
+    /// runs the sequential engine; `n > 1` partitions the nodes into `n`
+    /// contiguous lane ranges driven by worker threads in conservative time
+    /// windows bounded by the fabric's minimum hop latency — producing
+    /// byte-identical results to the sequential engine.
+    ///
+    /// The count is clamped to the node count, and forced back to `1` when
+    /// a coherent domain is configured (its snoop choreography is cross-node
+    /// within one instant) or the fabric's minimum hop latency is zero (no
+    /// conservative lookahead window exists).
+    pub fn set_parallel(&mut self, workers: usize) {
+        let n = self.cfg.topology.num_nodes() as usize;
+        let clamped = workers.clamp(1, n);
+        self.parallel = if !self.coherent_domain.is_empty()
+            || self.fabric.shared_ref().min_hop_latency().is_zero()
+        {
+            1
+        } else {
+            clamped
+        };
+    }
+
+    /// The worker-partition count [`World::run`] will use.
+    pub fn parallel(&self) -> usize {
+        self.parallel
     }
 
     /// The configuration in force.
@@ -536,226 +591,106 @@ impl World {
     // Event handling
     // ------------------------------------------------------------------
 
-    fn handle(&mut self, now: SimTime, ev: Ev) {
+    /// Global-context scheduling: every schedule performed *outside* a lane
+    /// event's execution (setup, the blocking/posted drivers, global
+    /// handlers) goes through here. Both engines make these calls in the
+    /// same order, so the resulting keys — and therefore the total event
+    /// order — agree across engines.
+    pub(crate) fn gsched(&mut self, at: SimTime, ev: Ev) {
+        let lane = self.lane_of(&ev);
+        let key = exec::make_key(lane, 0, 0, self.gseq, 0);
+        self.gseq += 1;
+        self.queue.schedule_keyed(at, key, ev);
+    }
+
+    /// The node lane that processes `ev` (0 = global).
+    fn lane_of(&self, ev: &Ev) -> u16 {
         match ev {
-            // A message at a crashed router vanishes with the router.
-            Ev::Hop { at, .. } if self.dead[at.index()] => {}
-            Ev::Hop { msg, at } => {
-                let (step, queued) = self.fabric.step_traced(now, at, &msg);
-                if let Step::Forward { arrive, .. } = step {
-                    self.trace_hop(&msg, at, now, arrive, queued);
-                }
-                match step {
-                    Step::Forward { next, arrive } => {
-                        self.queue.schedule(arrive, Ev::Hop { msg, at: next });
-                    }
-                    // Lost on a link; the requester's timeout recovers it.
-                    Step::Dropped => {}
-                    Step::Deliver { at: t } => match msg.kind {
-                        // --- coherent-DSM baseline choreography ---
-                        MsgKind::ProbeReq => {
-                            let (resp, inject_at) =
-                                self.nodes[msg.dst.index()].server.on_probe(t, &msg);
-                            self.queue.schedule(
-                                inject_at,
-                                Ev::Hop {
-                                    msg: resp,
-                                    at: resp.src,
-                                },
-                            );
-                        }
-                        MsgKind::ProbeResp => {
-                            let done = self.nodes[msg.dst.index()].server.on_probe_response(t);
-                            let st = self
-                                .coh
-                                .get_mut(&msg.tag)
-                                .expect("probe response for unknown coherent transaction");
-                            st.awaiting_probes -= 1;
-                            self.try_finish_coherent(msg.tag, done);
-                        }
-                        MsgKind::CohReadReq { .. } => {
-                            let home = msg.dst;
-                            let ctx = &mut self.nodes[home.index()];
-                            let issue = ctx.server.on_request(t, &msg);
-                            let done =
-                                ctx.mem
-                                    .access(issue.issue_at, issue.local_addr, issue.bytes);
-                            self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
-                            // Broadcast snoops to every other domain member.
-                            let members: Vec<NodeId> = self
-                                .coherent_domain
-                                .iter()
-                                .copied()
-                                .filter(|&m| m != home && m != msg.src)
-                                .collect();
-                            self.coh.insert(
-                                msg.tag,
-                                CohState {
-                                    awaiting_probes: members.len(),
-                                    mem_done: None,
-                                    req: msg,
-                                    arrived: t,
-                                },
-                            );
-                            for m in members {
-                                let probe = Message::with_addr(
-                                    home,
-                                    m,
-                                    MsgKind::ProbeReq,
-                                    msg.tag,
-                                    msg.addr,
-                                );
-                                self.queue.schedule(
-                                    issue.issue_at,
-                                    Ev::Hop {
-                                        msg: probe,
-                                        at: home,
-                                    },
-                                );
-                            }
-                        }
-                        // --- ordinary (non-coherent) paths ---
-                        _ if msg.kind.is_response() => {
-                            // None = duplicate response under loss recovery.
-                            if let Some(comp) =
-                                self.nodes[msg.dst.index()].client.on_response(t, &msg)
-                            {
-                                if self.trace.is_traced(comp.tag) {
-                                    let node = msg.dst.get();
-                                    let svc_start = comp.done_at - self.cfg.rmc.proc_time;
-                                    self.trace.push(
-                                        comp.tag,
-                                        Phase::ClientQueue,
-                                        node,
-                                        t,
-                                        svc_start,
-                                    );
-                                    self.trace.push(
-                                        comp.tag,
-                                        Phase::Reply,
-                                        node,
-                                        svc_start.max(t),
-                                        comp.done_at,
-                                    );
-                                }
-                                self.complete(comp);
-                            }
-                        }
-                        _ => {
-                            let ctx = &mut self.nodes[msg.dst.index()];
-                            let issue = ctx.server.on_request(t, &msg);
-                            let done =
-                                ctx.mem
-                                    .access(issue.issue_at, issue.local_addr, issue.bytes);
-                            if self.trace.is_traced(msg.tag) {
-                                let home = msg.dst.get();
-                                let svc_start = issue.issue_at - self.cfg.rmc.server_proc_time;
-                                self.trace
-                                    .push(msg.tag, Phase::ServerQueue, home, t, svc_start);
-                                self.trace.push(
-                                    msg.tag,
-                                    Phase::Service,
-                                    home,
-                                    svc_start.max(t),
-                                    done,
-                                );
-                            }
-                            self.queue.schedule(done, Ev::MemDone { msg, arrived: t });
-                        }
-                    },
-                }
-            }
-            // The DRAM completion of a node that crashed mid-service.
-            Ev::MemDone { msg, .. } if self.dead[msg.dst.index()] => {}
-            Ev::MemDone { msg, arrived } => {
-                if matches!(msg.kind, MsgKind::CohReadReq { .. }) {
-                    let st = self
-                        .coh
-                        .get_mut(&msg.tag)
-                        .expect("memory completion for unknown coherent transaction");
-                    st.mem_done = Some(now);
-                    self.try_finish_coherent(msg.tag, now);
-                } else {
-                    let (resp, inject_at) = self.nodes[msg.dst.index()]
-                        .server
-                        .on_mem_done(now, &msg, arrived);
-                    if self.trace.is_traced(msg.tag) {
-                        let home = msg.dst.get();
-                        let svc_start = inject_at - self.cfg.rmc.server_proc_time;
-                        self.trace
-                            .push(msg.tag, Phase::ServerQueue, home, now, svc_start);
-                        self.trace
-                            .push(msg.tag, Phase::Reply, home, svc_start.max(now), inject_at);
-                    }
-                    self.queue.schedule(
-                        inject_at,
-                        Ev::Hop {
-                            msg: resp,
-                            at: resp.src,
-                        },
-                    );
-                }
-            }
-            Ev::ThreadWake { id } => self.thread_step(id),
-            Ev::Timeout { tag, attempt } => self.on_timeout(now, tag, attempt),
-            Ev::Sample => self.take_sample(now),
-            Ev::Fault(fault) => self.apply_fault(now, fault),
+            Ev::Hop { at, .. } => at.get(),
+            Ev::MemDone { msg, .. } => msg.dst.get(),
+            Ev::ThreadWake { id } => self.threads[*id].spec.node.get(),
+            Ev::Timeout { tag, .. } => (tag >> 48) as u16,
+            Ev::Sample | Ev::Fault(_) | Ev::Suspect { .. } => exec::GLOBAL_LANE,
         }
     }
 
-    /// Arm the loss-recovery timer for `tag` if messages can be lost — a
-    /// lossy fabric, or any fault plan (crashes and outages swallow traffic
-    /// even over lossless links). The k-th retry backs off exponentially:
-    /// `timeout * 2^min(k, backoff_cap)`.
+    /// Dispatch one popped event. Global events run directly against the
+    /// whole world; lane events run through the shared lane executor over a
+    /// full-range context (the parallel engine drives the same executor
+    /// over per-shard contexts).
+    pub(crate) fn handle(&mut self, now: SimTime, key: u128, ev: Ev) {
+        match ev {
+            Ev::Sample => self.take_sample(now),
+            Ev::Fault(fault) => self.apply_fault(now, fault),
+            Ev::Suspect { observer, dead } => self.on_suspect(now, observer, dead),
+            ev => {
+                let lane = exec::key_lane(key) as usize;
+                let idx = self.exec_counts[lane - 1];
+                self.exec_counts[lane - 1] += 1;
+                let (shared, counters, rows) = self.fabric.decompose();
+                let mut ctx = exec::LaneCtx {
+                    cfg: &self.cfg,
+                    first: 1,
+                    nodes: &mut self.nodes,
+                    threads: &mut self.threads,
+                    tmap: None,
+                    shard: 0,
+                    pending: &mut self.pending,
+                    evac_remaps: &mut self.evac_remaps,
+                    rows: &mut rows[1..],
+                    fab_shared: shared,
+                    fab_counters: counters,
+                    dead: &self.dead,
+                    coh: Some((&mut self.coh, &self.coherent_domain)),
+                    trace: exec::TraceCtx::Direct(&mut self.trace),
+                    sink: exec::SchedSink::Seq(&mut self.queue),
+                    sync_done: &mut self.sync_done,
+                    now,
+                    cur_lane: 0,
+                    cur_gen: 0,
+                    cur_key: 0,
+                    cur_idx: 0,
+                    child: 0,
+                };
+                exec::exec_event(&mut ctx, now, key, idx, ev);
+            }
+        }
+    }
+
+    /// Fire a timeout handler directly (test hook for stale-timer races).
+    #[cfg(test)]
+    fn fire_timeout(&mut self, now: SimTime, tag: u64, attempt: u32) {
+        let key = exec::make_key((tag >> 48) as u16, 0, 0, self.gseq, 0);
+        self.gseq += 1;
+        self.handle(now, key, Ev::Timeout { tag, attempt });
+    }
+
+    /// Arm the loss-recovery timer for a transaction submitted by a
+    /// blocking/posted driver (thread submissions arm theirs inside the
+    /// lane executor). Armed only when messages can be lost — a lossy
+    /// fabric, or any fault plan (crashes and outages swallow traffic even
+    /// over lossless links). The k-th retry backs off exponentially and
+    /// saturates: `timeout * 2^min(k, backoff_cap)`.
     fn arm_timeout(&mut self, injected_at: SimTime, tag: u64, attempt: u32) {
         if self.cfg.fabric.loss_rate > 0.0 || !self.cfg.faults.is_empty() {
-            let backoff = 1u64 << attempt.min(self.cfg.recovery.backoff_cap);
-            self.queue.schedule(
-                injected_at + self.cfg.rmc.timeout * backoff,
+            let delay = exec::backoff_delay(&self.cfg, attempt);
+            self.gsched(
+                injected_at.saturating_add(delay),
                 Ev::Timeout { tag, attempt },
             );
         }
-    }
-
-    fn on_timeout(&mut self, now: SimTime, tag: u64, attempt: u32) {
-        let Some(p) = self.pending.get_mut(&tag) else {
-            return; // completed or aborted; stale timer
-        };
-        if p.attempt != attempt {
-            return; // already retransmitted; a newer timer is armed
-        }
-        if p.attempt >= self.cfg.recovery.max_retries {
-            // Retry budget exhausted: the home node is unresponsive.
-            let (src, dst) = (p.msg.src, p.msg.dst);
-            self.declare_suspect(now, src, dst);
-            return;
-        }
-        p.attempt += 1;
-        let (msg, new_attempt) = (p.msg, p.attempt);
-        let src = msg.src;
-        let inject_at = self.nodes[src.index()].client.retransmit(now, tag);
-        // The retransmit pass is loss-recovery work; the wait that led to
-        // this timeout becomes Retry too, via gap-filling at finish().
-        self.trace.push_attr(
-            tag,
-            Phase::Retry,
-            src.get(),
-            now,
-            inject_at,
-            Some(("attempt", new_attempt as u64)),
-        );
-        self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
-        self.arm_timeout(inject_at, tag, new_attempt);
     }
 
     // ------------------------------------------------------------------
     // Failure detection and recovery
     // ------------------------------------------------------------------
 
-    /// `observer`'s client RMC gives up on `dead`: mark it suspect, zero its
-    /// directory capacity, evacuate zones homed there, and abort every
-    /// outstanding transaction aimed at it.
-    fn declare_suspect(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
+    /// `observer`'s client RMC gave up on `dead` ([`Ev::Suspect`]): mark it
+    /// suspect, zero its directory capacity, evacuate zones homed there, and
+    /// abort every outstanding transaction aimed at it. Idempotent — a
+    /// duplicate declaration (several requesters timing out on the same
+    /// home) only sweeps an empty doomed set.
+    fn on_suspect(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
         if !self.nodes[observer.index()].client.is_suspect(dead) {
             self.nodes[observer.index()].client.mark_suspect(dead);
             self.fault_log.record(
@@ -766,12 +701,15 @@ impl World {
             self.directory.set_free(dead, 0);
             self.evacuate(now, observer, dead);
         }
-        let doomed: Vec<(u64, PendingTx)> = self
+        // Sweep in tag order: the map's iteration order depends on insertion
+        // history, which differs across engines after a shard merge.
+        let mut doomed: Vec<(u64, PendingTx)> = self
             .pending
             .iter()
             .filter(|(_, p)| p.msg.src == observer && p.msg.dst == dead)
             .map(|(&tag, &p)| (tag, p))
             .collect();
+        doomed.sort_unstable_by_key(|&(tag, _)| tag);
         for (tag, p) in doomed {
             self.pending.remove(&tag);
             self.nodes[observer.index()].client.abort(tag);
@@ -876,14 +814,15 @@ impl World {
             if self.cfg.recovery.refetch {
                 delay += self.cfg.os.fault_overhead;
             }
-            self.queue.schedule(now + delay, Ev::ThreadWake { id });
+            self.gsched(now + delay, Ev::ThreadWake { id });
         } else {
             self.thread_access_failed(now, id);
         }
     }
 
     /// Record one failed access for thread `id` and either finish it or
-    /// schedule its next step.
+    /// schedule its next step (global-context twin of the lane executor's
+    /// version, for the failure-declaration and crash sweeps).
     fn thread_access_failed(&mut self, now: SimTime, id: usize) {
         let th = &mut self.threads[id];
         th.failed += 1;
@@ -891,7 +830,7 @@ impl World {
             th.finished = Some(now);
         } else {
             let think = th.spec.think;
-            self.queue.schedule(now + think, Ev::ThreadWake { id });
+            self.gsched(now + think, Ev::ThreadWake { id });
         }
     }
 
@@ -922,13 +861,15 @@ impl World {
                         }
                     }
                 }
-                // Transactions issued by the dead node vanish with it.
-                let gone: Vec<(u64, PendingTx)> = self
+                // Transactions issued by the dead node vanish with it
+                // (swept in tag order — see `on_suspect`).
+                let mut gone: Vec<(u64, PendingTx)> = self
                     .pending
                     .iter()
                     .filter(|(_, p)| p.msg.src == node)
                     .map(|(&tag, &p)| (tag, p))
                     .collect();
+                gone.sort_unstable_by_key(|&(tag, _)| tag);
                 for (tag, p) in gone {
                     self.pending.remove(&tag);
                     self.nodes[node.index()].client.abort(tag);
@@ -984,51 +925,6 @@ impl World {
                     );
                 }
             }
-        }
-    }
-
-    /// Release a coherent response once both the DRAM read and every snoop
-    /// response are in.
-    fn try_finish_coherent(&mut self, tag: u64, now: SimTime) {
-        let ready = {
-            let st = self.coh.get(&tag).expect("coherent state exists");
-            st.awaiting_probes == 0 && st.mem_done.is_some()
-        };
-        if !ready {
-            return;
-        }
-        let st = self.coh.remove(&tag).expect("checked above");
-        let (resp, inject_at) = self.nodes[st.req.dst.index()]
-            .server
-            .on_mem_done(now, &st.req, st.arrived);
-        self.queue.schedule(
-            inject_at,
-            Ev::Hop {
-                msg: resp,
-                at: resp.src,
-            },
-        );
-    }
-
-    fn complete(&mut self, comp: Completion) {
-        self.trace.finish(comp.tag, comp.done_at, false);
-        match self.pending.remove(&comp.tag).map(|p| p.owner) {
-            Some(Owner::Thread(id)) => {
-                let th = &mut self.threads[id];
-                let think = th.spec.think;
-                th.completed += 1;
-                if th.completed + th.failed == th.spec.accesses {
-                    th.finished = Some(comp.done_at);
-                } else {
-                    self.queue
-                        .schedule(comp.done_at + think, Ev::ThreadWake { id });
-                }
-            }
-            Some(Owner::Sync) => {
-                self.sync_done = Some((comp.tag, comp.done_at));
-            }
-            Some(Owner::Posted) => {} // fire-and-forget acknowledged
-            None => panic!("completion for unowned tag {:#x}", comp.tag),
         }
     }
 
@@ -1101,7 +997,7 @@ impl World {
                         },
                     );
                     self.trace_submitted(t_first, t, &msg, inject_at);
-                    self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
+                    self.gsched(inject_at, Ev::Hop { msg, at: src });
                     self.arm_timeout(inject_at, msg.tag, 0);
                     break;
                 }
@@ -1109,8 +1005,8 @@ impl World {
                     // Slots may be held by in-flight posted writes; pump the
                     // queue up to the retry instant so they can drain.
                     while self.queue.peek_time().is_some_and(|pt| pt <= retry_at) {
-                        let (at, ev) = self.queue.pop().expect("peeked");
-                        self.handle(at, ev);
+                        let (at, key, ev) = self.queue.pop_entry().expect("peeked");
+                        self.handle(at, key, ev);
                     }
                     t = retry_at;
                 }
@@ -1123,11 +1019,11 @@ impl World {
             if let Some((_, at)) = self.sync_failed.take() {
                 return AccessOutcome::Failed { node: dst, at };
             }
-            let (at, ev) = self
+            let (at, key, ev) = self
                 .queue
-                .pop()
+                .pop_entry()
                 .expect("blocking transaction lost (queue drained)");
-            self.handle(at, ev);
+            self.handle(at, key, ev);
         }
     }
 
@@ -1162,7 +1058,7 @@ impl World {
                         },
                     );
                     self.trace_submitted(t_first, t, &msg, inject_at);
-                    self.queue.schedule(inject_at, Ev::Hop { msg, at: src });
+                    self.gsched(inject_at, Ev::Hop { msg, at: src });
                     self.arm_timeout(inject_at, msg.tag, 0);
                     return inject_at;
                 }
@@ -1171,8 +1067,8 @@ impl World {
                 // actually free while we wait.
                 Submit::Nacked { retry_at } => {
                     while self.queue.peek_time().is_some_and(|pt| pt <= retry_at) {
-                        let (at, ev) = self.queue.pop().expect("peeked");
-                        self.handle(at, ev);
+                        let (at, key, ev) = self.queue.pop_entry().expect("peeked");
+                        self.handle(at, key, ev);
                     }
                     t = retry_at;
                 }
@@ -1187,8 +1083,8 @@ impl World {
             self.sync_done.is_none(),
             "drain during a blocking transaction"
         );
-        while let Some((at, ev)) = self.queue.pop() {
-            self.handle(at, ev);
+        while let Some((at, key, ev)) = self.queue.pop_entry() {
+            self.handle(at, key, ev);
         }
         self.queue.now()
     }
@@ -1276,123 +1172,14 @@ impl World {
             finished: None,
             nack_retries: 0,
         });
-        self.queue.schedule(start, Ev::ThreadWake { id });
+        self.gsched(start, Ev::ThreadWake { id });
         id
     }
 
-    fn thread_step(&mut self, id: usize) {
-        let now = self.queue.now();
-        // A wake-up for a thread that died (its node crashed) or already
-        // finished (e.g. its last access failed) is stale.
-        if self.threads[id].finished.is_some() || self.dead[self.threads[id].spec.node.index()] {
-            return;
-        }
-        // Take the pending (NACKed or evacuated) access or generate a fresh one.
-        let (dst, kind, addr) = {
-            let th = &mut self.threads[id];
-            if let Some(p) = th.pending.take() {
-                p
-            } else {
-                if th.issued == th.spec.accesses {
-                    return; // nothing left to issue
-                }
-                th.issued += 1;
-                let (base, len, slot) = if th.sequential {
-                    // Walk all zones end-to-end in order, wrapping. Each zone
-                    // contributes its own slot count — zones may differ in
-                    // size, so the walk position is resolved against the
-                    // cumulative slot total, not the first zone's.
-                    let slots_of = |len: u64| (len / th.spec.bytes as u64).max(1);
-                    let total: u64 = th.spec.zones.iter().map(|&(_, l)| slots_of(l)).sum();
-                    let mut off = (th.issued - 1) % total;
-                    let mut zi = 0usize;
-                    while off >= slots_of(th.spec.zones[zi].1) {
-                        off -= slots_of(th.spec.zones[zi].1);
-                        zi += 1;
-                    }
-                    let (base, len) = th.spec.zones[zi];
-                    (base, len, off)
-                } else {
-                    let zi = if th.spec.zones.len() == 1 {
-                        0
-                    } else {
-                        th.rng.below(th.spec.zones.len() as u64) as usize
-                    };
-                    let (base, len) = th.spec.zones[zi];
-                    let slots = (len / th.spec.bytes as u64).max(1);
-                    (base, len, th.rng.below(slots))
-                };
-                let _ = len;
-                let addr = base + slot * th.spec.bytes as u64;
-                let write = !th.coherent && th.rng.chance(th.spec.write_fraction);
-                let kind = if th.coherent {
-                    MsgKind::CohReadReq {
-                        bytes: th.spec.bytes,
-                    }
-                } else if write {
-                    MsgKind::WriteReq {
-                        bytes: th.spec.bytes,
-                    }
-                } else {
-                    MsgKind::ReadReq {
-                        bytes: th.spec.bytes,
-                    }
-                };
-                let (prefix, _) = cohfree_rmc::addr::split(addr);
-                (NodeId::new(prefix), kind, addr)
-            }
-        };
-        let node = self.threads[id].spec.node;
-        // The instant the access was *first* offered to the RMC — NACK
-        // wake-ups re-offer the same access, and the serialization stall is
-        // measured from the very first attempt.
-        let first_offer = self.threads[id].pending_since.take().unwrap_or(now);
-        // Accesses into an evacuated zone follow it to its new home
-        // (pre-evacuation NACKed pendings, pre-rewrite generated addresses).
-        let (dst, addr) = match self.evac_remaps[node.index()]
-            .iter()
-            .copied()
-            .find(|&(old, _, frames)| addr >= old && addr < old + frames * 4096)
-        {
-            Some((old, new, _)) => {
-                let a = new + (addr - old);
-                let (prefix, _) = cohfree_rmc::addr::split(a);
-                (NodeId::new(prefix), a)
-            }
-            None => (dst, addr),
-        };
-        // An access aimed at a declared-failed home (no evacuation took it
-        // in) fails instead of burning a retry budget each time.
-        if self.nodes[node.index()].client.is_suspect(dst) {
-            self.trace.fail_fast(node.get(), now);
-            self.thread_access_failed(now, id);
-            return;
-        }
-        match self.nodes[node.index()].client.submit(now, dst, kind, addr) {
-            Submit::Accepted { msg, inject_at } => {
-                self.pending.insert(
-                    msg.tag,
-                    PendingTx {
-                        owner: Owner::Thread(id),
-                        msg,
-                        attempt: 0,
-                    },
-                );
-                self.trace_submitted(first_offer, now, &msg, inject_at);
-                self.queue.schedule(inject_at, Ev::Hop { msg, at: node });
-                self.arm_timeout(inject_at, msg.tag, 0);
-            }
-            Submit::Nacked { retry_at } => {
-                let th = &mut self.threads[id];
-                th.pending = Some((dst, kind, addr));
-                th.pending_since = Some(first_offer);
-                th.nack_retries += 1;
-                self.queue.schedule(retry_at, Ev::ThreadWake { id });
-            }
-        }
-    }
-
-    /// Run the event loop until every event has drained (all threads done).
+    /// Run the event loop until every event has drained (all threads done),
+    /// on the sequential engine or — after [`World::set_parallel`] with
+    /// more than one worker — the windowed parallel engine. Both produce
+    /// byte-identical results.
     ///
     /// # Panics
     /// Panics if the loop exceeds a safety limit proportional to the total
@@ -1401,12 +1188,16 @@ impl World {
         let total_accesses: u64 = self.threads.iter().map(|t| t.spec.accesses).sum();
         // Generous bound: hops + retries per access.
         let limit = 1_000 + total_accesses.saturating_mul(2_000);
-        while let Some((at, ev)) = self.queue.pop() {
-            self.handle(at, ev);
-            assert!(
-                self.queue.processed() <= limit,
-                "event budget exceeded: livelock at {at}"
-            );
+        if self.parallel > 1 {
+            crate::par::run_parallel(self, limit);
+        } else {
+            while let Some((at, key, ev)) = self.queue.pop_entry() {
+                self.handle(at, key, ev);
+                assert!(
+                    self.queue.processed() <= limit,
+                    "event budget exceeded: livelock at {at}"
+                );
+            }
         }
         // Close the time series with a drain-time sample so the tail of the
         // run (after the last whole interval) is represented too.
@@ -1498,37 +1289,6 @@ impl World {
             svc_start.max(accepted_at),
             inject_at,
         );
-    }
-
-    /// Attribute one forwarded hop to its wire and fabric-queue phases.
-    /// Probe traffic shares its parent's tag and is not part of the
-    /// requester-observed critical path, so it is excluded.
-    fn trace_hop(
-        &mut self,
-        msg: &Message,
-        at: NodeId,
-        now: SimTime,
-        arrive: SimTime,
-        queued: SimDuration,
-    ) {
-        if matches!(msg.kind, MsgKind::ProbeReq | MsgKind::ProbeResp)
-            || !self.trace.is_traced(msg.tag)
-        {
-            return;
-        }
-        let node = at.get();
-        if queued.is_zero() {
-            self.trace.push(msg.tag, Phase::Wire, node, now, arrive);
-        } else {
-            // Router pass, FIFO wait on the link serializer, then
-            // serialization + flight: three sub-intervals that tile the hop.
-            let enq = now + self.cfg.fabric.router_delay;
-            self.trace.push(msg.tag, Phase::Wire, node, now, enq);
-            self.trace
-                .push(msg.tag, Phase::FabricQueue, node, enq, enq + queued);
-            self.trace
-                .push(msg.tag, Phase::Wire, node, enq + queued, arrive);
-        }
     }
 
     /// True while `node` is crashed.
@@ -2226,18 +1986,18 @@ mod tests {
         let (&tag, p) = w.pending.iter().next().expect("one pending tx");
         assert_eq!(p.attempt, 0);
         // The attempt-0 timer fires: one retransmission, attempt becomes 1.
-        w.on_timeout(t0 + SimDuration::us(30), tag, 0);
+        w.fire_timeout(t0 + SimDuration::us(30), tag, 0);
         assert_eq!(w.client(n(1)).retransmissions(), 1);
         assert_eq!(w.pending[&tag].attempt, 1);
         // The same stale timer firing again must not retransmit: the
         // transaction now belongs to the attempt-1 timer.
-        w.on_timeout(t0 + SimDuration::us(60), tag, 0);
+        w.fire_timeout(t0 + SimDuration::us(60), tag, 0);
         assert_eq!(w.client(n(1)).retransmissions(), 1);
         assert_eq!(w.pending[&tag].attempt, 1);
         // After an abort even the current-attempt timer is a no-op.
         w.pending.remove(&tag);
         assert!(w.nodes[n(1).index()].client.abort(tag));
-        w.on_timeout(t0 + SimDuration::us(120), tag, 1);
+        w.fire_timeout(t0 + SimDuration::us(120), tag, 1);
         assert_eq!(w.client(n(1)).retransmissions(), 1);
     }
 
@@ -2277,6 +2037,39 @@ mod tests {
         );
         assert!(matches!(out2, AccessOutcome::Failed { .. }));
         assert_eq!(w.client(n(1)).retransmissions(), 4);
+    }
+
+    #[test]
+    fn saturated_backoff_with_large_retry_budget_terminates() {
+        // Regression: the retry backoff was computed as `timeout << attempt`,
+        // which wraps past attempt 63 — the delay collapsed to (near) zero
+        // and the engine hot-spun through timers at one instant. The delay
+        // now clamps the shift and saturates the multiply: with a retry
+        // budget past 64, every retry is still scheduled strictly later,
+        // the timer instants stay finite, and the run terminates with the
+        // access failed and the home suspect.
+        let mut cfg = ClusterConfig::prototype();
+        cfg.fabric.loss_rate = 1.0; // nothing ever gets through
+        cfg.recovery.max_retries = 80;
+        cfg.recovery.backoff_cap = 80;
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 16, Some(n(2)));
+        let out = w.try_blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        match out {
+            AccessOutcome::Failed { node, at } => {
+                assert_eq!(node, n(2));
+                assert!(at < SimTime::MAX, "timer instants must stay finite");
+            }
+            AccessOutcome::Completed { .. } => panic!("must fail under total loss"),
+        }
+        assert_eq!(w.client(n(1)).retransmissions(), 80, "the full budget");
+        assert!(w.client(n(1)).is_suspect(n(2)));
     }
 
     #[test]

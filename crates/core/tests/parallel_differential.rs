@@ -1,0 +1,236 @@
+//! Sequential-vs-parallel differential tests: the windowed parallel engine
+//! must produce **byte-identical** observable output — snapshot JSON, full
+//! span streams, samples, fault log — for any world, any partition count.
+//!
+//! Worlds here are thread-driven (the blocking drivers are inherently
+//! sequential) and deliberately hostile: cross-partition traffic, message
+//! loss, node crashes, link outages, evacuation, sampling and Full tracing
+//! all at once.
+
+use cohfree_core::world::{ThreadSpec, World};
+use cohfree_core::{
+    ClusterConfig, FaultEvent, FaultPlan, NodeId, SimDuration, SimTime, Topology, TraceConfig,
+};
+use cohfree_sim::Rng;
+
+fn n(i: u16) -> NodeId {
+    NodeId::new(i)
+}
+
+/// A compact random thread description (node, donor, workload shape).
+#[derive(Debug, Clone)]
+struct Spec {
+    node: u16,
+    donor: u16,
+    accesses: u64,
+    write_fraction: f64,
+    seed: u64,
+}
+
+fn arb_specs(rng: &mut Rng, nodes: u16, max_accesses: u64) -> Vec<Spec> {
+    let count = rng.range(2, 8) as usize;
+    (0..count)
+        .map(|_| Spec {
+            node: rng.range(1, nodes as u64 + 1) as u16,
+            donor: rng.range(1, nodes as u64 + 1) as u16,
+            accesses: rng.range(1, max_accesses),
+            write_fraction: rng.f64(),
+            seed: rng.next_u64(),
+        })
+        .collect()
+}
+
+/// Build the world, run it with `parallel` partitions, and return it.
+fn run_world(cfg: ClusterConfig, specs: &[Spec], sample: bool, parallel: usize) -> World {
+    let nodes = cfg.topology.num_nodes();
+    let mut w = World::new(cfg);
+    if sample {
+        w.enable_sampling(SimDuration::us(20));
+    }
+    for s in specs {
+        let node = n(s.node);
+        let donor = if s.donor == s.node {
+            n(s.donor % nodes + 1)
+        } else {
+            n(s.donor)
+        };
+        let resv = w.reserve_remote(node, 256, Some(donor));
+        w.spawn_thread(
+            ThreadSpec {
+                node,
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: s.accesses,
+                bytes: 64,
+                write_fraction: s.write_fraction,
+                think: SimDuration::ns(5),
+                seed: s.seed,
+            },
+            SimTime::ZERO,
+        );
+    }
+    w.set_parallel(parallel);
+    assert_eq!(w.parallel(), parallel.clamp(1, nodes as usize));
+    w.run();
+    w
+}
+
+/// Every observable byte of a finished world: the snapshot document, the
+/// complete span stream, the time series and the fault log.
+fn fingerprint(w: &World, threads: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&w.snapshot().doc.to_string());
+    out.push('\n');
+    out.push_str(&w.trace().chrome_trace().to_string());
+    out.push('\n');
+    for s in w.samples() {
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            s.at.as_ns(),
+            s.events_queued,
+            s.client_in_flight.iter().sum::<usize>(),
+            s.max_link_backlog_ns
+        ));
+    }
+    out.push_str(&format!("{:?}\n", w.fault_log()));
+    for id in 0..threads {
+        out.push_str(&format!(
+            "t{id}: {} {} {} {}\n",
+            w.thread_completed(id),
+            w.thread_failed(id),
+            w.thread_nacks(id),
+            w.thread_evacuated_retries(id)
+        ));
+    }
+    out.push_str(&format!(
+        "now={} processed={}",
+        w.now(),
+        w.events_processed()
+    ));
+    out
+}
+
+fn assert_engine_invariant(cfg: ClusterConfig, specs: &[Spec], sample: bool, label: &str) {
+    let baseline = fingerprint(&run_world(cfg, specs, sample, 1), specs.len());
+    for parts in [2usize, 4, 8] {
+        let par = fingerprint(&run_world(cfg, specs, sample, parts), specs.len());
+        assert_eq!(
+            baseline, par,
+            "{label}: {parts}-partition run diverged from sequential"
+        );
+    }
+}
+
+/// Fig. 6-like steady-state traffic on the 16-node prototype: lossless,
+/// sampled, fully traced.
+#[test]
+fn fig6_like_world_is_engine_invariant() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    let mut rng = Rng::new(0xF166);
+    let specs = arb_specs(&mut rng, 16, 200);
+    assert_engine_invariant(cfg, &specs, true, "fig6-like");
+}
+
+/// EXT-FAILOVER-like world: a node crash, a link outage and repair, lossy
+/// links, a tight retry budget — detection, evacuation and fail-fast all
+/// engage, and the output must still be engine-invariant.
+#[test]
+fn failover_world_is_engine_invariant() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    cfg.fabric.loss_rate = 1e-3;
+    cfg.recovery.max_retries = 4;
+    cfg.faults = FaultPlan::new()
+        .with(FaultEvent::NodeCrash {
+            at: SimTime::ZERO + SimDuration::us(40),
+            node: n(6),
+        })
+        .with(FaultEvent::LinkDown {
+            at: SimTime::ZERO + SimDuration::us(15),
+            a: n(1),
+            b: n(2),
+        })
+        .with(FaultEvent::LinkUp {
+            at: SimTime::ZERO + SimDuration::us(120),
+            a: n(1),
+            b: n(2),
+        });
+    let mut rng = Rng::new(0xFA110);
+    let specs = arb_specs(&mut rng, 16, 120);
+    assert_engine_invariant(cfg, &specs, true, "failover");
+}
+
+/// A 16×16 mesh (256 nodes) — the big-world shape the perf harness uses —
+/// stays engine-invariant with traffic spread across distant partitions.
+#[test]
+fn big_mesh_world_is_engine_invariant() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.topology = Topology::Mesh2D {
+        width: 16,
+        height: 16,
+    };
+    let mut rng = Rng::new(0xB16);
+    let mut specs = arb_specs(&mut rng, 256, 60);
+    // Force some traffic across the whole machine diameter.
+    specs.push(Spec {
+        node: 1,
+        donor: 256,
+        accesses: 50,
+        write_fraction: 0.5,
+        seed: 7,
+    });
+    assert_engine_invariant(cfg, &specs, false, "big-mesh");
+}
+
+/// Randomized sweep: seeded random worlds (loss, a random fault, sampling,
+/// tracing level varied) must be engine-invariant at 2/4/8 partitions.
+#[test]
+fn randomized_worlds_are_engine_invariant() {
+    for seed in 0..10u64 {
+        let mut rng = Rng::new(0xD1FF + seed);
+        let mut cfg = ClusterConfig::prototype();
+        if rng.chance(0.5) {
+            cfg.fabric.loss_rate = 1e-3 + rng.f64() * 5e-3;
+            cfg.recovery.max_retries = rng.range(2, 8) as u32;
+        }
+        cfg.trace = if rng.chance(0.5) {
+            TraceConfig::full()
+        } else {
+            TraceConfig::aggregate()
+        };
+        if rng.chance(0.5) {
+            cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+                at: SimTime::ZERO + SimDuration::us(rng.range(20, 120)),
+                node: n(rng.range(1, 17) as u16),
+            });
+        }
+        let sample = rng.chance(0.5);
+        let specs = arb_specs(&mut rng, 16, 120);
+        assert_engine_invariant(cfg, &specs, sample, &format!("randomized seed {seed}"));
+    }
+}
+
+/// The worker-thread channel path (shard ownership moves across threads
+/// every window) must be engine-invariant too. The pool is normally sized
+/// to spare hardware cores — zero on a single-core CI box — so force three
+/// workers via the override to guarantee this path runs everywhere.
+#[test]
+fn worker_channel_path_is_engine_invariant() {
+    std::env::set_var("COHFREE_PAR_WORKERS", "3");
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    let mut rng = Rng::new(0xC4A7);
+    let specs = arb_specs(&mut rng, 16, 150);
+    assert_engine_invariant(cfg, &specs, true, "worker-channel");
+    std::env::remove_var("COHFREE_PAR_WORKERS");
+}
+
+/// `set_parallel` degrades to sequential where the lookahead disappears:
+/// a coherent domain forces one partition.
+#[test]
+fn coherent_domain_forces_sequential() {
+    let mut w = World::new(ClusterConfig::prototype());
+    w.set_coherent_domain(vec![n(1), n(2), n(3)]).unwrap();
+    w.set_parallel(8);
+    assert_eq!(w.parallel(), 1);
+}

@@ -14,6 +14,24 @@
 //! on the outgoing link's serializer (FIFO among all traffic sharing that
 //! link) and adds the propagation latency. Because steps happen in global
 //! simulated-time order, link FIFO order is exact.
+//!
+//! ## Partition-aware decomposition
+//!
+//! A parallel world executor partitions nodes across worker threads, so the
+//! fabric state splits along the same seam:
+//!
+//! * [`FabricShared`] — topology, timing, outage set and the live route
+//!   table. Read-only during event execution; cheap to replicate per
+//!   partition and refreshed by the coordinator after fault events.
+//! * [`FabricRow`] — the outgoing links of ONE source router (serializers,
+//!   per-link counters and the per-link loss RNG). Only events executing at
+//!   that router touch its row, so rows shard cleanly across partitions.
+//! * [`FabricCounters`] — the global delivery counters, kept per partition
+//!   as deltas and folded back into the master at window barriers.
+//!
+//! Loss draws are per-link (seeded from the link's endpoints), not from one
+//! global stream: each link's drop pattern depends only on its own traffic
+//! order, which is identical however the world is partitioned.
 
 use crate::msg::{Message, NodeId};
 use crate::topology::Topology;
@@ -85,30 +103,96 @@ pub enum Step {
 }
 
 /// Per-directed-link state and statistics.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
 struct Link {
     server: FifoServer,
     messages: Counter,
     bytes: Counter,
+    /// Deterministic per-link loss stream. Seeded from the link's endpoints
+    /// so a link's drop pattern depends only on its own traffic order —
+    /// identical however the world is partitioned across workers.
+    loss: cohfree_sim::Rng,
 }
 
-/// The interconnect: topology + contended links.
-#[derive(Debug)]
-pub struct Fabric {
-    topo: Topology,
-    cfg: FabricConfig,
-    /// Per-source adjacency: `adj[u]` holds `(v, link state)` for every
-    /// physical directed link `u -> v`, sorted by `v`. Router degree is
-    /// small (≤ 4 on the mesh), so the per-hop link lookup is a short
-    /// linear scan instead of a hash, and snapshots enumerate links in
-    /// `(from, to)` order without sorting.
-    adj: Vec<Vec<(NodeId, Link)>>,
+impl Link {
+    fn new(cfg: &FabricConfig, u: NodeId, v: NodeId) -> Link {
+        let lane = ((u.get() as u64) << 16) | v.get() as u64;
+        let seed = cfg
+            .loss_seed
+            .wrapping_add(lane.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Link {
+            server: FifoServer::new(),
+            messages: Counter::new(),
+            bytes: Counter::new(),
+            loss: cohfree_sim::Rng::new(seed),
+        }
+    }
+}
+
+/// The outgoing links of one source router, sorted by destination. Router
+/// degree is small (≤ 4 on the mesh), so the per-hop link lookup is a short
+/// linear scan instead of a hash, and snapshots enumerate links in
+/// `(from, to)` order without sorting.
+#[derive(Debug, Clone, Default)]
+pub struct FabricRow {
+    links: Vec<(NodeId, Link)>,
+}
+
+impl FabricRow {
+    #[inline]
+    fn link(&self, v: NodeId) -> Option<&Link> {
+        self.links.iter().find(|&&(n, _)| n == v).map(|(_, l)| l)
+    }
+
+    #[inline]
+    fn link_mut(&mut self, v: NodeId) -> Option<&mut Link> {
+        self.links
+            .iter_mut()
+            .find(|&&mut (n, _)| n == v)
+            .map(|(_, l)| l)
+    }
+
+    /// Largest time-to-drain backlog across this router's outgoing links.
+    pub fn max_backlog(&self, now: SimTime) -> SimDuration {
+        self.links
+            .iter()
+            .map(|(_, l)| l.server.backlog(now))
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Global delivery counters, separable from the link state so a parallel
+/// executor can accumulate per-partition deltas and fold them into the
+/// master fabric at window barriers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FabricCounters {
     delivered: Counter,
     total_hops: Counter,
     dropped: Counter,
     rerouted: Counter,
     unroutable: Counter,
-    loss_rng: cohfree_sim::Rng,
+}
+
+impl FabricCounters {
+    /// Fold `other` into `self` and reset `other` to zero.
+    pub fn absorb(&mut self, other: &mut FabricCounters) {
+        self.delivered.add(other.delivered.get());
+        self.total_hops.add(other.total_hops.get());
+        self.dropped.add(other.dropped.get());
+        self.rerouted.add(other.rerouted.get());
+        self.unroutable.add(other.unroutable.get());
+        *other = FabricCounters::default();
+    }
+}
+
+/// Topology, timing and routing state shared by every partition: read-only
+/// during event execution, mutated only by fault handling on the master
+/// copy (and then re-replicated to the partitions by the coordinator).
+#[derive(Debug, Clone)]
+pub struct FabricShared {
+    topo: Topology,
+    cfg: FabricConfig,
     /// Directed links administratively down (both directions of a failed
     /// cable appear here; a direction that is not a physical link is
     /// harmless dead weight).
@@ -118,6 +202,40 @@ pub struct Fabric {
     /// Live next-hop table, rebuilt by BFS whenever the outage set changes.
     /// Empty while the fabric is healthy (dimension-order routing applies).
     routes: FastMap<(NodeId, NodeId), NodeId>,
+}
+
+impl FabricShared {
+    /// True while any link or node outage is active.
+    pub fn degraded(&self) -> bool {
+        !self.down_links.is_empty() || !self.down_nodes.is_empty()
+    }
+
+    /// A directed link is usable iff it is physically present, not
+    /// administratively down, and neither endpoint router is down.
+    fn usable(&self, u: NodeId, v: NodeId) -> bool {
+        !self.down_links.contains(&(u, v))
+            && !self.down_nodes.contains(&u)
+            && !self.down_nodes.contains(&v)
+    }
+
+    /// The smallest possible time between a send at one router and any
+    /// consequence at another: one router traversal plus one link flight
+    /// (serialization and queueing only add to it). This is the conservative
+    /// lookahead window the parallel executor synchronizes on.
+    pub fn min_hop_latency(&self) -> SimDuration {
+        self.cfg.router_delay + self.cfg.link_latency
+    }
+}
+
+/// The interconnect: topology + contended links.
+#[derive(Debug)]
+pub struct Fabric {
+    shared: FabricShared,
+    counters: FabricCounters,
+    /// `rows[u]` holds router `u`'s outgoing links. A parallel world takes
+    /// the rows out ([`Fabric::take_rows`]) and shards them with the nodes;
+    /// this master copy then serves only control-plane duties.
+    rows: Vec<FabricRow>,
 }
 
 impl Fabric {
@@ -130,97 +248,122 @@ impl Fabric {
             .map(|&(u, v)| u.get().max(v.get()))
             .max()
             .unwrap_or(0) as usize;
-        let mut adj: Vec<Vec<(NodeId, Link)>> = (0..=max_id).map(|_| Vec::new()).collect();
+        let mut rows: Vec<FabricRow> = (0..=max_id).map(|_| FabricRow::default()).collect();
         for (u, v) in links {
-            adj[u.get() as usize].push((v, Link::default()));
+            rows[u.get() as usize]
+                .links
+                .push((v, Link::new(&cfg, u, v)));
         }
         Fabric {
-            topo,
-            adj,
-            delivered: Counter::new(),
-            total_hops: Counter::new(),
-            dropped: Counter::new(),
-            rerouted: Counter::new(),
-            unroutable: Counter::new(),
-            loss_rng: cohfree_sim::Rng::new(cfg.loss_seed),
-            down_links: FastSet::default(),
-            down_nodes: FastSet::default(),
-            routes: FastMap::default(),
-            cfg,
+            shared: FabricShared {
+                topo,
+                cfg,
+                down_links: FastSet::default(),
+                down_nodes: FastSet::default(),
+                routes: FastMap::default(),
+            },
+            counters: FabricCounters::default(),
+            rows,
         }
+    }
+
+    /// A replica of the shared routing state for one partition.
+    pub fn share(&self) -> FabricShared {
+        self.shared.clone()
+    }
+
+    /// Borrow the shared routing state in place (no clone).
+    pub fn shared_ref(&self) -> &FabricShared {
+        &self.shared
+    }
+
+    /// Split-borrow the fabric into the three pieces one routing step
+    /// needs: the read-only shared state, the counter accumulator, and the
+    /// per-router link rows (indexed by node id; index 0 is a placeholder).
+    /// A sequential engine steps against these directly; a parallel one
+    /// replicates/shards them instead.
+    pub fn decompose(&mut self) -> (&FabricShared, &mut FabricCounters, &mut [FabricRow]) {
+        (&self.shared, &mut self.counters, &mut self.rows)
+    }
+
+    /// Move the per-router link rows out, indexed by node id (`rows[0]` is
+    /// an unused placeholder). The master keeps empty rows afterwards; the
+    /// caller owns the live link state and passes it back per call via the
+    /// `*_with_rows` accessors.
+    pub fn take_rows(&mut self) -> Vec<FabricRow> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Return previously [`Fabric::take_rows`]-taken rows to the master.
+    ///
+    /// # Panics
+    /// Panics if the master still holds live rows (double restore).
+    pub fn put_rows(&mut self, rows: Vec<FabricRow>) {
+        assert!(self.rows.is_empty(), "fabric rows restored twice");
+        self.rows = rows;
+    }
+
+    /// Fold a partition's counter deltas into the master (resets `other`).
+    pub fn absorb_counters(&mut self, other: &mut FabricCounters) {
+        self.counters.absorb(other);
     }
 
     /// Shared state of the directed link `u -> v`, if it physically exists.
     #[inline]
     fn link(&self, u: NodeId, v: NodeId) -> Option<&Link> {
-        self.adj
-            .get(u.get() as usize)?
-            .iter()
-            .find(|&&(n, _)| n == v)
-            .map(|(_, l)| l)
-    }
-
-    /// Mutable state of the directed link `u -> v`, if it physically exists.
-    #[inline]
-    fn link_mut(&mut self, u: NodeId, v: NodeId) -> Option<&mut Link> {
-        self.adj
-            .get_mut(u.get() as usize)?
-            .iter_mut()
-            .find(|&&mut (n, _)| n == v)
-            .map(|(_, l)| l)
+        self.rows.get(u.get() as usize)?.link(v)
     }
 
     /// All physical directed links in `(from, to)` order.
     fn links_iter(&self) -> impl Iterator<Item = (NodeId, NodeId, &Link)> {
-        self.adj.iter().enumerate().flat_map(|(u, vs)| {
-            vs.iter()
-                .map(move |&(v, ref l)| (NodeId::new(u as u16), v, l))
-        })
+        rows_links_iter(self.rows.iter().enumerate().map(|(u, r)| {
+            debug_assert!(u <= u16::MAX as usize);
+            (NodeId::new(u.max(1) as u16), r)
+        }))
     }
 
-    /// True while any link or node outage is active.
-    fn degraded(&self) -> bool {
-        !self.down_links.is_empty() || !self.down_nodes.is_empty()
-    }
-
-    /// A directed link is usable iff it is physically present, not
-    /// administratively down, and neither endpoint router is down.
-    fn usable(&self, u: NodeId, v: NodeId) -> bool {
-        !self.down_links.contains(&(u, v))
-            && !self.down_nodes.contains(&u)
-            && !self.down_nodes.contains(&v)
-    }
-
-    /// Recompute shortest live routes (BFS per destination over usable
-    /// links, smallest-id neighbor first, so the table is deterministic).
+    /// Recompute shortest live routes: one BFS per destination over the
+    /// usable reverse adjacency. Neighbor expansion is ordered by `NodeId`
+    /// (the adjacency is index-based and built from the sorted physical
+    /// link list), so among equal-cost detours the smallest-id next hop
+    /// always wins — the table is a pure function of the outage set,
+    /// independent of outage arrival order, hash-map iteration order, and
+    /// world partitioning.
     fn rebuild_routes(&mut self) {
-        self.routes.clear();
-        if !self.degraded() {
+        let sh = &mut self.shared;
+        sh.routes.clear();
+        if !sh.degraded() {
             return; // healthy fabric: dimension-order routing, no table.
         }
-        // Reverse adjacency over usable links: radj[x] = all w with w -> x.
-        let mut radj: FastMap<NodeId, Vec<NodeId>> = FastMap::default();
-        let mut dsts: Vec<NodeId> = Vec::new();
-        for (u, v, _) in self.links_iter() {
-            if self.usable(u, v) {
-                radj.entry(v).or_default().push(u);
+        let mut links = sh.topo.links();
+        links.sort_unstable_by_key(|&(u, v)| (u.get(), v.get()));
+        let n = links
+            .iter()
+            .map(|&(u, v)| u.get().max(v.get()))
+            .max()
+            .unwrap_or(0) as usize;
+        // Reverse adjacency over usable links: radj[x] = all w with w -> x,
+        // ascending by construction (links are sorted source-major).
+        let mut radj: Vec<Vec<NodeId>> = vec![Vec::new(); n + 1];
+        for &(u, v) in &links {
+            if sh.usable(u, v) {
+                radj[v.get() as usize].push(u);
             }
-            dsts.push(v);
         }
-        for preds in radj.values_mut() {
-            preds.sort_unstable_by_key(|n| n.get());
-        }
-        dsts.sort_unstable_by_key(|n| n.get());
-        dsts.dedup();
-        for dst in dsts {
+        debug_assert!(radj
+            .iter()
+            .all(|p| p.windows(2).all(|w| w[0].get() < w[1].get())));
+        let mut seen = vec![false; n + 1];
+        for dst_i in 1..=n {
+            let dst = NodeId::new(dst_i as u16);
+            seen.iter_mut().for_each(|s| *s = false);
+            seen[dst_i] = true;
             let mut q = VecDeque::from([dst]);
-            let mut seen: FastSet<NodeId> = FastSet::default();
-            seen.insert(dst);
             while let Some(x) = q.pop_front() {
-                let Some(preds) = radj.get(&x) else { continue };
-                for &w in preds {
-                    if seen.insert(w) {
-                        self.routes.insert((w, dst), x);
+                for &w in &radj[x.get() as usize] {
+                    if !seen[w.get() as usize] {
+                        seen[w.get() as usize] = true;
+                        sh.routes.insert((w, dst), x);
                         q.push_back(w);
                     }
                 }
@@ -235,18 +378,18 @@ impl Fabric {
     /// Panics if `a -> b` is not a physical link of the topology.
     pub fn set_link_down(&mut self, a: NodeId, b: NodeId) {
         assert!(
-            self.link(a, b).is_some(),
+            self.shared.topo.links().contains(&(a, b)),
             "no physical link {a}->{b} to take down"
         );
-        self.down_links.insert((a, b));
-        self.down_links.insert((b, a));
+        self.shared.down_links.insert((a, b));
+        self.shared.down_links.insert((b, a));
         self.rebuild_routes();
     }
 
     /// Restore the bidirectional link between `a` and `b`.
     pub fn set_link_up(&mut self, a: NodeId, b: NodeId) {
-        self.down_links.remove(&(a, b));
-        self.down_links.remove(&(b, a));
+        self.shared.down_links.remove(&(a, b));
+        self.shared.down_links.remove(&(b, a));
         self.rebuild_routes();
     }
 
@@ -255,36 +398,41 @@ impl Fabric {
     /// Independent link outages are tracked separately and survive a later
     /// [`Fabric::set_node_up`].
     pub fn set_node_down(&mut self, node: NodeId) {
-        self.down_nodes.insert(node);
+        self.shared.down_nodes.insert(node);
         self.rebuild_routes();
     }
 
     /// Bring a router back; only links downed via [`Fabric::set_link_down`]
     /// stay down.
     pub fn set_node_up(&mut self, node: NodeId) {
-        self.down_nodes.remove(&node);
+        self.shared.down_nodes.remove(&node);
         self.rebuild_routes();
     }
 
     /// True if `node`'s router is currently down.
     pub fn node_is_down(&self, node: NodeId) -> bool {
-        self.down_nodes.contains(&node)
+        self.shared.down_nodes.contains(&node)
     }
 
     /// Number of bidirectional links currently forced down (node outages
     /// not included).
     pub fn links_down(&self) -> usize {
-        self.down_links.len() / 2
+        self.shared.down_links.len() / 2
     }
 
     /// The topology this fabric implements.
     pub fn topology(&self) -> Topology {
-        self.topo
+        self.shared.topo
     }
 
     /// The physical configuration.
     pub fn config(&self) -> FabricConfig {
-        self.cfg
+        self.shared.cfg
+    }
+
+    /// Smallest cross-router latency; see [`FabricShared::min_hop_latency`].
+    pub fn min_hop_latency(&self) -> SimDuration {
+        self.shared.min_hop_latency()
     }
 
     /// Advance `msg`, currently at router `at` at time `now`, by one step.
@@ -306,86 +454,47 @@ impl Fabric {
     /// outcomes and uncontended links). The span tracer uses the wait to
     /// split each hop into its wire and fabric-queue phases.
     pub fn step_traced(&mut self, now: SimTime, at: NodeId, msg: &Message) -> (Step, SimDuration) {
-        if at == msg.dst {
-            self.delivered.inc();
-            return (Step::Deliver { at: now }, SimDuration::ZERO);
-        }
-        let next = if self.degraded() {
-            match self.routes.get(&(at, msg.dst)) {
-                Some(&hop) => {
-                    if hop != self.topo.next_hop(at, msg.dst) {
-                        self.rerouted.inc();
-                    }
-                    hop
-                }
-                None => {
-                    self.unroutable.inc();
-                    self.dropped.inc();
-                    return (Step::Dropped, SimDuration::ZERO);
-                }
-            }
-        } else {
-            self.topo.next_hop(at, msg.dst)
-        };
-        let wire = msg.wire_bytes();
-        let ser = self.cfg.serialization(wire);
-        let router_delay = self.cfg.router_delay;
-        let link = self
-            .link_mut(at, next)
-            .unwrap_or_else(|| panic!("no physical link {at}->{next}"));
-        // Router traversal, then FIFO on the link serializer, then flight time.
-        let enq = now + router_delay;
-        let depart = link.server.accept(enq, ser);
-        let queued = depart.saturating_since(enq).saturating_sub(ser);
-        link.messages.inc();
-        link.bytes.add(wire as u64);
-        self.total_hops.inc();
-        if self.cfg.loss_rate > 0.0 && self.loss_rng.chance(self.cfg.loss_rate) {
-            self.dropped.inc();
-            return (Step::Dropped, queued);
-        }
-        (
-            Step::Forward {
-                next,
-                arrive: depart + self.cfg.link_latency,
-            },
-            queued,
-        )
+        let row = self
+            .rows
+            .get_mut(at.get() as usize)
+            .unwrap_or_else(|| panic!("router {at} has no link row (rows taken?)"));
+        step_row(&self.shared, &mut self.counters, row, now, at, msg)
     }
 
     /// Unloaded end-to-end traversal time for a message of `wire_bytes`
     /// over `hops` hops (no queueing). Used by the analytic model and as a
     /// lower bound in tests.
     pub fn unloaded_latency(&self, wire_bytes: u32, hops: u32) -> SimDuration {
-        let per_hop =
-            self.cfg.router_delay + self.cfg.serialization(wire_bytes) + self.cfg.link_latency;
+        let per_hop = self.shared.cfg.router_delay
+            + self.shared.cfg.serialization(wire_bytes)
+            + self.shared.cfg.link_latency;
         per_hop * hops as u64
     }
 
     /// Messages delivered to their destination so far.
     pub fn delivered(&self) -> u64 {
-        self.delivered.get()
+        self.counters.delivered.get()
     }
 
     /// Total link traversals (sum of per-message hop counts).
     pub fn total_hops(&self) -> u64 {
-        self.total_hops.get()
+        self.counters.total_hops.get()
     }
 
     /// Messages lost so far (link errors plus unroutable drops).
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.counters.dropped.get()
     }
 
     /// Hops taken that differ from the healthy dimension-order route
     /// (outage-induced detours).
     pub fn rerouted(&self) -> u64 {
-        self.rerouted.get()
+        self.counters.rerouted.get()
     }
 
     /// Messages dropped because no live route to their destination existed.
     pub fn unroutable(&self) -> u64 {
-        self.unroutable.get()
+        self.counters.unroutable.get()
     }
 
     /// Bytes carried by the directed link `u -> v` so far.
@@ -407,8 +516,9 @@ impl Fabric {
 
     /// Largest time-to-drain backlog across links as seen at `now`.
     pub fn max_link_backlog(&self, now: SimTime) -> SimDuration {
-        self.links_iter()
-            .map(|(_, _, l)| l.server.backlog(now))
+        self.rows
+            .iter()
+            .map(|r| r.max_backlog(now))
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
@@ -423,36 +533,121 @@ impl Fabric {
     /// utilization computed against `horizon`. Links are sorted by
     /// `(from, to)` so the output is stable across runs.
     pub fn snapshot(&self, horizon: SimTime) -> cohfree_sim::Json {
+        self.snapshot_with_rows(
+            horizon,
+            self.rows
+                .iter()
+                .enumerate()
+                .map(|(u, r)| (NodeId::new(u.max(1) as u16), r)),
+        )
+    }
+
+    /// [`Fabric::snapshot`] over externally held rows (a world that took
+    /// the rows passes them back here, in ascending node order).
+    pub fn snapshot_with_rows<'a, I>(&self, horizon: SimTime, rows: I) -> cohfree_sim::Json
+    where
+        I: Iterator<Item = (NodeId, &'a FabricRow)>,
+    {
         use cohfree_sim::Json;
-        // Adjacency lists are built sorted, so this is already (from, to) order.
-        let links = self
-            .links_iter()
+        let mut max_util = 0.0f64;
+        // Rows arrive in ascending node order and each row is sorted by
+        // destination, so this is already (from, to) order.
+        let links = rows_links_iter(rows)
             .map(|(u, v, l)| {
+                let util = l.server.utilization(horizon);
+                max_util = max_util.max(util);
                 Json::obj([
                     ("from", Json::from(u.get() as u64)),
                     ("to", Json::from(v.get() as u64)),
                     ("messages", l.messages.snapshot()),
                     ("bytes", l.bytes.snapshot()),
-                    ("utilization", Json::from(l.server.utilization(horizon))),
+                    ("utilization", Json::from(util)),
                     ("mean_wait_ns", Json::from(l.server.mean_wait().as_ns_f64())),
                 ])
             })
             .collect::<Vec<_>>();
         Json::obj([
-            ("delivered", self.delivered.snapshot()),
-            ("total_hops", self.total_hops.snapshot()),
-            ("dropped", self.dropped.snapshot()),
-            ("rerouted", self.rerouted.snapshot()),
-            ("unroutable", self.unroutable.snapshot()),
+            ("delivered", self.counters.delivered.snapshot()),
+            ("total_hops", self.counters.total_hops.snapshot()),
+            ("dropped", self.counters.dropped.snapshot()),
+            ("rerouted", self.counters.rerouted.snapshot()),
+            ("unroutable", self.counters.unroutable.snapshot()),
             ("links_down", Json::from(self.links_down() as u64)),
-            ("nodes_down", Json::from(self.down_nodes.len() as u64)),
             (
-                "max_link_utilization",
-                Json::from(self.max_link_utilization(horizon)),
+                "nodes_down",
+                Json::from(self.shared.down_nodes.len() as u64),
             ),
+            ("max_link_utilization", Json::from(max_util)),
             ("links", Json::Arr(links)),
         ])
     }
+}
+
+/// Flatten `(node, row)` pairs into `(from, to, link)` triples, skipping
+/// empty rows (placeholder index 0 and routers with no outgoing links).
+fn rows_links_iter<'a, I>(rows: I) -> impl Iterator<Item = (NodeId, NodeId, &'a Link)>
+where
+    I: Iterator<Item = (NodeId, &'a FabricRow)>,
+{
+    rows.flat_map(|(u, row)| row.links.iter().map(move |&(v, ref l)| (u, v, l)))
+}
+
+/// One routing step against decomposed fabric state: the partition-shared
+/// routing view, a counter delta accumulator, and the current router's own
+/// link row. [`Fabric::step_traced`] is this function applied to the
+/// master's own state; a parallel worker applies it to its shard's.
+pub fn step_row(
+    shared: &FabricShared,
+    counters: &mut FabricCounters,
+    row: &mut FabricRow,
+    now: SimTime,
+    at: NodeId,
+    msg: &Message,
+) -> (Step, SimDuration) {
+    if at == msg.dst {
+        counters.delivered.inc();
+        return (Step::Deliver { at: now }, SimDuration::ZERO);
+    }
+    let next = if shared.degraded() {
+        match shared.routes.get(&(at, msg.dst)) {
+            Some(&hop) => {
+                if hop != shared.topo.next_hop(at, msg.dst) {
+                    counters.rerouted.inc();
+                }
+                hop
+            }
+            None => {
+                counters.unroutable.inc();
+                counters.dropped.inc();
+                return (Step::Dropped, SimDuration::ZERO);
+            }
+        }
+    } else {
+        shared.topo.next_hop(at, msg.dst)
+    };
+    let wire = msg.wire_bytes();
+    let ser = shared.cfg.serialization(wire);
+    let enq = now + shared.cfg.router_delay;
+    let link = row
+        .link_mut(next)
+        .unwrap_or_else(|| panic!("no physical link {at}->{next}"));
+    // Router traversal, then FIFO on the link serializer, then flight time.
+    let depart = link.server.accept(enq, ser);
+    let queued = depart.saturating_since(enq).saturating_sub(ser);
+    link.messages.inc();
+    link.bytes.add(wire as u64);
+    counters.total_hops.inc();
+    if shared.cfg.loss_rate > 0.0 && link.loss.chance(shared.cfg.loss_rate) {
+        counters.dropped.inc();
+        return (Step::Dropped, queued);
+    }
+    (
+        Step::Forward {
+            next,
+            arrive: depart + shared.cfg.link_latency,
+        },
+        queued,
+    )
 }
 
 #[cfg(test)]
@@ -573,6 +768,16 @@ mod tests {
     }
 
     #[test]
+    fn min_hop_latency_is_a_true_lower_bound() {
+        let f = mk_fabric();
+        let w = f.min_hop_latency();
+        assert_eq!(w, f.config().router_delay + f.config().link_latency);
+        // Any real hop (which adds serialization) takes at least W.
+        assert!(f.unloaded_latency(1, 1) >= w);
+        assert!(w > SimDuration::ZERO);
+    }
+
+    #[test]
     fn total_loss_drops_everything() {
         let cfg = FabricConfig {
             loss_rate: 1.0,
@@ -608,6 +813,32 @@ mod tests {
     }
 
     #[test]
+    fn loss_streams_are_per_link_and_order_independent() {
+        // A link's drop pattern must depend only on its own traffic order,
+        // not on global interleaving — otherwise partitioning the world
+        // would change which messages die. Interleave traffic on a second
+        // link and check the first link's pattern is unchanged.
+        let cfg = FabricConfig {
+            loss_rate: 0.3,
+            ..FabricConfig::default()
+        };
+        let pattern = |interleave: bool| {
+            let mut f = Fabric::new(Topology::prototype(), cfg);
+            let mut outcomes = Vec::new();
+            for tag in 0..100 {
+                if interleave {
+                    let other = Message::new(n(5), n(6), MsgKind::ReadReq { bytes: 64 }, tag);
+                    let _ = f.step(SimTime::ZERO, n(5), &other);
+                }
+                let msg = Message::new(n(1), n(2), MsgKind::ReadReq { bytes: 64 }, tag);
+                outcomes.push(matches!(f.step(SimTime::ZERO, n(1), &msg), Step::Dropped));
+            }
+            outcomes
+        };
+        assert_eq!(pattern(false), pattern(true));
+    }
+
+    #[test]
     fn traffic_reroutes_around_a_downed_mesh_link() {
         let mut f = mk_fabric();
         f.set_link_down(n(1), n(2));
@@ -627,6 +858,42 @@ mod tests {
         assert_eq!(hops2, 2);
         assert_eq!(f.rerouted(), before);
         assert_eq!(f.links_down(), 0);
+    }
+
+    #[test]
+    fn reroute_tie_break_is_deterministic_and_history_independent() {
+        // The BFS route table must be a pure function of the outage set:
+        // identical whether an outage arrived directly or via a history of
+        // other faults, and identical across repeated rebuilds. Downstream
+        // timestamps (and the parallel engine's byte-identity guarantee)
+        // depend on this.
+        let direct = {
+            let mut f = mk_fabric();
+            f.set_link_down(n(6), n(7));
+            f.shared.routes.clone()
+        };
+        let with_history = {
+            let mut f = mk_fabric();
+            f.set_node_down(n(11));
+            f.set_link_down(n(1), n(2));
+            f.set_link_up(n(1), n(2));
+            f.set_node_up(n(11));
+            f.set_link_down(n(6), n(7));
+            f.shared.routes.clone()
+        };
+        assert_eq!(direct.len(), with_history.len());
+        for (k, v) in &direct {
+            assert_eq!(with_history.get(k), Some(v), "route {k:?} diverged");
+        }
+        // Equal-cost detours resolve to the smallest-id neighbor: from 6
+        // toward 7 with 6->7 cut, both 2 (up) and 10 (down) give 3-hop
+        // detours on the 4x4 mesh; the BFS must pick 2 every time.
+        assert_eq!(direct.get(&(n(6), n(7))), Some(&n(2)));
+        for _ in 0..5 {
+            let mut f = mk_fabric();
+            f.set_link_down(n(6), n(7));
+            assert_eq!(f.shared.routes, direct);
+        }
     }
 
     #[test]
@@ -710,8 +977,45 @@ mod tests {
         assert_eq!(f.delivered(), 10);
         // Flapping must not leak route-table state: a healthy fabric keeps
         // an empty table and the same counters as a never-flapped one.
-        assert!(!f.degraded());
-        assert!(f.routes.is_empty());
+        assert!(!f.shared.degraded());
+        assert!(f.shared.routes.is_empty());
+    }
+
+    #[test]
+    fn taken_rows_step_identically_to_the_master_path() {
+        // Decomposed stepping (shared + counters + row, as a parallel
+        // worker drives it) must behave exactly like Fabric::step.
+        let mut whole = mk_fabric();
+        let mut split = mk_fabric();
+        let shared = split.share();
+        let mut rows = split.take_rows();
+        let mut counters = FabricCounters::default();
+        let msg = Message::new(n(1), n(3), MsgKind::ReadReq { bytes: 64 }, 9);
+        let mut at = n(1);
+        let mut now = SimTime::ZERO;
+        loop {
+            let want = whole.step(now, at, &msg);
+            let (got, _) = step_row(
+                &shared,
+                &mut counters,
+                &mut rows[at.get() as usize],
+                now,
+                at,
+                &msg,
+            );
+            assert_eq!(got, want);
+            match got {
+                Step::Deliver { .. } | Step::Dropped => break,
+                Step::Forward { next, arrive } => {
+                    at = next;
+                    now = arrive;
+                }
+            }
+        }
+        split.absorb_counters(&mut counters);
+        assert_eq!(split.delivered(), whole.delivered());
+        assert_eq!(split.total_hops(), whole.total_hops());
+        assert_eq!(counters.delivered.get(), 0, "absorb must reset the delta");
     }
 
     #[test]

@@ -49,16 +49,16 @@ const NUM_BUCKETS: usize = 256;
 /// Occupancy bitmap words.
 const BITMAP_WORDS: usize = NUM_BUCKETS / 64;
 
-/// Overflow-heap entry: ordered by `(time, seq)` ascending.
+/// Overflow-heap entry: ordered by `(time, key)` ascending.
 struct Entry<E> {
     at: SimTime,
-    seq: u64,
+    key: u128,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -71,8 +71,8 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        // BinaryHeap is a max-heap; invert so the earliest (time, key) pops first.
+        (other.at, other.key).cmp(&(self.at, self.key))
     }
 }
 
@@ -93,12 +93,12 @@ impl<E> Ord for Entry<E> {
 /// ```
 pub struct EventQueue<E> {
     /// All pending events in bucket `epoch` or earlier, sorted ascending by
-    /// `(at, seq)`. Non-empty whenever `len > 0` (eager refill), so `pop`
+    /// `(at, key)`. Non-empty whenever `len > 0` (eager refill), so `pop`
     /// and `peek_time` never search the ring.
-    front: VecDeque<(SimTime, u64, E)>,
+    front: VecDeque<(SimTime, u128, E)>,
     /// Near-future FIFO buckets; slot `b % NUM_BUCKETS` holds events whose
     /// bucket `b` lies in `(epoch, epoch + NUM_BUCKETS)`.
-    ring: Box<[Vec<(SimTime, u64, E)>; NUM_BUCKETS]>,
+    ring: Box<[Vec<(SimTime, u128, E)>; NUM_BUCKETS]>,
     /// One bit per ring slot: set iff the slot is non-empty.
     occupied: [u64; BITMAP_WORDS],
     /// Far-future events beyond the ring horizon.
@@ -164,41 +164,60 @@ impl<E> EventQueue<E> {
 
     /// Schedule `event` at absolute instant `at`.
     ///
+    /// Events scheduled this way are keyed by an internal monotone sequence
+    /// counter, so same-instant events fire in FIFO order.
+    ///
     /// # Panics
     /// Panics if `at` is earlier than the current clock — the engine never
     /// travels backwards.
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        let key = self.seq as u128;
+        self.seq += 1;
+        self.schedule_keyed(at, key, event);
+    }
+
+    /// Schedule `event` at absolute instant `at` under an explicit ordering
+    /// `key`: pending events fire in ascending `(at, key)` order.
+    ///
+    /// This is the primitive the parallel engine builds on — both the
+    /// sequential and the windowed-parallel executors derive the *same*
+    /// content-determined key for an event, so their pop orders (and hence
+    /// all downstream state) coincide exactly. Keys must be unique per
+    /// instant; the plain [`EventQueue::schedule`] path reserves the
+    /// low range by spending its `u64` sequence counter as the key.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current clock.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u128, event: E) {
         assert!(
             at >= self.now,
             "scheduling into the past: at={at} < now={now}",
             at = at,
             now = self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
         self.len += 1;
         if self.len == 1 {
             // Queue was empty: adopt this event's bucket as the epoch and
             // serve it straight from `front`.
             self.epoch = bucket_of(at);
-            self.front.push_back((at, seq, event));
+            self.front.push_back((at, key, event));
             return;
         }
         let b = bucket_of(at);
         if b <= self.epoch {
             // Current (or earlier-than-epoch) bucket: sorted insert keeps
-            // `front` the exact prefix of the global order. New events carry
-            // the largest `seq`, so ties land after existing same-instant
-            // events (FIFO) and the common "latest time" case inserts at the
-            // tail in O(1).
-            let idx = self.front.partition_point(|&(t, s, _)| (t, s) < (at, seq));
-            self.front.insert(idx, (at, seq, event));
+            // `front` the exact prefix of the global order. Sequence-keyed
+            // events carry the largest key, so ties land after existing
+            // same-instant events (FIFO) and the common "latest time" case
+            // inserts at the tail in O(1).
+            let idx = self.front.partition_point(|&(t, s, _)| (t, s) < (at, key));
+            self.front.insert(idx, (at, key, event));
         } else if b - self.epoch < NUM_BUCKETS as u64 {
             let slot = (b % NUM_BUCKETS as u64) as usize;
-            self.ring[slot].push((at, seq, event));
+            self.ring[slot].push((at, key, event));
             self.occupied[slot / 64] |= 1 << (slot % 64);
         } else {
-            self.overflow.push(Entry { at, seq, event });
+            self.overflow.push(Entry { at, key, event });
         }
     }
 
@@ -221,9 +240,68 @@ impl<E> EventQueue<E> {
         self.front.front().map(|&(at, _, _)| at)
     }
 
+    /// `(timestamp, ordering key)` of the next pending event, if any. The
+    /// parallel window scheduler uses this to find the global minimum across
+    /// per-partition queues without disturbing them.
+    #[inline]
+    pub fn peek_key(&self) -> Option<(SimTime, u128)> {
+        self.front.front().map(|&(at, key, _)| (at, key))
+    }
+
+    /// Remove and return every pending event as `(at, key, event)` triples
+    /// sorted by `(at, key)`, without advancing the clock or the processed
+    /// count. Used to re-partition a world's pending set; re-inserting each
+    /// triple via [`EventQueue::schedule_keyed`] reproduces the same order.
+    pub fn drain_entries(&mut self) -> Vec<(SimTime, u128, E)> {
+        let mut out: Vec<(SimTime, u128, E)> = Vec::with_capacity(self.len);
+        out.extend(self.front.drain(..));
+        let mut remaining = self.occupied;
+        for (w, word) in remaining.iter_mut().enumerate() {
+            while *word != 0 {
+                let slot = w * 64 + word.trailing_zeros() as usize;
+                out.append(&mut self.ring[slot]);
+                *word &= *word - 1;
+            }
+        }
+        self.occupied = [0; BITMAP_WORDS];
+        out.extend(
+            std::mem::take(&mut self.overflow)
+                .into_iter()
+                .map(|e| (e.at, e.key, e.event)),
+        );
+        self.len = 0;
+        out.sort_unstable_by_key(|&(at, key, _)| (at, key));
+        out
+    }
+
+    /// Advance the clock to `at` without popping (no-op if `at` is in the
+    /// past). The window scheduler uses this to keep idle partitions' clocks
+    /// in step so cross-partition inserts never look like past scheduling.
+    #[inline]
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            debug_assert!(self.peek_time().is_none_or(|t| t >= at));
+            self.now = at;
+        }
+    }
+
+    /// Fold `n` externally processed events into the processed count (used
+    /// when re-partitioning moves pending work between queues).
+    #[inline]
+    pub fn add_processed(&mut self, n: u64) {
+        self.processed += n;
+    }
+
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let (at, _seq, event) = self.front.pop_front()?;
+        self.pop_entry().map(|(at, _, event)| (at, event))
+    }
+
+    /// [`EventQueue::pop`], but also returning the event's ordering key.
+    /// Engines that derive scheduling keys from the currently executing
+    /// event (same-instant causality chains) need the key in hand.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u128, E)> {
+        let (at, key, event) = self.front.pop_front()?;
         debug_assert!(at >= self.now, "event queue clock regression");
         self.now = at;
         self.processed += 1;
@@ -231,7 +309,7 @@ impl<E> EventQueue<E> {
         if self.front.is_empty() && self.len > 0 {
             self.refill();
         }
-        Some((at, event))
+        Some((at, key, event))
     }
 
     /// Drain and drop all pending events without advancing the clock.
@@ -289,8 +367,8 @@ impl<E> EventQueue<E> {
             .peek()
             .is_some_and(|e| bucket_of(e.at) == self.epoch)
         {
-            let Entry { at, seq, event } = self.overflow.pop().expect("peeked");
-            self.front.push_back((at, seq, event));
+            let Entry { at, key, event } = self.overflow.pop().expect("peeked");
+            self.front.push_back((at, key, event));
         }
         self.front
             .make_contiguous()
@@ -374,9 +452,9 @@ mod tests {
         }
         fn schedule(&mut self, at: SimTime, event: E) {
             assert!(at >= self.now);
-            let seq = self.seq;
+            let key = self.seq as u128;
             self.seq += 1;
-            self.heap.push(Entry { at, seq, event });
+            self.heap.push(Entry { at, key, event });
         }
         fn pop(&mut self) -> Option<(SimTime, E)> {
             let entry = self.heap.pop()?;
@@ -530,6 +608,46 @@ mod tests {
         q.schedule(SimTime(BUCKET_WIDTH_PS * 1000), 3);
         assert_eq!(q.pop(), Some((SimTime(5), 2)));
         assert_eq!(q.pop(), Some((SimTime(BUCKET_WIDTH_PS * 1000), 3)));
+    }
+
+    #[test]
+    fn keyed_scheduling_orders_by_key_within_an_instant() {
+        let mut q = EventQueue::new();
+        q.schedule_keyed(SimTime(50), 7, "c");
+        q.schedule_keyed(SimTime(50), 2, "a");
+        q.schedule_keyed(SimTime(10), u128::MAX, "first");
+        q.schedule_keyed(SimTime(50), 3, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "a", "b", "c"]);
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn drain_entries_round_trips_across_all_tiers() {
+        let mut q = EventQueue::new();
+        let horizon = BUCKET_WIDTH_PS * NUM_BUCKETS as u64;
+        q.schedule_keyed(SimTime(5), 10, 1u32);
+        q.schedule_keyed(SimTime(5), 4, 0); // same instant, smaller key
+        q.schedule_keyed(SimTime(BUCKET_WIDTH_PS * 3), 20, 2); // ring tier
+        q.schedule_keyed(SimTime(horizon * 2), 30, 3); // overflow tier
+        assert_eq!(q.pop(), Some((SimTime(5), 0)));
+        let entries = q.drain_entries();
+        assert!(q.is_empty());
+        assert_eq!(q.processed(), 1);
+        assert_eq!(
+            entries.iter().map(|&(_, k, e)| (k, e)).collect::<Vec<_>>(),
+            vec![(10, 1), (20, 2), (30, 3)]
+        );
+        // Reinsertion reproduces the same order, clock intact.
+        let mut q2 = EventQueue::new();
+        q2.advance_to(SimTime(5));
+        for (at, key, e) in entries {
+            q2.schedule_keyed(at, key, e);
+        }
+        q2.add_processed(1);
+        let order: Vec<u32> = std::iter::from_fn(|| q2.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(q2.processed(), 4);
     }
 
     /// The differential net from the issue: ~1M seeded random

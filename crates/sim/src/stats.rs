@@ -143,9 +143,12 @@ pub struct LatencyHistogram {
 /// Sub-buckets per power-of-two octave (must be a power of two).
 pub const HIST_SUB_BUCKETS: usize = 4;
 const HIST_SUB_BITS: u32 = HIST_SUB_BUCKETS.trailing_zeros();
-// Octaves 2..=39 at 4 sub-buckets each, plus the 4 exact unit buckets:
-// covers up to ~2^40 ns ≈ 18 minutes.
-const HIST_BUCKETS: usize = HIST_SUB_BUCKETS + 38 * HIST_SUB_BUCKETS;
+// Octaves 2..=63 at 4 sub-buckets each, plus the 4 exact unit buckets:
+// covers the full u64 nanosecond range, so the top bucket's upper bound
+// (2^64) can never undershoot a recorded sample. (An earlier revision
+// stopped at octave 39 and funneled everything above ~2^40 ns into one
+// clamped bucket whose reported bound lay *below* the samples in it.)
+const HIST_BUCKETS: usize = HIST_SUB_BUCKETS + 62 * HIST_SUB_BUCKETS;
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
@@ -171,7 +174,8 @@ impl LatencyHistogram {
         let octave = 63 - ns.leading_zeros(); // >= HIST_SUB_BITS here
         let sub = ((ns >> (octave - HIST_SUB_BITS)) as usize) & (HIST_SUB_BUCKETS - 1);
         let idx = (octave - HIST_SUB_BITS + 1) as usize * HIST_SUB_BUCKETS + sub;
-        idx.min(HIST_BUCKETS - 1)
+        debug_assert!(idx < HIST_BUCKETS, "octave table covers all of u64");
+        idx
     }
 
     /// `[lo, hi)` nanosecond range covered by bucket `i`.
@@ -180,9 +184,11 @@ impl LatencyHistogram {
             return (i as f64, (i + 1) as f64);
         }
         let octave = (i / HIST_SUB_BUCKETS) as u32 + HIST_SUB_BITS - 1;
-        let sub = (i % HIST_SUB_BUCKETS) as u64;
-        let width = 1u64 << (octave - HIST_SUB_BITS);
-        let lo = (1u64 << octave) + sub * width;
+        let sub = (i % HIST_SUB_BUCKETS) as u128;
+        // u128 arithmetic: the top bucket's upper bound is 2^64, one past
+        // the largest representable sample.
+        let width = 1u128 << (octave - HIST_SUB_BITS);
+        let lo = (1u128 << octave) + sub * width;
         (lo as f64, (lo + width) as f64)
     }
 
@@ -411,6 +417,54 @@ mod tests {
             assert_eq!(LatencyHistogram::bucket_of(hi as u64 - 1), i);
             assert_eq!(LatencyHistogram::bucket_of(hi as u64), i + 1);
         }
+        // Top bucket: [2^63 + 3·2^61, 2^64) — the upper bound exceeds
+        // u64::MAX, so every representable sample fits strictly inside.
+        let (lo, hi) = LatencyHistogram::bucket_bounds(HIST_BUCKETS - 1);
+        assert_eq!(lo, (0xE000_0000_0000_0000u64) as f64);
+        assert_eq!(hi, 2f64.powi(64));
+        assert_eq!(LatencyHistogram::bucket_of(lo as u64), HIST_BUCKETS - 1);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_octave_edges_round_trip_exhaustively() {
+        // Every sub-bucket edge of every u64 octave: the index derived from
+        // the sample must map back to bounds that bracket it, and samples one
+        // below an edge must land in the previous bucket. This sweeps the
+        // full `bucket_of` ↔ `bucket_bounds` pair across all 62 octaves.
+        for octave in HIST_SUB_BITS..64 {
+            let width = 1u64 << (octave - HIST_SUB_BITS);
+            for sub in 0..HIST_SUB_BUCKETS as u64 {
+                let lo = (1u64 << octave) + sub * width;
+                let idx = (octave - HIST_SUB_BITS + 1) as usize * HIST_SUB_BUCKETS + sub as usize;
+                assert_eq!(LatencyHistogram::bucket_of(lo), idx, "edge {lo}");
+                assert_eq!(LatencyHistogram::bucket_of(lo - 1), idx - 1, "below {lo}");
+                let last = lo + (width - 1);
+                assert_eq!(LatencyHistogram::bucket_of(last), idx, "top of {lo}");
+                let (blo, bhi) = LatencyHistogram::bucket_bounds(idx);
+                assert_eq!(blo, lo as f64, "bounds lo at {lo}");
+                // The reported bucket range brackets every sample in it
+                // (checked in integer space: beyond 2^53 a sample cast to
+                // f64 may round up to the bound itself).
+                assert_eq!(bhi as u128, lo as u128 + width as u128, "hi at {lo}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_bounds_never_undershoot_huge_samples() {
+        // Regression: samples above 2^40 ns used to clamp into a bucket
+        // whose reported upper bound (2^40) lay below the sample, so
+        // quantiles could report a value smaller than every observation.
+        let mut h = LatencyHistogram::new();
+        let big = 1u64 << 50;
+        h.record(SimDuration::ns(big));
+        assert!(h.quantile_ns(1.0) >= big as f64, "{}", h.quantile_ns(1.0));
+        assert!(h.quantile_ns(0.5) >= big as f64);
+        let mut extreme = LatencyHistogram::new();
+        extreme.record(SimDuration::ps(u64::MAX));
+        let q = extreme.quantile_ns(1.0);
+        assert!(q >= extreme.max_ns() || q >= (u64::MAX / 1000) as f64);
     }
 
     #[test]
@@ -479,6 +533,36 @@ mod tests {
         assert!((w.mean(t(100)) - 10.0).abs() < 1e-12);
         assert!((w.mean(t(200)) - 5.0).abs() < 1e-12);
         // Degenerate: nothing integrated at all.
+        assert_eq!(TimeWeighted::new().mean(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn time_weighted_change_at_horizon_contributes_zero() {
+        let mut w = TimeWeighted::new();
+        let t = |ns| SimTime::ZERO + SimDuration::ns(ns);
+        w.set(t(0), 4.0);
+        // A state change landing exactly on the horizon is held for zero
+        // time: the new value must not leak a stale tail into the mean.
+        w.set(t(100), 1_000.0);
+        assert!((w.mean(t(100)) - 4.0).abs() < 1e-12, "{}", w.mean(t(100)));
+        // Same-instant overwrite: the replaced value was held for zero time
+        // and must carry zero weight.
+        let mut v = TimeWeighted::new();
+        v.set(t(10), 3.0);
+        v.set(t(10), 9.0);
+        assert!((v.mean(t(20)) - 4.5).abs() < 1e-12, "{}", v.mean(t(20)));
+        assert_eq!(v.peak(), 9.0);
+    }
+
+    #[test]
+    fn time_weighted_mean_never_divides_by_zero_span() {
+        let mut w = TimeWeighted::new();
+        // Value set at t=0, horizon at t=0: zero span, must yield a finite 0.
+        w.set(SimTime::ZERO, 7.0);
+        let m = w.mean(SimTime::ZERO);
+        assert!(m.is_finite());
+        assert_eq!(m, 0.0);
+        // Untouched accumulator at a zero horizon.
         assert_eq!(TimeWeighted::new().mean(SimTime::ZERO), 0.0);
     }
 

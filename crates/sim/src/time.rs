@@ -74,6 +74,12 @@ impl SimTime {
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
+
+    /// Saturating offset into the future (clamps at [`SimTime::MAX`]).
+    #[inline]
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
 }
 
 impl SimDuration {
@@ -163,6 +169,12 @@ impl SimDuration {
     #[inline]
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating scaling (clamps at the largest representable span).
+    #[inline]
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -330,6 +342,23 @@ mod tests {
         assert_eq!(d.saturating_sub(SimDuration::us(1)), SimDuration::ZERO);
         let total: SimDuration = (0..4).map(|_| SimDuration::ns(2)).sum();
         assert_eq!(total.as_ns(), 8);
+    }
+
+    #[test]
+    fn saturating_ops_clamp_instead_of_wrapping() {
+        assert_eq!(
+            SimDuration::ps(u64::MAX).saturating_mul(2),
+            SimDuration::ps(u64::MAX)
+        );
+        assert_eq!(SimDuration::ns(3).saturating_mul(4), SimDuration::ns(12));
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::ns(1)),
+            SimTime::MAX
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_add(SimDuration::ns(5)),
+            SimTime::ZERO + SimDuration::ns(5)
+        );
     }
 
     #[test]
