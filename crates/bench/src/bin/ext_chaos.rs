@@ -1,0 +1,5 @@
+//! Extension: recovery manager vs static provisioning under fault churn.
+fn main() {
+    cohfree_bench::experiments::ext_chaos::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
+}

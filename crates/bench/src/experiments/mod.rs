@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod analytic;
 pub mod ext_balloon;
 pub mod ext_breakdown;
+pub mod ext_chaos;
 pub mod ext_coherent;
 pub mod ext_db;
 pub mod ext_failover;
@@ -90,6 +91,7 @@ pub fn run_all(s: crate::Scale) {
     ext_failover::table(s).print();
     ext_breakdown::table(s).print();
     ext_breakdown::overhead_table(s).print();
+    ext_chaos::table(s).print();
 }
 
 /// Generate `count` strictly-ascending pseudo-random u64 keys (dedup'd,

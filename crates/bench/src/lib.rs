@@ -16,6 +16,7 @@
 //! *shapes* are preserved.
 
 pub mod bencher;
+pub mod chaos;
 pub mod experiments;
 pub mod perf;
 pub mod report;

@@ -192,6 +192,33 @@ pub fn macro_suite() -> Vec<MacroResult> {
         });
     }
 
+    // Recovery-manager chaos cell: a crash-storm world with the manager
+    // enabled, guarding the observation/decision loop and the proactive
+    // migration path against wall-clock regression.
+    let mut best = (f64::INFINITY, 0.0);
+    for _ in 0..3 {
+        let mut w = crate::chaos::build_world(
+            crate::chaos::ChaosSpec {
+                scenario: crate::chaos::Scenario::CrashStorm,
+                seed: 0xC4A0,
+                manager: true,
+            },
+            500,
+        );
+        let t0 = std::time::Instant::now();
+        w.run();
+        let secs = t0.elapsed().as_secs_f64();
+        let eps = w.events_processed() as f64 / secs.max(1e-9);
+        if secs * 1e3 < best.0 {
+            best = (secs * 1e3, eps);
+        }
+    }
+    out.push(MacroResult {
+        name: "macro/chaos_manager".into(),
+        wall_ms: best.0,
+        events_per_sec: best.1,
+    });
+
     out
 }
 
@@ -335,6 +362,54 @@ pub fn compare(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The recovery manager's idle cost on a healthy cluster, measured in
+    /// engine events (deterministic, host-independent): enabling it on a
+    /// fault-free world must stay under 3% extra events — the periodic
+    /// observation tick plus nothing else, since no Shed/Readmit/Rehome
+    /// ever fires without a fault.
+    #[test]
+    fn manager_overhead_on_a_fault_free_world_is_under_three_percent() {
+        let events = |manager: bool| {
+            let mut cfg = cohfree_core::ClusterConfig::prototype();
+            if manager {
+                cfg.manager = cohfree_core::ManagerConfig::enabled();
+            }
+            let mut w = World::new(cfg);
+            let client = cohfree_core::NodeId::new(1);
+            let resv = w.reserve_remote(client, 2_048, Some(cohfree_core::NodeId::new(16)));
+            for k in 0..4u64 {
+                w.spawn_thread(
+                    cohfree_core::world::ThreadSpec {
+                        node: client,
+                        zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                        accesses: 2_000,
+                        bytes: 64,
+                        write_fraction: 0.2,
+                        think: SimDuration::ns(5),
+                        seed: 4_400 + k,
+                    },
+                    SimTime::ZERO,
+                );
+            }
+            w.run();
+            (w.events_processed(), w.now())
+        };
+        let (off, t_off) = events(false);
+        let (on, t_on) = events(true);
+        // The final manager tick drains after the last workload event, so
+        // the end time may trail by at most one tick period.
+        assert!(
+            t_on >= t_off && t_on.since(t_off) <= SimDuration::us(2),
+            "an idle manager must not perturb the workload ({t_on:?} vs {t_off:?})"
+        );
+        let overhead = on as f64 / off as f64 - 1.0;
+        assert!(
+            overhead < 0.03,
+            "manager adds {:.2}% events on a fault-free world ({on} vs {off})",
+            overhead * 100.0
+        );
+    }
 
     #[test]
     fn compare_flags_only_gross_regressions() {

@@ -9,6 +9,7 @@ use crate::fault::{FaultPlan, RecoveryConfig};
 use cohfree_fabric::{FabricConfig, Topology};
 use cohfree_mem::{CacheConfig, DramConfig};
 use cohfree_os::directory::DonorPolicy;
+use cohfree_os::manager::ManagerConfig;
 use cohfree_os::pagetable::TlbConfig;
 use cohfree_rmc::RmcConfig;
 use cohfree_sim::span::{TraceMode, DEFAULT_TRACE_CAPACITY};
@@ -118,6 +119,10 @@ pub struct ClusterConfig {
     pub faults: FaultPlan,
     /// Failure-detection and recovery parameters.
     pub recovery: RecoveryConfig,
+    /// Online recovery-manager control loop (disabled by default; when
+    /// enabled the world runs periodic manager ticks that drive load-aware
+    /// evacuation, proactive migration, and admission control).
+    pub manager: ManagerConfig,
     /// Per-transaction span tracing (off by default).
     pub trace: TraceConfig,
     /// Base PRNG seed (placement, workload streams fork from it).
@@ -143,6 +148,7 @@ impl ClusterConfig {
             os: OsTiming::default(),
             faults: FaultPlan::default(),
             recovery: RecoveryConfig::default(),
+            manager: ManagerConfig::default(),
             trace: TraceConfig::default(),
             seed: 0xC0DE_2010,
         }

@@ -84,18 +84,39 @@ pub(crate) fn key_gen(key: u128) -> u8 {
 /// well inside the clock's range.
 pub(crate) const BACKOFF_CEILING: SimDuration = SimDuration::secs(1);
 
-/// Exponential loss-recovery backoff for the `attempt`-th retry:
-/// `min(timeout * 2^min(attempt, backoff_cap), BACKOFF_CEILING)`, with the
-/// shift clamped and the multiply saturating so a retry budget of 64+ cannot
-/// wrap the delay to (near) zero and hot-spin the event queue, and the
-/// absolute ceiling keeping timer instants finite (see [`BACKOFF_CEILING`]).
+/// Exponential loss-recovery backoff for the `attempt`-th retry of the
+/// transaction tagged `tag`:
+/// `min(timeout * 2^min(attempt, backoff_cap) * (1 + j), BACKOFF_CEILING)`
+/// where `j ∈ [0, retry_jitter)` is a deterministic per-(tag, attempt)
+/// fraction. The shift is clamped and the multiply saturates so a retry
+/// budget of 64+ cannot wrap the delay to (near) zero and hot-spin the
+/// event queue, and the absolute ceiling keeps timer instants finite (see
+/// [`BACKOFF_CEILING`]).
+///
+/// The jitter is a pure function of `(cluster seed, tag, attempt)` —
+/// engine- and partition-independent, so the parallel engine reproduces it
+/// byte-identically. Tags encode the issuing node in their high bits, so
+/// clients whose retries a shared outage synchronized spread back out
+/// instead of re-saturating the restored fabric in one wave.
 #[inline]
-pub(crate) fn backoff_delay(cfg: &ClusterConfig, attempt: u32) -> SimDuration {
+pub(crate) fn backoff_delay(cfg: &ClusterConfig, tag: u64, attempt: u32) -> SimDuration {
     let shift = attempt.min(cfg.recovery.backoff_cap).min(63);
-    cfg.rmc
-        .timeout
-        .saturating_mul(1u64 << shift)
-        .min(BACKOFF_CEILING)
+    let base = cfg.rmc.timeout.saturating_mul(1u64 << shift);
+    let jitter = cfg.recovery.retry_jitter;
+    if jitter <= 0.0 {
+        return base.min(BACKOFF_CEILING);
+    }
+    // SplitMix64-style scramble of (seed, tag, attempt) -> fraction in [0,1).
+    let mut h = cfg
+        .seed
+        .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((attempt as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let extra = SimDuration::ns_f64(base.min(BACKOFF_CEILING).as_ns_f64() * jitter * frac);
+    (base.min(BACKOFF_CEILING) + extra).min(BACKOFF_CEILING)
 }
 
 /// Delay between a requester exhausting its retry budget and the suspect
@@ -447,7 +468,7 @@ pub(crate) fn exec_event(ctx: &mut LaneCtx<'_>, now: SimTime, key: u128, idx: u6
         Ev::MemDone { msg, arrived } => mem_done(ctx, now, msg, arrived),
         Ev::ThreadWake { id } => thread_step(ctx, now, id),
         Ev::Timeout { tag, attempt } => on_timeout(ctx, now, tag, attempt),
-        Ev::Sample | Ev::Fault(_) | Ev::Suspect { .. } => {
+        Ev::Sample | Ev::Fault(_) | Ev::Suspect { .. } | Ev::Manager => {
             unreachable!("global event dispatched to a lane context")
         }
     }
@@ -655,7 +676,7 @@ fn complete(ctx: &mut LaneCtx<'_>, comp: Completion) {
 /// lossless links).
 fn arm_timeout(ctx: &mut LaneCtx<'_>, injected_at: SimTime, tag: u64, attempt: u32) {
     if ctx.cfg.fabric.loss_rate > 0.0 || !ctx.cfg.faults.is_empty() {
-        let delay = backoff_delay(ctx.cfg, attempt);
+        let delay = backoff_delay(ctx.cfg, tag, attempt);
         ctx.sched(
             injected_at.saturating_add(delay),
             (tag >> 48) as u16,
@@ -813,6 +834,25 @@ fn thread_step(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
         thread_access_failed(ctx, now, id);
         return;
     }
+    // Admission control: the recovery manager has load-shed this target.
+    // Defer the access one manager tick instead of piling onto the
+    // overload; the preserved `pending_since` keeps the deferral inside
+    // the transaction's eventual Stall phase, and re-admission is
+    // guaranteed because backlogs are time-to-drain values that decay.
+    // Lane code only *reads* the shed set here — it is mutated solely by
+    // global manager events, the same partition-safety contract as the
+    // suspect set.
+    if ctx.node_mut(node).client.is_shed(dst) {
+        let wake = now + ctx.cfg.manager.tick.max(SimDuration::ns(1));
+        {
+            let th = ctx.thread_mut(id);
+            th.pending = Some((dst, kind, addr));
+            th.pending_since = Some(first_offer);
+        }
+        ctx.node_mut(node).client.note_shed_deferral();
+        ctx.sched(wake, node.get(), Ev::ThreadWake { id });
+        return;
+    }
     match ctx.node_mut(node).client.submit(now, dst, kind, addr) {
         Submit::Accepted { msg, inject_at } => {
             ctx.pending.insert(
@@ -904,9 +944,10 @@ mod tests {
     fn backoff_delay_is_monotone_and_never_wraps() {
         let mut cfg = ClusterConfig::prototype();
         cfg.recovery.backoff_cap = u32::MAX; // worst case: no config clamp
+        cfg.recovery.retry_jitter = 0.0; // monotonicity holds without jitter
         let mut prev = SimDuration::ZERO;
         for attempt in 0..200 {
-            let d = backoff_delay(&cfg, attempt);
+            let d = backoff_delay(&cfg, 7, attempt);
             assert!(d >= cfg.rmc.timeout, "attempt {attempt} collapsed");
             assert!(d >= prev, "attempt {attempt} shrank the backoff");
             prev = d;
@@ -921,8 +962,51 @@ mod tests {
     fn backoff_delay_respects_the_config_cap() {
         let mut cfg = ClusterConfig::prototype();
         cfg.recovery.backoff_cap = 3;
-        assert_eq!(backoff_delay(&cfg, 5), backoff_delay(&cfg, 3));
-        assert_eq!(backoff_delay(&cfg, 2).as_ns(), cfg.rmc.timeout.as_ns() * 4);
+        cfg.recovery.retry_jitter = 0.0;
+        assert_eq!(backoff_delay(&cfg, 7, 5), backoff_delay(&cfg, 7, 3));
+        assert_eq!(
+            backoff_delay(&cfg, 7, 2).as_ns(),
+            cfg.rmc.timeout.as_ns() * 4
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_capped() {
+        let cfg = ClusterConfig::prototype(); // default jitter 0.25
+        for attempt in 0..8 {
+            for tag in [1u64 << 48, (2u64 << 48) + 3, 9] {
+                let d = backoff_delay(&cfg, tag, attempt);
+                assert_eq!(d, backoff_delay(&cfg, tag, attempt), "deterministic");
+                let floor = {
+                    let mut c = cfg;
+                    c.recovery.retry_jitter = 0.0;
+                    backoff_delay(&c, tag, attempt)
+                };
+                assert!(d >= floor, "jitter only ever delays");
+                let ceil_ns = floor.as_ns_f64() * (1.0 + cfg.recovery.retry_jitter);
+                assert!(
+                    d.as_ns_f64() <= ceil_ns + 1.0,
+                    "jitter bounded by the fraction"
+                );
+                assert!(d <= BACKOFF_CEILING);
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_spreads_synchronized_clients() {
+        // N clients whose retries a shared outage synchronized: their tags
+        // encode their node ids, so the first-retry delays must spread out
+        // rather than land on one instant.
+        let cfg = ClusterConfig::prototype();
+        let delays: Vec<SimDuration> = (1..=8u64)
+            .map(|node| backoff_delay(&cfg, node << 48, 1))
+            .collect();
+        let distinct: std::collections::BTreeSet<u64> = delays.iter().map(|d| d.as_ps()).collect();
+        assert!(
+            distinct.len() >= 6,
+            "8 synchronized clients must spread to >= 6 distinct first-retry delays, got {distinct:?}"
+        );
     }
 
     #[test]

@@ -178,6 +178,14 @@ pub struct RecoveryConfig {
     /// the local swap/backup copy (the data survives). When `false` the
     /// data is declared lost and only the mapping moves.
     pub refetch: bool,
+    /// Deterministic jitter fraction on retry backoff: the k-th retry of a
+    /// transaction waits its exponential delay plus up to `retry_jitter`
+    /// of that delay, the fraction drawn from a hash of the cluster seed,
+    /// the transaction tag and the attempt number. Tags encode the issuing
+    /// node, so clients recovering from the same outage de-synchronize
+    /// instead of re-saturating the fabric in one retry wave. `0.0`
+    /// disables jitter.
+    pub retry_jitter: f64,
 }
 
 impl Default for RecoveryConfig {
@@ -187,6 +195,7 @@ impl Default for RecoveryConfig {
             backoff_cap: 4,
             evacuation: EvacuationPolicy::Rehome,
             refetch: false,
+            retry_jitter: 0.25,
         }
     }
 }

@@ -60,6 +60,7 @@ pub use world::{AccessOutcome, ClusterSnapshot, Sample, ThreadSpec, World, World
 
 // Re-export the substrate types a user of the public API needs.
 pub use cohfree_fabric::{MsgKind, NodeId, Topology};
+pub use cohfree_os::manager::{ManagerConfig, NodeObservation, RecoveryManager};
 pub use cohfree_sim::{
     FaultLog, FaultLogEntry, Json, Phase, Rng, SimDuration, SimTime, SpanRecord, TraceMode,
     TraceSink,

@@ -25,7 +25,8 @@
 //!   `(time, key, opseq)` and replayed against the real sink in global event
 //!   order at every barrier, so even Full-mode span streams come out
 //!   byte-identical.
-//! * Global events (`Sample`, `Fault`, `Suspect`) never run against a shard.
+//! * Global events (`Sample`, `Fault`, `Suspect`, `Manager`) never run
+//!   against a shard.
 //!   When one is due, the coordinator merges every shard back into the
 //!   [`World`] and runs it through the *same* `&mut World` code path the
 //!   sequential engine uses, then re-partitions. Correctness never depends

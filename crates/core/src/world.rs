@@ -33,6 +33,7 @@ use cohfree_fabric::{Fabric, Message, MsgKind, NodeId};
 use cohfree_mem::NodeMemory;
 use cohfree_os::directory::Directory;
 use cohfree_os::frames::FrameAllocator;
+use cohfree_os::manager::{ManagerAction, NodeObservation, RecoveryManager};
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{RmcClient, RmcServer, Submit};
@@ -83,6 +84,13 @@ pub(crate) enum Ev {
         /// The node being declared failed.
         dead: NodeId,
     },
+    /// Recovery-manager control-loop tick ([`crate::ManagerConfig`]):
+    /// observe the cluster, decide, act. Touches cluster-wide state
+    /// (directory, regions, per-client shed sets), so it runs as a global
+    /// event on the fully merged world — partition-safe by construction.
+    /// Re-arms only while threads are unfinished or transactions are in
+    /// flight, so a draining run still terminates.
+    Manager,
 }
 
 /// One observation of the periodic sampling probe.
@@ -144,6 +152,20 @@ pub enum WorldConfigError {
     /// The coherent baseline has no failure handling either; a coherency
     /// domain cannot be combined with a non-empty fault plan.
     FaultyCoherentDomain,
+    /// The fault plan names a node the topology does not contain; the
+    /// event could never strike and the plan is almost certainly a typo.
+    UnknownFaultNode {
+        /// The nonexistent node.
+        node: NodeId,
+    },
+    /// The fault plan names a link that is not a physical link of the
+    /// topology (in either direction).
+    UnknownFaultLink {
+        /// One claimed endpoint.
+        a: NodeId,
+        /// The other claimed endpoint.
+        b: NodeId,
+    },
 }
 
 impl fmt::Display for WorldConfigError {
@@ -156,6 +178,14 @@ impl fmt::Display for WorldConfigError {
             WorldConfigError::FaultyCoherentDomain => write!(
                 f,
                 "the coherent baseline cannot run under a fault plan (no failure recovery)"
+            ),
+            WorldConfigError::UnknownFaultNode { node } => write!(
+                f,
+                "fault plan names node {node}, which the topology does not contain"
+            ),
+            WorldConfigError::UnknownFaultLink { a, b } => write!(
+                f,
+                "fault plan names link {a} <-> {b}, which is not a physical link of the topology"
             ),
         }
     }
@@ -178,6 +208,15 @@ pub enum AccessOutcome {
         /// The home node that was given up on.
         node: NodeId,
         /// When the access was abandoned.
+        at: SimTime,
+    },
+    /// The recovery manager is load-shedding the home node (admission
+    /// control): the access was not admitted. The caller may retry once
+    /// pressure clears — the manager re-admits with hysteresis.
+    Shed {
+        /// The overloaded home node.
+        node: NodeId,
+        /// When the access was turned away.
         at: SimTime,
     },
 }
@@ -289,8 +328,22 @@ pub struct World {
     sampler: Option<Sampler>,
     /// Crash state per node (index `i` is node `i + 1`).
     pub(crate) dead: Vec<bool>,
+    /// Suspect state per node (index `i` is node `i + 1`): true once any
+    /// client's failure detector declared the node failed; cleared on
+    /// restart. The recovery manager reads this instead of scanning every
+    /// client's suspect set each tick.
+    suspected: Vec<bool>,
+    /// The online recovery manager (present iff
+    /// [`crate::ManagerConfig::enabled`]).
+    manager: Option<RecoveryManager>,
     /// Chronological record of faults, detections and recoveries.
     fault_log: FaultLog,
+    /// Frames per donor node (index `i` is node `i + 1`) whose grants were
+    /// dropped without a directory credit: the donor was unreachable when
+    /// its zone was force-migrated away, so its debited capacity is lost
+    /// until it restarts. The chaos frame-conservation oracle balances
+    /// `free + hosted + lost == pool` with this.
+    lost_frames: Vec<u64>,
     /// Zones successfully re-homed after a donor failure.
     evacuations: u64,
     /// A blocking transaction's home was declared failed (mirror of
@@ -313,7 +366,48 @@ pub struct World {
 
 impl World {
     /// Build a cluster per `cfg`.
+    ///
+    /// # Panics
+    /// Panics when the fault plan names a node or link the topology does
+    /// not contain; [`World::try_new`] reports that as a typed error.
     pub fn new(cfg: ClusterConfig) -> World {
+        World::try_new(cfg).unwrap_or_else(|e| panic!("invalid cluster config: {e}"))
+    }
+
+    /// Build a cluster per `cfg`, validating the fault plan against the
+    /// topology first.
+    ///
+    /// # Errors
+    /// [`WorldConfigError::UnknownFaultNode`] /
+    /// [`WorldConfigError::UnknownFaultLink`] when the plan schedules an
+    /// event against a node or link that does not exist — such an event
+    /// could never strike, which always indicates a mis-built experiment.
+    pub fn try_new(cfg: ClusterConfig) -> Result<World, WorldConfigError> {
+        for ev in cfg.faults.events() {
+            match ev {
+                FaultEvent::NodeCrash { node, .. }
+                | FaultEvent::NodeRestart { node, .. }
+                | FaultEvent::ServerStall { node, .. } => {
+                    if !cfg.topology.contains(node) {
+                        return Err(WorldConfigError::UnknownFaultNode { node });
+                    }
+                }
+                FaultEvent::LinkDown { a, b, .. } | FaultEvent::LinkUp { a, b, .. } => {
+                    let physical = cfg
+                        .topology
+                        .links()
+                        .iter()
+                        .any(|&(u, v)| (u, v) == (a, b) || (u, v) == (b, a));
+                    if !physical {
+                        return Err(WorldConfigError::UnknownFaultLink { a, b });
+                    }
+                }
+            }
+        }
+        Ok(World::build(cfg))
+    }
+
+    fn build(cfg: ClusterConfig) -> World {
         cfg.validate();
         let n = cfg.topology.num_nodes();
         let nodes = (1..=n)
@@ -341,7 +435,13 @@ impl World {
             coh: FastMap::default(),
             sampler: None,
             dead: vec![false; n as usize],
+            suspected: vec![false; n as usize],
+            manager: cfg
+                .manager
+                .enabled
+                .then(|| RecoveryManager::new(cfg.manager, n)),
             fault_log: FaultLog::new(),
+            lost_frames: vec![0; n as usize],
             evacuations: 0,
             sync_failed: None,
             evac_remaps: vec![Vec::new(); n as usize],
@@ -355,6 +455,10 @@ impl World {
         let faults: Vec<FaultEvent> = world.cfg.faults.events().collect();
         for ev in faults {
             world.gsched(ev.at(), Ev::Fault(ev));
+        }
+        if world.manager.is_some() {
+            let tick = world.cfg.manager.tick;
+            world.gsched(SimTime::ZERO + tick, Ev::Manager);
         }
         world
     }
@@ -610,7 +714,7 @@ impl World {
             Ev::MemDone { msg, .. } => msg.dst.get(),
             Ev::ThreadWake { id } => self.threads[*id].spec.node.get(),
             Ev::Timeout { tag, .. } => (tag >> 48) as u16,
-            Ev::Sample | Ev::Fault(_) | Ev::Suspect { .. } => exec::GLOBAL_LANE,
+            Ev::Sample | Ev::Fault(_) | Ev::Suspect { .. } | Ev::Manager => exec::GLOBAL_LANE,
         }
     }
 
@@ -623,6 +727,7 @@ impl World {
             Ev::Sample => self.take_sample(now),
             Ev::Fault(fault) => self.apply_fault(now, fault),
             Ev::Suspect { observer, dead } => self.on_suspect(now, observer, dead),
+            Ev::Manager => self.manager_tick(now),
             ev => {
                 let lane = exec::key_lane(key) as usize;
                 let idx = self.exec_counts[lane - 1];
@@ -673,7 +778,7 @@ impl World {
     /// saturates: `timeout * 2^min(k, backoff_cap)`.
     fn arm_timeout(&mut self, injected_at: SimTime, tag: u64, attempt: u32) {
         if self.cfg.fabric.loss_rate > 0.0 || !self.cfg.faults.is_empty() {
-            let delay = exec::backoff_delay(&self.cfg, attempt);
+            let delay = exec::backoff_delay(&self.cfg, tag, attempt);
             self.gsched(
                 injected_at.saturating_add(delay),
                 Ev::Timeout { tag, attempt },
@@ -693,6 +798,7 @@ impl World {
     fn on_suspect(&mut self, now: SimTime, observer: NodeId, dead: NodeId) {
         if !self.nodes[observer.index()].client.is_suspect(dead) {
             self.nodes[observer.index()].client.mark_suspect(dead);
+            self.suspected[dead.index()] = true;
             self.fault_log.record(
                 now,
                 "suspect",
@@ -753,7 +859,7 @@ impl World {
                 let _ = self.nodes[owner.index()].requester.release(r);
             }
             let new_donor = match self.cfg.recovery.evacuation {
-                EvacuationPolicy::Rehome => self.directory.choose_donor(owner, seg.frames),
+                EvacuationPolicy::Rehome => self.recovery_donor(now, owner, seg.frames, dead),
                 EvacuationPolicy::Fail => None,
             };
             let Some(new_donor) = new_donor else {
@@ -791,6 +897,219 @@ impl World {
                     seg.base, seg.frames, new.home
                 ),
             );
+        }
+    }
+
+    /// Pick a donor for a recovery re-reservation of `frames` frames for
+    /// `asker`, never `avoid`. With the recovery manager enabled this is
+    /// load-aware (most free frames, lowest pressure, excluding dead /
+    /// isolated / suspected / shed nodes); otherwise — or when the manager
+    /// has no viable candidate — it falls back to the static directory
+    /// policy.
+    fn recovery_donor(
+        &mut self,
+        now: SimTime,
+        asker: NodeId,
+        frames: u64,
+        avoid: NodeId,
+    ) -> Option<NodeId> {
+        let managed = self.manager.as_ref().and_then(|mgr| {
+            let obs = self.observe(now);
+            mgr.choose_recovery_donor(asker, frames, &obs)
+        });
+        managed
+            .filter(|&d| d != avoid && self.directory.free_frames(d) >= frames)
+            .or_else(|| {
+                self.directory
+                    .choose_donor(asker, frames)
+                    .filter(|&d| d != avoid)
+            })
+    }
+
+    /// Build the per-node observation vector the recovery manager consumes:
+    /// liveness, reachability, suspicion, queue pressure, spare capacity and
+    /// whether anyone's zones are homed on the node.
+    fn observe(&self, now: SimTime) -> Vec<NodeObservation> {
+        let isolated = self.fabric.isolated_nodes();
+        (1..=self.cfg.topology.num_nodes())
+            .map(|i| {
+                let id = NodeId::new(i);
+                let hosts_zones = self.nodes.iter().enumerate().any(|(j, nc)| {
+                    j != id.index() && nc.region.segments().iter().any(|s| s.home == id)
+                });
+                NodeObservation {
+                    node: id,
+                    dead: self.dead[id.index()],
+                    isolated: isolated[i as usize],
+                    suspected: self.suspected[id.index()],
+                    server_backlog: self.nodes[id.index()].server.engine_backlog(now),
+                    link_backlog: self.fabric.node_link_backlog(now, id),
+                    free_frames: self.directory.free_frames(id),
+                    hosts_zones,
+                }
+            })
+            .collect()
+    }
+
+    /// One recovery-manager control-loop tick ([`Ev::Manager`]): observe the
+    /// cluster, let the pure policy engine decide, apply its actions, and
+    /// re-arm. The tick re-arms only while threads are unfinished or
+    /// transactions are in flight — never on a non-empty event queue, which
+    /// would keep the sampler and the manager alive through each other
+    /// forever.
+    fn manager_tick(&mut self, now: SimTime) {
+        let Some(mut mgr) = self.manager.take() else {
+            return;
+        };
+        let tick = self.cfg.manager.tick;
+        let obs = self.observe(now);
+        for action in mgr.tick(&obs) {
+            match action {
+                ManagerAction::Shed { target } => {
+                    for nc in &mut self.nodes {
+                        nc.client.set_shed(target);
+                    }
+                    self.trace
+                        .standalone(Phase::Shed, target.get(), now, now + tick);
+                    self.fault_log.record(
+                        now,
+                        "shed",
+                        format!("node {target} load-shed (admission control engaged)"),
+                    );
+                }
+                ManagerAction::Readmit { target } => {
+                    for nc in &mut self.nodes {
+                        nc.client.clear_shed(target);
+                    }
+                    self.fault_log.record(
+                        now,
+                        "readmit",
+                        format!("node {target} re-admitted (pressure below hysteresis floor)"),
+                    );
+                }
+                ManagerAction::Rehome { from } => self.manager_rehome(now, from, &mgr),
+            }
+        }
+        self.manager = Some(mgr);
+        if self.threads.iter().any(|t| t.finished.is_none()) || !self.pending.is_empty() {
+            self.gsched(now + tick, Ev::Manager);
+        }
+    }
+
+    /// Proactively migrate every zone homed on `from` to a load-aware donor
+    /// — the manager's fast path around the retry-budget detection latency.
+    /// For a dead or isolated `from` the stale grant is dropped (its data
+    /// is already gone); for a live-but-overloaded `from` the zone is
+    /// released back properly (live migration). In-flight transactions
+    /// aimed at an unreachable `from` are aborted so their threads re-aim
+    /// through the recorded remap immediately instead of burning their
+    /// retry budgets.
+    fn manager_rehome(&mut self, now: SimTime, from: NodeId, mgr: &RecoveryManager) {
+        let from_gone =
+            self.dead[from.index()] || self.fabric.isolated_nodes()[from.get() as usize];
+        let owners: Vec<NodeId> = (1..=self.cfg.topology.num_nodes())
+            .map(NodeId::new)
+            .filter(|&o| o != from && !self.dead[o.index()])
+            .collect();
+        for owner in owners {
+            let doomed: Vec<Segment> = self.nodes[owner.index()]
+                .region
+                .segments()
+                .iter()
+                .filter(|s| s.home == from)
+                .copied()
+                .collect();
+            for seg in doomed {
+                let held = self.nodes[owner.index()]
+                    .requester
+                    .held()
+                    .iter()
+                    .copied()
+                    .find(|r| r.home == from && r.prefixed_base == seg.base);
+                let Some(r) = held else { continue };
+                let obs = self.observe(now);
+                let donor = mgr
+                    .choose_recovery_donor(owner, seg.frames, &obs)
+                    .filter(|&d| d != from && self.directory.free_frames(d) >= seg.frames)
+                    .or_else(|| {
+                        self.directory
+                            .choose_donor(owner, seg.frames)
+                            .filter(|&d| d != from)
+                    });
+                let Some(donor) = donor else {
+                    self.fault_log.record(
+                        now,
+                        "rehome_failed",
+                        format!(
+                            "zone {:#x} ({} frames) on node {from} stays put (no donor)",
+                            seg.base, seg.frames
+                        ),
+                    );
+                    continue;
+                };
+                if from_gone {
+                    // The grant is stale: drop it without crediting the
+                    // directory (the crash/partition already zeroed or
+                    // stranded that capacity).
+                    self.nodes[owner.index()]
+                        .region
+                        .shrink(seg.base)
+                        .expect("doomed segment exists");
+                    let _ = self.nodes[owner.index()].requester.release(r);
+                    self.lost_frames[from.index()] += seg.frames;
+                } else {
+                    self.release_remote(owner, r);
+                }
+                let new = self.reserve_remote(owner, seg.frames, Some(donor));
+                for th in &mut self.threads {
+                    if th.spec.node != owner {
+                        continue;
+                    }
+                    for z in &mut th.spec.zones {
+                        if z.0 == seg.base {
+                            z.0 = new.prefixed_base;
+                        }
+                    }
+                }
+                self.evac_remaps[owner.index()].push((seg.base, new.prefixed_base, seg.frames));
+                self.evacuations += 1;
+                self.trace.standalone(
+                    Phase::Migrate,
+                    owner.get(),
+                    now,
+                    now + self.cfg.os.reservation,
+                );
+                self.fault_log.record(
+                    now,
+                    "migration",
+                    format!(
+                        "zone {:#x} ({} frames) migrated from node {from} to node {}",
+                        seg.base, seg.frames, new.home
+                    ),
+                );
+            }
+        }
+        if from_gone {
+            // Abort in-flight traffic aimed at the unreachable node so its
+            // issuers re-aim through the remaps now (swept in tag order —
+            // see `on_suspect`).
+            let mut doomed: Vec<(u64, PendingTx)> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.msg.dst == from)
+                .map(|(&tag, &p)| (tag, p))
+                .collect();
+            doomed.sort_unstable_by_key(|&(tag, _)| tag);
+            for (tag, p) in doomed {
+                self.pending.remove(&tag);
+                self.nodes[p.msg.src.index()].client.abort(tag);
+                self.trace.finish(tag, now, true);
+                match p.owner {
+                    Owner::Thread(id) => self.thread_abort(now, id, p.msg),
+                    Owner::Sync => self.sync_failed = Some((tag, now)),
+                    Owner::Posted => {}
+                }
+            }
         }
     }
 
@@ -899,6 +1218,8 @@ impl World {
                 for peer in &mut self.nodes {
                     peer.client.clear_suspect(node);
                 }
+                self.suspected[node.index()] = false;
+                self.lost_frames[node.index()] = 0;
                 self.fault_log.record(
                     now,
                     "node_restart",
@@ -956,6 +1277,9 @@ impl World {
             AccessOutcome::Failed { node, .. } => {
                 panic!("blocking transaction failed: home node {node} declared dead")
             }
+            AccessOutcome::Shed { node, .. } => {
+                panic!("blocking transaction refused: home node {node} is load-shed")
+            }
         }
     }
 
@@ -985,6 +1309,10 @@ impl World {
             if self.nodes[src.index()].client.is_suspect(dst) {
                 self.trace.fail_fast(src.get(), t);
                 return AccessOutcome::Failed { node: dst, at: t };
+            }
+            if self.nodes[src.index()].client.is_shed(dst) {
+                self.nodes[src.index()].client.note_shed_deferral();
+                return AccessOutcome::Shed { node: dst, at: t };
             }
             match self.nodes[src.index()].client.submit(t, dst, kind, addr) {
                 Submit::Accepted { msg, inject_at } => {
@@ -1228,6 +1556,16 @@ impl World {
         self.threads[id].nack_retries
     }
 
+    /// Number of traffic threads spawned so far (ids are `0..this`).
+    pub fn threads_spawned(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The access budget thread `id` was spawned with.
+    pub fn thread_accesses(&self, id: usize) -> u64 {
+        self.threads[id].spec.accesses
+    }
+
     /// Accesses of thread `id` that completed.
     pub fn thread_completed(&self, id: usize) -> u64 {
         self.threads[id].completed
@@ -1296,6 +1634,32 @@ impl World {
         self.dead[node.index()]
     }
 
+    /// True once any client's failure detector declared `node` failed and it
+    /// has not restarted since. Suspicion zeroes the node's directory
+    /// capacity, so the chaos frame-conservation oracle exempts suspected
+    /// nodes from its equality check.
+    pub fn node_is_suspected(&self, node: NodeId) -> bool {
+        self.suspected[node.index()]
+    }
+
+    /// Pool frames of `node` stranded by grants dropped while it was
+    /// unreachable (debited from the directory, never credited back).
+    pub fn lost_frames(&self, node: NodeId) -> u64 {
+        self.lost_frames[node.index()]
+    }
+
+    /// Transactions currently in flight (accepted by a client RMC, not yet
+    /// completed or aborted). Zero once [`World::run`] has drained — the
+    /// chaos oracles assert exactly that.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The online recovery manager, when [`crate::ManagerConfig::enabled`].
+    pub fn manager(&self) -> Option<&RecoveryManager> {
+        self.manager.as_ref()
+    }
+
     /// Capture a cluster-wide metrics snapshot at the current engine clock.
     ///
     /// Document schema:
@@ -1309,6 +1673,7 @@ impl World {
     ///   "directory": { "total_free_frames": .., ... },
     ///   "evacuations": ..,
     ///   "faults": [ { "t_ns": .., "kind": .., "detail": .. }, ... ],
+    ///   "manager": { "ticks": .., "sheds": .., ... },       // if enabled
     ///   "samples": { "interval_ns": .., "series": [...] }   // if enabled
     /// }
     /// ```
@@ -1337,6 +1702,9 @@ impl World {
             ("evacuations".to_string(), Json::from(self.evacuations)),
             ("faults".to_string(), self.fault_log.snapshot()),
         ];
+        if let Some(mgr) = &self.manager {
+            fields.push(("manager".to_string(), mgr.snapshot()));
+        }
         if self.trace.enabled() {
             fields.push(("trace".to_string(), self.trace.snapshot()));
         }
@@ -2020,7 +2388,9 @@ mod tests {
                 assert_eq!(node, n(2));
                 assert!(at > SimTime::ZERO, "detection takes time");
             }
-            AccessOutcome::Completed { .. } => panic!("must fail under total loss"),
+            AccessOutcome::Completed { .. } | AccessOutcome::Shed { .. } => {
+                panic!("must fail under total loss")
+            }
         }
         assert_eq!(w.client(n(1)).retransmissions(), 4, "the full budget");
         assert_eq!(w.client(n(1)).aborted(), 1);
@@ -2066,7 +2436,9 @@ mod tests {
                 assert_eq!(node, n(2));
                 assert!(at < SimTime::MAX, "timer instants must stay finite");
             }
-            AccessOutcome::Completed { .. } => panic!("must fail under total loss"),
+            AccessOutcome::Completed { .. } | AccessOutcome::Shed { .. } => {
+                panic!("must fail under total loss")
+            }
         }
         assert_eq!(w.client(n(1)).retransmissions(), 80, "the full budget");
         assert!(w.client(n(1)).is_suspect(n(2)));
@@ -2344,5 +2716,175 @@ mod tests {
             w.client(n(1)).duplicates() > 0,
             "the short timeout should have produced duplicate responses"
         );
+    }
+
+    #[test]
+    fn fault_plan_naming_unknown_node_or_link_is_rejected() {
+        // Regression: a typo'd fault plan used to build a world whose faults
+        // could never strike; it now fails construction with a typed error.
+        let mut cfg = ClusterConfig::prototype();
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(10),
+            node: n(77),
+        });
+        assert!(matches!(
+            World::try_new(cfg),
+            Err(WorldConfigError::UnknownFaultNode { node }) if node == n(77)
+        ));
+        let mut cfg = ClusterConfig::prototype();
+        // 1 <-> 7 is not a physical link of the 4x4 mesh (1's neighbours
+        // are 2 and 5).
+        cfg.faults = FaultPlan::new().with(FaultEvent::LinkDown {
+            at: t(10),
+            a: n(1),
+            b: n(7),
+        });
+        let err = World::try_new(cfg).err().expect("diagonal link rejected");
+        assert!(matches!(err, WorldConfigError::UnknownFaultLink { a, b }
+            if a == n(1) && b == n(7)));
+        assert!(err.to_string().contains("not a physical link"));
+        // A well-formed plan (existing node, physical link) still builds.
+        let mut cfg = ClusterConfig::prototype();
+        cfg.faults = FaultPlan::new()
+            .with(FaultEvent::ServerStall {
+                at: t(10),
+                node: n(3),
+                duration: SimDuration::us(5),
+            })
+            .with(FaultEvent::LinkUp {
+                at: t(20),
+                a: n(2),
+                b: n(1), // reversed endpoint order must also be accepted
+            });
+        assert!(World::try_new(cfg).is_ok());
+    }
+
+    #[test]
+    fn shed_home_defers_blocking_accesses_without_burning_retries() {
+        let mut w = world();
+        let resv = w.reserve_remote(n(1), 64, Some(n(2)));
+        w.nodes[n(1).index()].client.set_shed(n(2));
+        let out = w.try_blocking_transaction(
+            SimTime::ZERO,
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        assert!(matches!(out, AccessOutcome::Shed { node, .. } if node == n(2)));
+        assert_eq!(w.client(n(1)).retransmissions(), 0);
+        assert_eq!(w.client(n(1)).shed_deferrals(), 1);
+        // Re-admission makes the same access complete normally.
+        w.nodes[n(1).index()].client.clear_shed(n(2));
+        let out = w.try_blocking_transaction(
+            w.now(),
+            n(1),
+            n(2),
+            MsgKind::ReadReq { bytes: 64 },
+            resv.prefixed_base,
+        );
+        assert!(matches!(out, AccessOutcome::Completed { .. }));
+    }
+
+    #[test]
+    fn manager_migrates_zones_off_a_crashed_donor_before_detection() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.manager = crate::ManagerConfig::enabled();
+        cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+            at: t(50),
+            node: n(2),
+        });
+        let mut w = World::new(cfg);
+        let resv = w.reserve_remote(n(1), 1024, Some(n(2)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                accesses: 300,
+                bytes: 64,
+                write_fraction: 0.2,
+                think: SimDuration::ns(5),
+                seed: 42,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id) + w.thread_failed(id), 300);
+        assert_eq!(w.thread_failed(id), 0, "migration must lose nothing");
+        assert_eq!(w.evacuations(), 1, "the zone moved once");
+        assert_eq!(w.fault_log().count("migration"), 1);
+        // The manager's tick (2 us) beats the retry-budget detection path
+        // (default budget: 16 retries with exponential backoff, ~ms): no
+        // client ever had to declare the node suspect.
+        assert_eq!(w.fault_log().count("suspect"), 0);
+        assert!(w.manager().expect("enabled").rehomes() >= 1);
+        assert_eq!(w.pending_count(), 0);
+    }
+
+    #[test]
+    fn manager_sheds_a_stalled_server_and_readmits_it_after_drain() {
+        let mut cfg = ClusterConfig::prototype();
+        cfg.manager = crate::ManagerConfig::enabled();
+        cfg.manager.migrate_after = 0; // isolate admission control
+        cfg.faults = FaultPlan::new().with(FaultEvent::ServerStall {
+            at: t(20),
+            node: n(2),
+            duration: SimDuration::us(40),
+        });
+        let mut w = World::new(cfg);
+        let resv2 = w.reserve_remote(n(1), 1024, Some(n(2)));
+        // A second zone on a healthy node keeps the thread issuing during
+        // the stall (accesses aimed at the shed node defer; the others
+        // proceed) instead of sitting blocked behind one queued request.
+        let resv3 = w.reserve_remote(n(1), 1024, Some(n(3)));
+        let id = w.spawn_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: vec![
+                    (resv2.prefixed_base, resv2.frames * 4096),
+                    (resv3.prefixed_base, resv3.frames * 4096),
+                ],
+                accesses: 400,
+                bytes: 64,
+                write_fraction: 0.0,
+                think: SimDuration::ns(5),
+                seed: 45,
+            },
+            SimTime::ZERO,
+        );
+        w.run();
+        assert_eq!(w.thread_completed(id), 400, "shedding defers, never fails");
+        assert!(
+            w.fault_log().count("shed") >= 1,
+            "the 40 us stall (>> 3 us watermark) must trip admission control"
+        );
+        assert!(
+            w.fault_log().count("readmit") >= 1,
+            "the node must be re-admitted once the stall drains"
+        );
+        assert!(
+            w.client(n(1)).shed_deferrals() > 0,
+            "accesses were actually deferred"
+        );
+        assert!(
+            !w.client(n(1)).is_shed(n(2)),
+            "no node stays shed after the run"
+        );
+        let mgr = w.manager().expect("enabled");
+        assert!(mgr.sheds() >= 1 && mgr.readmits() >= 1);
+        assert_eq!(mgr.currently_shed(), 0);
+    }
+
+    #[test]
+    fn manager_snapshot_appears_only_when_enabled() {
+        let w = world();
+        assert!(w.snapshot().doc.get("manager").is_none());
+        assert!(w.manager().is_none());
+        let mut cfg = ClusterConfig::prototype();
+        cfg.manager = crate::ManagerConfig::enabled();
+        let w = World::new(cfg);
+        let doc = w.snapshot().doc;
+        let mgr = doc.get("manager").expect("manager stats present");
+        assert_eq!(mgr.get("ticks").unwrap().as_u64(), Some(0));
     }
 }

@@ -210,6 +210,89 @@ fn randomized_worlds_are_engine_invariant() {
     }
 }
 
+/// Fault churn: crash + restart + link flaps mid-window, a stall, loss and
+/// a tight retry budget all at once — the heaviest concurrent-fault world
+/// the chaos harness generates, pinned here as a differential regression.
+#[test]
+fn fault_churn_world_is_engine_invariant() {
+    let t = |us| SimTime::ZERO + SimDuration::us(us);
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    cfg.fabric.loss_rate = 2e-3;
+    cfg.recovery.max_retries = 4;
+    cfg.faults = FaultPlan::new()
+        .with(FaultEvent::NodeCrash {
+            at: t(30),
+            node: n(6),
+        })
+        .with(FaultEvent::LinkDown {
+            at: t(10),
+            a: n(2),
+            b: n(3),
+        })
+        .with(FaultEvent::ServerStall {
+            at: t(20),
+            node: n(11),
+            duration: SimDuration::us(35),
+        })
+        .with(FaultEvent::NodeRestart {
+            at: t(200),
+            node: n(6),
+        })
+        .with(FaultEvent::LinkUp {
+            at: t(90),
+            a: n(2),
+            b: n(3),
+        })
+        .with(FaultEvent::NodeCrash {
+            at: t(260),
+            node: n(16),
+        });
+    let mut rng = Rng::new(0xC4AC);
+    let specs = arb_specs(&mut rng, 16, 150);
+    assert_engine_invariant(cfg, &specs, true, "fault-churn");
+}
+
+/// The same fault churn with the online recovery manager enabled: manager
+/// ticks, sheds, re-admissions and proactive migrations are all global
+/// events and must leave the output engine-invariant too.
+#[test]
+fn manager_enabled_fault_churn_world_is_engine_invariant() {
+    let t = |us| SimTime::ZERO + SimDuration::us(us);
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    cfg.manager = cohfree_core::ManagerConfig::enabled();
+    cfg.fabric.loss_rate = 1e-3;
+    cfg.recovery.max_retries = 6;
+    cfg.faults = FaultPlan::new()
+        .with(FaultEvent::NodeCrash {
+            at: t(40),
+            node: n(7),
+        })
+        .with(FaultEvent::ServerStall {
+            at: t(15),
+            node: n(10),
+            duration: SimDuration::us(40),
+        })
+        .with(FaultEvent::LinkDown {
+            at: t(25),
+            a: n(1),
+            b: n(5),
+        })
+        .with(FaultEvent::LinkUp {
+            at: t(110),
+            a: n(1),
+            b: n(5),
+        })
+        .with(FaultEvent::NodeRestart {
+            at: t(220),
+            node: n(7),
+        });
+    let mut rng = Rng::new(0x3A6E);
+    let specs = arb_specs(&mut rng, 16, 150);
+    assert_engine_invariant(cfg, &specs, true, "manager fault-churn");
+}
+
 /// The worker-thread channel path (shard ownership moves across threads
 /// every window) must be engine-invariant too. The pool is normally sized
 /// to spare hardware cores — zero on a single-core CI box — so force three

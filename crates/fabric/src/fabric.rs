@@ -523,6 +523,37 @@ impl Fabric {
             .unwrap_or(SimDuration::ZERO)
     }
 
+    /// Largest time-to-drain backlog across `node`'s *outgoing* links as
+    /// seen at `now` — the recovery manager's fabric-pressure watermark
+    /// signal for one router.
+    pub fn node_link_backlog(&self, now: SimTime, node: NodeId) -> SimDuration {
+        self.rows
+            .get(node.get() as usize)
+            .map_or(SimDuration::ZERO, |r| r.max_backlog(now))
+    }
+
+    /// Per-node isolation map under the current outage set: `out[id]` is
+    /// true iff the node is down or every one of its incident links is
+    /// unusable (a correlated link partition cut it off). Index 0 is an
+    /// unused placeholder, mirroring the row layout.
+    pub fn isolated_nodes(&self) -> Vec<bool> {
+        let n = self.shared.topo.num_nodes() as usize;
+        let mut isolated = vec![true; n + 1];
+        isolated[0] = false;
+        for (u, v) in self.shared.topo.links() {
+            if self.shared.usable(u, v) {
+                isolated[u.get() as usize] = false;
+                isolated[v.get() as usize] = false;
+            }
+        }
+        for &d in self.shared.down_nodes.iter() {
+            if let Some(slot) = isolated.get_mut(d.get() as usize) {
+                *slot = true;
+            }
+        }
+        isolated
+    }
+
     /// Mean queueing wait on the directed link `u -> v`.
     pub fn link_mean_wait(&self, u: NodeId, v: NodeId) -> SimDuration {
         self.link(u, v)

@@ -25,12 +25,16 @@
 //!   with LRU eviction and dirty write-back, plus fault-cost accounting,
 //! * [`disk`] — a rotational-disk timing model for the disk-swap baseline,
 //! * [`balloon`] — the hot-plug/hot-remove watermark policy deciding when a
-//!   node borrows or returns zones.
+//!   node borrows or returns zones,
+//! * [`manager`] — the online cluster recovery manager: a deterministic
+//!   control loop turning periodic cluster observations into load-aware
+//!   evacuation, proactive live migration, and admission-control decisions.
 
 pub mod balloon;
 pub mod directory;
 pub mod disk;
 pub mod frames;
+pub mod manager;
 pub mod pagetable;
 pub mod region;
 pub mod resv;
@@ -40,6 +44,7 @@ pub use balloon::{Balloon, BalloonAction, BalloonConfig};
 pub use directory::{Directory, DonorPolicy};
 pub use disk::{Disk, DiskConfig};
 pub use frames::{FrameAllocator, FrameError, PAGE_FRAME_BYTES};
+pub use manager::{ManagerAction, ManagerConfig, NodeObservation, RecoveryManager};
 pub use pagetable::{PageFlags, PageTable, Tlb, TlbConfig, Translation};
 pub use region::{Region, Segment};
 pub use resv::{ResvDonor, ResvRequester};

@@ -77,6 +77,12 @@ pub struct RmcClient {
     duplicates: Counter,
     aborted: Counter,
     suspects: FastSet<NodeId>,
+    /// Destinations the recovery manager has load-shed: the OS defers (or
+    /// fails) new accesses to them until re-admission. Mutated only by
+    /// global manager events, read by lane code — the same partition-safety
+    /// contract as `suspects`.
+    shed: FastSet<NodeId>,
+    shed_deferrals: Counter,
     latency: LatencyHistogram,
 }
 
@@ -101,6 +107,8 @@ impl RmcClient {
             duplicates: Counter::new(),
             aborted: Counter::new(),
             suspects: FastSet::default(),
+            shed: FastSet::default(),
+            shed_deferrals: Counter::new(),
             latency: LatencyHistogram::new(),
         }
     }
@@ -222,6 +230,33 @@ impl RmcClient {
         self.suspects.contains(&node)
     }
 
+    /// Admission control: shed new accesses targeting `node` until
+    /// [`RmcClient::clear_shed`].
+    pub fn set_shed(&mut self, node: NodeId) {
+        self.shed.insert(node);
+    }
+
+    /// Re-admit accesses targeting `node` (pressure cleared the hysteresis
+    /// low watermark).
+    pub fn clear_shed(&mut self, node: NodeId) {
+        self.shed.remove(&node);
+    }
+
+    /// True if accesses to `node` are currently load-shed.
+    pub fn is_shed(&self, node: NodeId) -> bool {
+        self.shed.contains(&node)
+    }
+
+    /// Record one access deferred by admission control.
+    pub fn note_shed_deferral(&mut self) {
+        self.shed_deferrals.add(1);
+    }
+
+    /// Accesses deferred by admission control so far.
+    pub fn shed_deferrals(&self) -> u64 {
+        self.shed_deferrals.get()
+    }
+
     /// Transactions aborted by failure detection so far.
     pub fn aborted(&self) -> u64 {
         self.aborted.get()
@@ -294,6 +329,8 @@ impl RmcClient {
             ("duplicates", self.duplicates.snapshot()),
             ("aborted", self.aborted.snapshot()),
             ("suspects", cohfree_sim::Json::from(self.suspects.len())),
+            ("shed_targets", cohfree_sim::Json::from(self.shed.len())),
+            ("shed_deferrals", self.shed_deferrals.snapshot()),
             ("in_flight", cohfree_sim::Json::from(self.in_flight.len())),
             ("engine", self.engine.snapshot(horizon)),
             ("latency", self.latency.snapshot()),
@@ -536,6 +573,21 @@ mod tests {
         assert!(!c.is_suspect(n(3)));
         c.clear_suspect(n(2));
         assert!(!c.is_suspect(n(2)));
+    }
+
+    #[test]
+    fn shed_targets_are_set_and_cleared_independently_of_suspicion() {
+        let mut c = client();
+        assert!(!c.is_shed(n(2)));
+        c.set_shed(n(2));
+        assert!(c.is_shed(n(2)));
+        assert!(!c.is_suspect(n(2)), "shedding is not suspicion");
+        assert!(!c.is_shed(n(3)));
+        c.note_shed_deferral();
+        c.note_shed_deferral();
+        assert_eq!(c.shed_deferrals(), 2);
+        c.clear_shed(n(2));
+        assert!(!c.is_shed(n(2)));
     }
 
     #[test]

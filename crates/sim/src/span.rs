@@ -108,10 +108,16 @@ pub enum Phase {
     Resv = 10,
     /// OS evacuation protocol: re-homing a zone after a failure.
     Evac = 11,
+    /// Recovery-manager admission control: an access deferred (or failed)
+    /// because its target is load-shed.
+    Shed = 12,
+    /// Recovery-manager live migration: proactively re-homing a zone off a
+    /// suspected or overloaded donor that is still up.
+    Migrate = 13,
 }
 
 /// Number of distinct [`Phase`] values (array-index space).
-pub const PHASE_COUNT: usize = 12;
+pub const PHASE_COUNT: usize = 14;
 
 impl Phase {
     /// All phases, in index order.
@@ -128,6 +134,8 @@ impl Phase {
         Phase::Retry,
         Phase::Resv,
         Phase::Evac,
+        Phase::Shed,
+        Phase::Migrate,
     ];
 
     /// Stable machine-readable name (snapshot keys, Chrome event names).
@@ -145,6 +153,8 @@ impl Phase {
             Phase::Retry => "retry",
             Phase::Resv => "resv",
             Phase::Evac => "evac",
+            Phase::Shed => "shed",
+            Phase::Migrate => "migrate",
         }
     }
 
@@ -157,7 +167,7 @@ impl Phase {
             }
             Phase::Wire | Phase::FabricQueue => "fabric",
             Phase::ServerQueue | Phase::Service => "server_rmc",
-            Phase::Resv | Phase::Evac => "os",
+            Phase::Resv | Phase::Evac | Phase::Shed | Phase::Migrate => "os",
         }
     }
 }
