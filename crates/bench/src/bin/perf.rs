@@ -6,10 +6,17 @@
 //! # Measure and gate against the checked-in baseline (CI):
 //! cargo run --release -p cohfree-bench --bin perf -- \
 //!     --check crates/bench/perf_baseline.json --tolerance 3.0
+//! # Gate the parallel engine: fail if big_world_par8 is slower than
+//! # big_world_seq (threshold adjustable with --par-min-speedup):
+//! cargo run --release -p cohfree-bench --bin perf -- --par-gate
 //! ```
 //!
 //! With `--check`, exits non-zero if any benchmark regressed past the
 //! tolerance factor. See `cohfree_bench::perf` for the baseline policy.
+//! With `--par-gate`, exits non-zero if the parallel big-world row does not
+//! reach `--par-min-speedup` (default 1.0) times the sequential row — a
+//! host-relative check that needs no baseline, comparing two rows measured
+//! in the same run on the same machine.
 
 use cohfree_bench::perf;
 use cohfree_core::Json;
@@ -18,6 +25,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let mut baseline_path: Option<String> = None;
     let mut tolerance = 3.0f64;
+    let mut par_gate = false;
+    let mut par_min_speedup = 1.0f64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {
@@ -36,8 +45,22 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--par-gate" => par_gate = true,
+            "--par-min-speedup" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--par-min-speedup requires a factor");
+                    std::process::exit(2);
+                });
+                par_min_speedup = v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad speedup floor {v:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
             other => {
-                eprintln!("unknown argument {other:?} (expected --check/--tolerance)");
+                eprintln!(
+                    "unknown argument {other:?} \
+                     (expected --check/--tolerance/--par-gate/--par-min-speedup)"
+                );
                 std::process::exit(2);
             }
         }
@@ -50,9 +73,25 @@ fn main() {
     // carries only the perf tables (megabytes of snapshots would drown the
     // numbers the regression gate reads).
     cohfree_bench::report::reset();
-    let (tm, tg) = perf::tables(&micro, &mac);
-    tm.print();
-    tg.print();
+    for t in perf::tables(&micro, &mac) {
+        t.print();
+    }
+
+    if par_gate {
+        let speedup = perf::par_speedup(&mac).unwrap_or_else(|| {
+            eprintln!("perf: --par-gate needs the big_world_seq/par8 rows");
+            std::process::exit(2);
+        });
+        if speedup < par_min_speedup {
+            eprintln!(
+                "perf: parallel engine too slow: big_world_par8 is {speedup:.2}x \
+                 big_world_seq (floor {par_min_speedup:.2}x)"
+            );
+            cohfree_bench::report::finish();
+            std::process::exit(1);
+        }
+        println!("perf: par gate ok — big_world_par8 is {speedup:.2}x big_world_seq");
+    }
 
     if let Some(path) = baseline_path {
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {

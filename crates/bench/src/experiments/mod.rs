@@ -36,12 +36,16 @@ pub fn n(i: u16) -> NodeId {
 /// parallel engine is output-invariant — any partition count produces
 /// byte-identical reports — so the knob only changes wall-clock time on
 /// multi-core hosts.
+///
+/// # Panics
+/// Panics with the typed [`cohfree_core::EnvKnobError`] message when the
+/// variable is set but not a positive integer — a silently ignored typo
+/// here would quietly benchmark the wrong engine.
 pub fn parallel_world() -> usize {
-    std::env::var("COHFREE_PARALLEL_WORLD")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&p| p >= 1)
-        .unwrap_or(1)
+    use cohfree_core::envknob;
+    envknob::lookup("COHFREE_PARALLEL_WORLD", envknob::parse_positive)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .map_or(1, |p: u64| p as usize)
 }
 
 /// Apply the `--parallel-world` knob to a world about to `run()`. Worlds

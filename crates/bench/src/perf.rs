@@ -34,8 +34,8 @@ pub struct MacroResult {
     pub name: String,
     /// Best-of-repetitions wall time in milliseconds.
     pub wall_ms: f64,
-    /// Engine events processed per wall-clock second (0 when the
-    /// experiment does not expose an event count).
+    /// Engine events processed per wall-clock second, taken from the same
+    /// repetition that produced `wall_ms`.
     pub events_per_sec: f64,
 }
 
@@ -102,38 +102,45 @@ pub fn micro() -> Vec<BenchResult> {
 /// throughput. Wall times are best-of-3 to suppress scheduler noise.
 pub fn macro_suite() -> Vec<MacroResult> {
     let mut out = Vec::new();
-    let best_of = |f: &dyn Fn()| {
-        (0..3)
-            .map(|_| {
-                let t0 = std::time::Instant::now();
-                f();
-                t0.elapsed().as_secs_f64() * 1e3
-            })
-            .fold(f64::INFINITY, f64::min)
-    };
+    // Best of 3 repetitions; each returns the engine-event count it
+    // processed, so every row carries an events/second throughput taken
+    // from the same (fastest) repetition as the wall time.
+    fn best_of(mut f: impl FnMut() -> u64) -> (f64, f64) {
+        let mut best = (f64::INFINITY, 0.0);
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            let events = f();
+            let secs = t0.elapsed().as_secs_f64();
+            if secs * 1e3 < best.0 {
+                best = (secs * 1e3, events as f64 / secs.max(1e-9));
+            }
+        }
+        best
+    }
 
-    let wall_ms = best_of(&|| {
-        std::hint::black_box(crate::experiments::fig6::run(Scale::Smoke));
+    let (wall_ms, events_per_sec) = best_of(|| {
+        let (_, _, events) = std::hint::black_box(crate::experiments::fig6::run(Scale::Smoke));
+        events
     });
     out.push(MacroResult {
         name: "macro/fig6".into(),
         wall_ms,
-        events_per_sec: 0.0,
+        events_per_sec,
     });
 
-    let wall_ms = best_of(&|| {
-        std::hint::black_box(crate::experiments::fig7::run(Scale::Smoke));
+    let (wall_ms, events_per_sec) = best_of(|| {
+        let (_, events) = std::hint::black_box(crate::experiments::fig7::run(Scale::Smoke));
+        events
     });
     out.push(MacroResult {
         name: "macro/fig7".into(),
         wall_ms,
-        events_per_sec: 0.0,
+        events_per_sec,
     });
 
     // Engine throughput: a saturated 8-thread random-read world, measured
     // as events processed per wall second.
-    let mut best = (f64::INFINITY, 0.0);
-    for _ in 0..3 {
+    let (wall_ms, events_per_sec) = best_of(|| {
         let mut w = World::new(cohfree_core::ClusterConfig::prototype());
         let client = cohfree_core::NodeId::new(1);
         let resv = w.reserve_remote(client, 8_192, Some(cohfree_core::NodeId::new(16)));
@@ -151,18 +158,13 @@ pub fn macro_suite() -> Vec<MacroResult> {
                 SimTime::ZERO,
             );
         }
-        let t0 = std::time::Instant::now();
         w.run();
-        let secs = t0.elapsed().as_secs_f64();
-        let eps = w.events_processed() as f64 / secs.max(1e-9);
-        if secs * 1e3 < best.0 {
-            best = (secs * 1e3, eps);
-        }
-    }
+        w.events_processed()
+    });
     out.push(MacroResult {
         name: "macro/engine_throughput".into(),
-        wall_ms: best.0,
-        events_per_sec: best.1,
+        wall_ms,
+        events_per_sec,
     });
 
     // Big-world engine rows: the same 256-node swap-heavy world run on the
@@ -173,30 +175,23 @@ pub fn macro_suite() -> Vec<MacroResult> {
     // path (its baseline, like every row, is host-relative — on multi-core
     // machines it lands well below `big_world_seq`).
     for (name, parts) in [("macro/big_world_seq", 1), ("macro/big_world_par8", 8)] {
-        let mut best = (f64::INFINITY, 0.0);
-        for _ in 0..3 {
+        let (wall_ms, events_per_sec) = best_of(|| {
             let mut w = big_world();
             w.set_parallel(parts);
-            let t0 = std::time::Instant::now();
             w.run();
-            let secs = t0.elapsed().as_secs_f64();
-            let eps = w.events_processed() as f64 / secs.max(1e-9);
-            if secs * 1e3 < best.0 {
-                best = (secs * 1e3, eps);
-            }
-        }
+            w.events_processed()
+        });
         out.push(MacroResult {
             name: name.into(),
-            wall_ms: best.0,
-            events_per_sec: best.1,
+            wall_ms,
+            events_per_sec,
         });
     }
 
     // Recovery-manager chaos cell: a crash-storm world with the manager
     // enabled, guarding the observation/decision loop and the proactive
     // migration path against wall-clock regression.
-    let mut best = (f64::INFINITY, 0.0);
-    for _ in 0..3 {
+    let (wall_ms, events_per_sec) = best_of(|| {
         let mut w = crate::chaos::build_world(
             crate::chaos::ChaosSpec {
                 scenario: crate::chaos::Scenario::CrashStorm,
@@ -205,18 +200,13 @@ pub fn macro_suite() -> Vec<MacroResult> {
             },
             500,
         );
-        let t0 = std::time::Instant::now();
         w.run();
-        let secs = t0.elapsed().as_secs_f64();
-        let eps = w.events_processed() as f64 / secs.max(1e-9);
-        if secs * 1e3 < best.0 {
-            best = (secs * 1e3, eps);
-        }
-    }
+        w.events_processed()
+    });
     out.push(MacroResult {
         name: "macro/chaos_manager".into(),
-        wall_ms: best.0,
-        events_per_sec: best.1,
+        wall_ms,
+        events_per_sec,
     });
 
     out
@@ -254,8 +244,13 @@ fn big_world() -> World {
     w
 }
 
-/// Render both suites as report tables (recorded via [`Table::print`]).
-pub fn tables(micro: &[BenchResult], mac: &[MacroResult]) -> (Table, Table) {
+/// Render the suites as report tables (recorded via [`Table::print`]): the
+/// two gated `PERF — ` tables plus a derived table with cross-row ratios
+/// such as the parallel-engine speedup. The derived table's title
+/// deliberately does *not* start with `PERF — `, so the regression gate
+/// ([`metrics_from_document`]) never reads it — ratios are compared by the
+/// dedicated `--par-gate` check instead of the per-row tolerance bound.
+pub fn tables(micro: &[BenchResult], mac: &[MacroResult]) -> Vec<Table> {
     let mut tm = Table::new(
         "PERF — microbenchmarks (batched, median of samples)",
         &["name", "median_ns", "best_ns", "batch"],
@@ -283,7 +278,27 @@ pub fn tables(micro: &[BenchResult], mac: &[MacroResult]) -> (Table, Table) {
             },
         ]);
     }
-    (tm, tg)
+    let mut td = Table::new(
+        "PERF derived — parallel engine (informational, not gated)",
+        &["name", "value", "note"],
+    );
+    if let Some(s) = par_speedup(mac) {
+        td.row(vec![
+            "speedup_par/seq".into(),
+            format!("{s:.2}x"),
+            "big_world_seq wall / big_world_par8 wall".into(),
+        ]);
+    }
+    vec![tm, tg, td]
+}
+
+/// Wall-clock speedup of the parallel big-world row over the sequential
+/// one (`> 1` = parallel wins). `None` if either row is missing.
+pub fn par_speedup(mac: &[MacroResult]) -> Option<f64> {
+    let wall = |n: &str| mac.iter().find(|r| r.name == n).map(|r| r.wall_ms);
+    let seq = wall("macro/big_world_seq")?;
+    let par = wall("macro/big_world_par8")?;
+    Some(seq / par.max(1e-9))
 }
 
 /// `(name, headline-metric)` pairs for the regression gate: median ns for
@@ -434,18 +449,51 @@ mod tests {
             batch: 1024,
             samples: 25,
         }];
-        let mac = vec![MacroResult {
-            name: "macro/y".into(),
-            wall_ms: 42.0,
-            events_per_sec: 1e6,
-        }];
-        let (tm, tg) = tables(&micro, &mac);
-        let doc = Json::obj([("tables", Json::Arr(vec![tm.to_json(), tg.to_json()]))]);
+        let mac = vec![
+            MacroResult {
+                name: "macro/big_world_seq".into(),
+                wall_ms: 42.0,
+                events_per_sec: 1e6,
+            },
+            MacroResult {
+                name: "macro/big_world_par8".into(),
+                wall_ms: 21.0,
+                events_per_sec: 2e6,
+            },
+        ];
+        let ts = tables(&micro, &mac);
+        assert_eq!(ts.len(), 3, "micro + macro + derived");
+        // The derived table carries the speedup ratio...
+        assert_eq!(ts[2].rows()[0][0], "speedup_par/seq");
+        assert_eq!(ts[2].rows()[0][1], "2.00x");
+        let doc = Json::obj([("tables", Json::Arr(ts.iter().map(Table::to_json).collect()))]);
         let parsed = metrics_from_document(&doc).unwrap();
-        assert_eq!(parsed.len(), 2);
+        // ...but the regression gate only reads the two `PERF — ` tables:
+        // the ratio row must never be compared against the tolerance bound.
+        assert_eq!(parsed.len(), 3);
         assert_eq!(parsed[0], ("micro/x".to_string(), 12.5));
-        assert_eq!(parsed[1], ("macro/y".to_string(), 42.0));
+        assert_eq!(parsed[1], ("macro/big_world_seq".to_string(), 42.0));
+        assert_eq!(parsed[2], ("macro/big_world_par8".to_string(), 21.0));
+        assert!(parsed.iter().all(|(n, _)| n != "speedup_par/seq"));
         // The gate compares like for like.
         assert!(compare(&parsed, &parsed, 1.0).is_empty());
+    }
+
+    #[test]
+    fn par_speedup_reads_the_big_world_rows() {
+        let mac = vec![
+            MacroResult {
+                name: "macro/big_world_seq".into(),
+                wall_ms: 30.0,
+                events_per_sec: 1e6,
+            },
+            MacroResult {
+                name: "macro/big_world_par8".into(),
+                wall_ms: 10.0,
+                events_per_sec: 3e6,
+            },
+        ];
+        assert_eq!(par_speedup(&mac), Some(3.0));
+        assert_eq!(par_speedup(&mac[..1]), None);
     }
 }

@@ -1,0 +1,131 @@
+//! Typed parsing for `COHFREE_*` environment knobs.
+//!
+//! Every runtime tuning knob (`COHFREE_PAR_WORKERS`,
+//! `COHFREE_PARALLEL_WORLD`, `COHFREE_PAR_EPOCH`,
+//! `COHFREE_PAR_PLACEMENT`) goes through this module so a garbage value
+//! produces one clear, typed [`EnvKnobError`] at startup instead of being
+//! silently ignored (the old `parse().unwrap_or(0)` behaviour) or panicking
+//! deep inside the worker pool. Parsing is split from environment lookup so
+//! both the accept and reject paths are unit-testable without mutating the
+//! process environment.
+
+use std::fmt;
+
+/// A `COHFREE_*` environment variable carries a value the knob cannot use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobError {
+    /// The environment variable name.
+    pub name: String,
+    /// The rejected raw value.
+    pub value: String,
+    /// What the knob accepts (human-readable).
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvKnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}={:?}: expected {}",
+            self.name, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvKnobError {}
+
+fn err(name: &str, value: &str, expected: &'static str) -> EnvKnobError {
+    EnvKnobError {
+        name: name.to_string(),
+        value: value.to_string(),
+        expected,
+    }
+}
+
+/// Parse a non-negative integer knob value (0 allowed).
+pub fn parse_usize(name: &str, raw: &str) -> Result<usize, EnvKnobError> {
+    raw.trim()
+        .parse()
+        .map_err(|_| err(name, raw, "a non-negative integer"))
+}
+
+/// Parse a strictly positive integer knob value.
+pub fn parse_positive(name: &str, raw: &str) -> Result<u64, EnvKnobError> {
+    match raw.trim().parse() {
+        Ok(v) if v >= 1 => Ok(v),
+        _ => Err(err(name, raw, "a positive integer")),
+    }
+}
+
+/// Parse a choice knob: returns the index of `raw` in `choices`
+/// (ASCII-case-insensitive).
+pub fn parse_choice(
+    name: &str,
+    raw: &str,
+    choices: &'static [&'static str],
+    expected: &'static str,
+) -> Result<usize, EnvKnobError> {
+    choices
+        .iter()
+        .position(|c| c.eq_ignore_ascii_case(raw.trim()))
+        .ok_or_else(|| err(name, raw, expected))
+}
+
+/// Look `name` up in the environment and parse it with `parse`;
+/// `Ok(None)` when unset.
+pub fn lookup<T>(
+    name: &str,
+    parse: impl FnOnce(&str, &str) -> Result<T, EnvKnobError>,
+) -> Result<Option<T>, EnvKnobError> {
+    match std::env::var(name) {
+        Ok(raw) => parse(name, &raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_values() {
+        assert_eq!(parse_usize("COHFREE_PAR_WORKERS", "0"), Ok(0));
+        assert_eq!(parse_usize("COHFREE_PAR_WORKERS", " 3 "), Ok(3));
+        assert_eq!(parse_positive("COHFREE_PARALLEL_WORLD", "8"), Ok(8));
+        assert_eq!(parse_positive("COHFREE_PAR_EPOCH", "1"), Ok(1));
+        assert_eq!(
+            parse_choice(
+                "COHFREE_PAR_PLACEMENT",
+                "Proximity",
+                &["proximity", "contiguous"],
+                "proximity|contiguous"
+            ),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_with_a_typed_error() {
+        let e = parse_usize("COHFREE_PAR_WORKERS", "three").unwrap_err();
+        assert_eq!(e.name, "COHFREE_PAR_WORKERS");
+        assert_eq!(e.value, "three");
+        let msg = e.to_string();
+        assert!(
+            msg.contains("COHFREE_PAR_WORKERS") && msg.contains("three"),
+            "{msg}"
+        );
+
+        // Zero partitions is meaningless for the world knob: typed reject,
+        // not the old silent fall-back to sequential.
+        assert!(parse_positive("COHFREE_PARALLEL_WORLD", "0").is_err());
+        assert!(parse_positive("COHFREE_PARALLEL_WORLD", "-4").is_err());
+        assert!(parse_positive("COHFREE_PAR_EPOCH", "1e3").is_err());
+        assert!(parse_choice(
+            "COHFREE_PAR_PLACEMENT",
+            "nearby",
+            &["proximity", "contiguous"],
+            "proximity|contiguous"
+        )
+        .is_err());
+    }
+}

@@ -334,6 +334,14 @@ pub(crate) enum SchedSink<'a> {
         outbox: &'a mut Vec<(SimTime, u128, u16, Ev)>,
         lo: u16,
         hi: u16,
+        /// Lazy min-heap of loss-recovery timer instants armed on this
+        /// shard's own lanes. The coordinator's global-event bound (see
+        /// `par::run_parallel`) needs a lower bound on the earliest
+        /// `Timeout` a shard holds without scanning its queue, so every
+        /// locally-scheduled timer also pushes its instant here; entries go
+        /// stale when the timer fires or is superseded, and stale entries
+        /// are simply *early* — the bound stays conservative.
+        timeout_lb: &'a mut std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
     },
 }
 
@@ -432,8 +440,12 @@ impl LaneCtx<'_> {
                 outbox,
                 lo,
                 hi,
+                timeout_lb,
             } => {
                 if lane >= *lo && lane <= *hi {
+                    if matches!(ev, Ev::Timeout { .. }) {
+                        timeout_lb.push(std::cmp::Reverse(at));
+                    }
                     queue.schedule_keyed(at, key, ev);
                 } else {
                     outbox.push((at, key, lane, ev));

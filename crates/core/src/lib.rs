@@ -47,6 +47,7 @@
 pub mod analytic;
 pub mod backend;
 pub mod config;
+pub mod envknob;
 mod exec;
 pub mod fault;
 mod par;
@@ -54,7 +55,8 @@ pub mod trace;
 pub mod world;
 
 pub use backend::{AllocPolicy, LocalMachine, MemSpace, RemoteMemorySpace, SwapSpace};
-pub use config::{ClusterConfig, OsTiming, TraceConfig};
+pub use config::{ClusterConfig, OsTiming, ParPlacement, ParTuning, TraceConfig};
+pub use envknob::EnvKnobError;
 pub use fault::{EvacuationPolicy, FaultEvent, FaultPlan, RecoveryConfig, MAX_FAULT_EVENTS};
 pub use world::{AccessOutcome, ClusterSnapshot, Sample, ThreadSpec, World, WorldConfigError};
 

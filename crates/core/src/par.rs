@@ -2,13 +2,31 @@
 //!
 //! [`run_parallel`] partitions the cluster's nodes into contiguous lane
 //! ranges (*shards*), each with its own event queue, and advances all shards
-//! concurrently through synchronized time windows. The window length is the
-//! fabric's minimum per-hop latency `W = router_delay + link_latency`: a lane
-//! event executing at `now` can only schedule cross-shard work at
-//! `now + W` or later (messages must cross at least one hop; suspect
-//! declarations are deferred a full window by construction), so every event
-//! inside the window `[window start, window start + W)` is causally
-//! independent of anything another shard does in the same window.
+//! concurrently under a conservative-lookahead schedule. Three mechanisms
+//! decide how far each shard may run between coordinator synchronizations:
+//!
+//! * **Asymmetric pairwise lookahead.** A cross-shard influence chain from
+//!   shard `j` to shard `i` must traverse at least
+//!   `D(j, i) = min_range_hops(range_j, range_i)` physical hops, each
+//!   costing at least the fabric's minimum per-hop latency
+//!   `W = router_delay + link_latency`. Shard `i` may therefore execute
+//!   every event below `min_j (next_j + D(j, i)·W)` without ever seeing a
+//!   message from the current round arrive in its past. Distances are
+//!   computed once per run from the *healthy* topology: outages only remove
+//!   links, so the healthy distance stays a valid lower bound under any
+//!   reroute. The bound is directed (`D(j, i) ≠ D(i, j)` on a ring), which
+//!   is what lets a laggard shard pull far ahead of a distant busy one —
+//!   the old engine capped *everyone* at `global_min + W`.
+//! * **Epoch barriers.** Instead of a coordinator sync per window, each
+//!   scheduling round hands every busy shard its own deadline and the
+//!   rounds repeat until the frontier has advanced `k` windows past the
+//!   epoch's starting point (`k` = [`crate::ParTuning::epoch`],
+//!   `COHFREE_PAR_EPOCH`; `k = 1` reproduces the old lock-step cadence).
+//! * **Incremental global-event handling.** `Sample` and action-free
+//!   `Manager` probes — the frequent globals — run against a read-only
+//!   *view* assembled from shard borrows, with no merge at all; only
+//!   `Fault`/`Suspect` and manager ticks that actually emit actions pay for
+//!   a full merge + re-split.
 //!
 //! The contract is **byte-identical output** with the sequential engine, not
 //! merely statistical equivalence:
@@ -19,39 +37,51 @@
 //!   executes exactly the sequential order restricted to that shard's lanes.
 //! * Per-lane state (node, threads, pending transactions, fabric router
 //!   rows) is *owned* by its shard — no locks, no sharing; cross-shard
-//!   events travel through an outbox that the coordinator routes at window
-//!   barriers.
+//!   events travel through an outbox that the coordinator routes at round
+//!   barriers. Every deadline is clamped to the earliest pending global and
+//!   to a lower bound on the earliest global any shard could still *create*
+//!   (a `Suspect` fires no sooner than `W` past the earliest loss-recovery
+//!   timer, queued or future-armed), so no shard frontier ever passes a
+//!   global event.
 //! * Trace calls are deferred into per-shard logs stamped with
 //!   `(time, key, opseq)` and replayed against the real sink in global event
-//!   order at every barrier, so even Full-mode span streams come out
-//!   byte-identical.
-//! * Global events (`Sample`, `Fault`, `Suspect`, `Manager`) never run
-//!   against a shard.
-//!   When one is due, the coordinator merges every shard back into the
-//!   [`World`] and runs it through the *same* `&mut World` code path the
-//!   sequential engine uses, then re-partitions. Correctness never depends
-//!   on a parallel re-implementation of whole-world behaviour.
+//!   order, so even Full-mode span streams come out byte-identical.
+//! * Global events never run against a shard. View-path probes call the
+//!   *same* [`World`] observation/decision code over the same per-lane
+//!   state the merged world would hold; anything that mutates whole-world
+//!   state reassembles the full [`World`] and runs through the unmodified
+//!   sequential code path, then re-partitions. Correctness never depends on
+//!   a parallel re-implementation of whole-world behaviour.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
-use cohfree_fabric::{FabricCounters, FabricRow, FabricShared};
-use cohfree_sim::{EventQueue, FastMap, SimTime};
+use cohfree_fabric::{FabricCounters, FabricRow, FabricShared, Topology};
+use cohfree_os::manager::ManagerAction;
+use cohfree_sim::{EventQueue, FastMap, SimDuration, SimTime};
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, ParPlacement, ParTuning};
+use crate::envknob;
 use crate::exec::{self, TraceLog};
-use crate::world::{Ev, NodeCtx, PendingTx, Thread, World};
+use crate::world::{build_sample, Ev, NodeCtx, PendingTx, Thread, World};
 
 /// A cross-shard event awaiting routing: `(at, key, destination lane, ev)`.
 type OutboxEntry = (SimTime, u128, u16, Ev);
 
-/// One worker assignment: the shard to run, the window end, and the global
+/// One worker assignment: the shard to run, its deadline, and the global
 /// event budget (livelock bound).
 type Cmd = (Shard, SimTime, u64);
 
 /// What [`split_world`] returns: the shards, the holding queue for pending
 /// global (lane 0) events, and the global-thread-id -> (shard, slot) map.
 type SplitWorld = (Vec<Option<Shard>>, EventQueue<Ev>, Vec<(u16, u32)>);
+
+/// Keep at most this many deferred trace records buffered across shards
+/// before replaying the safely-ordered prefix mid-run (Full-mode tracing
+/// on a long epoch would otherwise grow the buffers without bound).
+const TRACE_FLUSH_THRESHOLD: usize = 32_768;
 
 /// One partition of the world: a contiguous lane range `[lo, hi]` with
 /// exclusive ownership of everything those lanes mutate.
@@ -77,6 +107,13 @@ struct Shard {
     counters: FabricCounters,
     dead: Vec<bool>,
     tlog: TraceLog,
+    /// Lazy min-heap over the instants of loss-recovery timers scheduled
+    /// into this shard's queue. Entries go stale when their timer fires;
+    /// stale entries are strictly *earlier* than any queued timer, so the
+    /// heap top — after stripping entries below the queue's minimum — is a
+    /// conservative lower bound on the earliest queued `Ev::Timeout`
+    /// without scanning the queue. See [`Shard::timeout_floor`].
+    timeout_lb: BinaryHeap<Reverse<SimTime>>,
     /// Dummy completion slots: blocking drivers never run in parallel, so
     /// these must still be `None` at every merge (asserted there).
     sync_done: Option<(u64, SimTime)>,
@@ -86,7 +123,7 @@ impl Shard {
     /// Execute every pending event with `time < t_end` in `(time, key)`
     /// order — or, with `single`, exactly the one next event (used to make
     /// progress when saturated timers sit at `SimTime::MAX`, where no
-    /// strictly-later window end exists).
+    /// strictly-later deadline exists).
     fn run_window(&mut self, t_end: SimTime, single: bool, limit: u64) {
         while let Some((at, _)) = self.queue.peek_key() {
             if !single && at >= t_end {
@@ -138,6 +175,7 @@ impl Shard {
                 outbox: &mut self.outbox,
                 lo: self.lo,
                 hi: self.hi,
+                timeout_lb: &mut self.timeout_lb,
             },
             sync_done: &mut self.sync_done,
             now,
@@ -149,10 +187,27 @@ impl Shard {
         };
         exec::exec_event(&mut ctx, now, key, idx, ev);
     }
+
+    /// Lower bound on the earliest `Ev::Timeout` currently queued on this
+    /// shard (`SimTime::MAX` when none can be). `next` must be the time of
+    /// the shard's earliest queued event: every queued timer is at or past
+    /// it, so heap entries below it are provably stale and are dropped —
+    /// which is also what keeps the returned floor at or past the global
+    /// frontier (a stale entry left in place could otherwise pin the
+    /// global-creation bound below the frontier forever: livelock).
+    fn timeout_floor(&mut self, next: SimTime) -> SimTime {
+        while let Some(&Reverse(t)) = self.timeout_lb.peek() {
+            if t >= next {
+                return t;
+            }
+            self.timeout_lb.pop();
+        }
+        SimTime::MAX
+    }
 }
 
-/// A window-executing worker thread. Shards move to the worker by value for
-/// each window and move back at the barrier, so no shard state is ever
+/// A deadline-executing worker thread. Shards move to the worker by value
+/// for each round and move back at the barrier, so no shard state is ever
 /// shared between threads.
 struct Worker {
     cmd: mpsc::Sender<Cmd>,
@@ -160,34 +215,48 @@ struct Worker {
     handle: Option<JoinHandle<()>>,
 }
 
-/// Worker-pool size for `parts` partitions: one window-executing thread
-/// per spare hardware core (the coordinator occupies one and always runs
-/// one busy shard itself); busy shards beyond the pool queue round-robin
-/// on the workers' channels. On a single-core host the pool is empty and
-/// every window runs inline on the coordinator — identical output, zero
-/// channel traffic. `COHFREE_PAR_WORKERS` overrides the spare-core count
-/// (useful for exercising the channel path on small hosts).
+/// Worker-pool size for `parts` partitions: one round-executing thread per
+/// spare hardware core (the coordinator occupies one and runs shard 0
+/// itself); shards beyond the pool queue round-robin on the workers'
+/// channels. On a single-core host the pool is empty and every round runs
+/// inline on the coordinator — identical output, zero channel traffic.
+/// `COHFREE_PAR_WORKERS` overrides the spare-core count (useful for
+/// exercising the channel path on small hosts).
+///
+/// # Panics
+/// Panics with the [`envknob::EnvKnobError`] message when
+/// `COHFREE_PAR_WORKERS` is set to something that is not a non-negative
+/// integer — a mistyped knob must not silently fall back to `0`.
 fn pool_size(parts: usize) -> usize {
-    let spare = match std::env::var("COHFREE_PAR_WORKERS") {
-        Ok(v) => v.parse().unwrap_or(0),
-        Err(_) => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .saturating_sub(1),
-    };
+    let spare = envknob::lookup("COHFREE_PAR_WORKERS", envknob::parse_usize)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .saturating_sub(1)
+        });
     (parts - 1).min(spare)
 }
 
-/// Receive from `rx`, spinning briefly before blocking. Windows are short
+/// Receive from `rx`, spinning briefly before blocking. Rounds are short
 /// (often a few microseconds of work), so at the barrier the next message
-/// is usually moments away; a bounded spin turns the common handoff into a
-/// couple hundred nanoseconds instead of a futex sleep/wake cycle.
+/// is usually moments away. The spin backs off exponentially — 1, 2, 4, …,
+/// 512 pause instructions — so a genuinely idle channel costs ~1k pauses
+/// before the thread parks, while a hot handoff is caught within the first
+/// few iterations without hammering the channel with `try_recv` calls.
 fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Result<T, mpsc::RecvError> {
-    for _ in 0..1_024 {
+    let mut pause = 1u32;
+    while pause <= 512 {
         match rx.try_recv() {
             Ok(v) => return Ok(v),
-            Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
             Err(mpsc::TryRecvError::Disconnected) => return Err(mpsc::RecvError),
+            Err(mpsc::TryRecvError::Empty) => {
+                for _ in 0..pause {
+                    std::hint::spin_loop();
+                }
+                pause *= 2;
+            }
         }
     }
     rx.recv()
@@ -212,7 +281,7 @@ impl Worker {
         }
     }
 
-    /// Receive the shard back after a window, forwarding any worker panic.
+    /// Receive the shard back after a round, forwarding any worker panic.
     fn recv(&mut self) -> Shard {
         match spin_recv(&self.result) {
             Ok(shard) => shard,
@@ -220,7 +289,7 @@ impl Worker {
                 let handle = self.handle.take().expect("worker joined twice");
                 match handle.join() {
                     Err(payload) => std::panic::resume_unwind(payload),
-                    Ok(()) => unreachable!("worker exited mid-window without panicking"),
+                    Ok(()) => unreachable!("worker exited mid-round without panicking"),
                 }
             }
         }
@@ -236,6 +305,47 @@ impl Worker {
             }
         }
     }
+}
+
+/// Contiguous lane ranges `[lo, hi]` (1-based, inclusive) covering `1..=n`.
+///
+/// `Contiguous` splits near-equally by lane id. `Proximity` starts from the
+/// same split, then snaps each interior boundary to the nearest fabric-row
+/// multiple on row-structured topologies (mesh/torus with the node count a
+/// whole number of rows): row-aligned shards put whole rows on one side of
+/// each boundary, which maximises the pairwise hop distances `D(j, i)` —
+/// and hence the asymmetric lookahead — between non-adjacent shards. Each
+/// snap is clamped so every shard keeps at least one lane.
+fn shard_ranges(
+    topo: &Topology,
+    n: usize,
+    parts: usize,
+    placement: ParPlacement,
+) -> Vec<(u16, u16)> {
+    // 0-based exclusive boundary positions: shard s owns lanes
+    // (bounds[s], bounds[s + 1]] in 1-based ids.
+    let mut bounds = vec![0usize; parts + 1];
+    let (base, extra) = (n / parts, n % parts);
+    for s in 1..=parts {
+        bounds[s] = bounds[s - 1] + base + usize::from(s - 1 < extra);
+    }
+    if placement == ParPlacement::Proximity {
+        let width = match *topo {
+            Topology::Mesh2D { width, .. } | Topology::Torus2D { width, .. } => width as usize,
+            Topology::Ring { .. } | Topology::FullyConnected { .. } => 1,
+        };
+        if width > 1 && n.is_multiple_of(width) {
+            for s in 1..parts {
+                let snapped = ((bounds[s] + width / 2) / width) * width;
+                // Keep boundaries strictly increasing and leave at least
+                // one lane for each of the `parts - s` shards to the right.
+                bounds[s] = snapped.clamp(bounds[s - 1] + 1, n - (parts - s));
+            }
+        }
+    }
+    (0..parts)
+        .map(|s| ((bounds[s] + 1) as u16, bounds[s + 1] as u16))
+        .collect()
 }
 
 /// Split `v`, indexed by `lane - base`, into the per-range chunks
@@ -295,7 +405,11 @@ fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> Split
 
     // Pending events route by the lane encoded in their key (threads are
     // already drained, so `lane_of` could not resolve `ThreadWake`s here).
+    // Queued loss-recovery timers seed each shard's timeout floor heap.
     let mut queues: Vec<EventQueue<Ev>> = std::iter::repeat_with(EventQueue::new)
+        .take(parts)
+        .collect();
+    let mut heaps: Vec<BinaryHeap<Reverse<SimTime>>> = std::iter::repeat_with(BinaryHeap::new)
         .take(parts)
         .collect();
     let mut global = EventQueue::new();
@@ -304,7 +418,11 @@ fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> Split
         if lane == exec::GLOBAL_LANE {
             global.schedule_keyed(at, key, ev);
         } else {
-            queues[owner[lane as usize] as usize].schedule_keyed(at, key, ev);
+            let s = owner[lane as usize] as usize;
+            if matches!(ev, Ev::Timeout { .. }) {
+                heaps[s].push(Reverse(at));
+            }
+            queues[s].schedule_keyed(at, key, ev);
         }
     }
 
@@ -318,9 +436,12 @@ fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> Split
         .zip(count_parts)
         .zip(rows_parts)
         .zip(pending_parts)
-        .zip(queues);
-    for (s, ((((((nodes, threads), evac_remaps), exec_counts), rows), pending), queue)) in
-        zipped.enumerate()
+        .zip(queues)
+        .zip(heaps);
+    for (
+        s,
+        (((((((nodes, threads), evac_remaps), exec_counts), rows), pending), queue), timeout_lb),
+    ) in zipped.enumerate()
     {
         let (lo, hi) = ranges[s];
         shards.push(Some(Shard {
@@ -341,6 +462,7 @@ fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> Split
             counters: FabricCounters::default(),
             dead: world.dead.clone(),
             tlog: TraceLog::new(trace_on),
+            timeout_lb,
             sync_done: None,
         }));
     }
@@ -392,13 +514,16 @@ fn merge_shards(
 }
 
 /// Route every shard's outbox: global events to the holding queue, lane
-/// events to their owning shard. All entries must be at or past the window
-/// barrier `t_end` — that is the conservative-lookahead invariant.
+/// events to their owning shard. Conservative lookahead makes every entry
+/// land at or past its destination's deadline: lane entries are single-hop
+/// fabric forwards (`at ≥ source event + W ≥ next_src + D·W ≥ cap_dst`),
+/// and globals are suspect declarations at or past the global-creation
+/// bound that clamps every cap.
 fn route_outboxes(
     slots: &mut [Option<Shard>],
     global: &mut EventQueue<Ev>,
     owner: &[u16],
-    t_end: SimTime,
+    caps: &[SimTime],
 ) {
     for i in 0..slots.len() {
         let outbox = std::mem::take(
@@ -408,28 +533,35 @@ fn route_outboxes(
                 .outbox,
         );
         for (at, key, lane, ev) in outbox {
-            debug_assert!(
-                at >= t_end,
-                "cross-shard event at {at} violates the window barrier {t_end}"
-            );
             if lane == exec::GLOBAL_LANE {
+                debug_assert!(
+                    caps.iter().all(|&c| at >= c),
+                    "global event at {at} created below a shard deadline"
+                );
                 global.schedule_keyed(at, key, ev);
             } else {
                 let dst = owner[lane as usize] as usize;
-                slots[dst]
+                debug_assert!(
+                    at >= caps[dst],
+                    "cross-shard event at {at} violates shard {dst}'s deadline {}",
+                    caps[dst]
+                );
+                let d = slots[dst]
                     .as_mut()
-                    .expect("shard out at a worker during routing")
-                    .queue
-                    .schedule_keyed(at, key, ev);
+                    .expect("shard out at a worker during routing");
+                if matches!(ev, Ev::Timeout { .. }) {
+                    d.timeout_lb.push(Reverse(at));
+                }
+                d.queue.schedule_keyed(at, key, ev);
             }
         }
     }
 }
 
 /// Replay every shard's deferred trace calls against the world's sink in
-/// global `(time, key, opseq)` order. Called at every barrier — before any
-/// merged-world global event makes *direct* sink calls — so the sink sees
-/// calls in exactly the sequential order.
+/// global `(time, key, opseq)` order. Called before any merged-world global
+/// event makes *direct* sink calls, so the sink sees calls in exactly the
+/// sequential order.
 fn apply_trace_logs(world: &mut World, slots: &mut [Option<Shard>]) {
     let mut recs = Vec::new();
     for slot in slots.iter_mut() {
@@ -442,6 +574,89 @@ fn apply_trace_logs(world: &mut World, slots: &mut [Option<Shard>]) {
     }
 }
 
+/// Replay only the deferred trace records strictly below `bound` (the
+/// current global frontier): everything buffered was executed under past
+/// deadlines — all below any still-pending global's direct sink calls — and
+/// every future record is at or past `bound`, so the flushed prefix is
+/// final. Keeps Full-mode buffers bounded across long epochs.
+fn flush_trace_below(world: &mut World, slots: &mut [Option<Shard>], bound: SimTime) {
+    let mut recs = Vec::new();
+    for slot in slots.iter_mut() {
+        let buf = &mut slot.as_mut().expect("shard at barrier").tlog.buf;
+        let mut i = 0;
+        while i < buf.len() {
+            if buf[i].at < bound {
+                recs.push(buf.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if !recs.is_empty() {
+        exec::replay_trace(&mut world.trace, recs);
+    }
+}
+
+/// Handle a due [`Ev::Sample`] against a read-only view of the shards — no
+/// merge. The probe only *reads* per-node occupancy and link backlogs and
+/// appends one [`crate::Sample`] to the world-side sampler, so borrowing
+/// the shards' state in lane order reproduces the merged-world sample
+/// byte-identically (every shard has executed exactly the events below the
+/// probe's instant, and nothing at or past it).
+fn view_sample(
+    world: &mut World,
+    slots: &[Option<Shard>],
+    global: &mut EventQueue<Ev>,
+    gt: SimTime,
+) {
+    let Some(interval) = world.sampler_interval() else {
+        return; // sampling disabled: the sequential path is a no-op too
+    };
+    let mut events_queued = global.len();
+    let mut backlog = SimDuration::ZERO;
+    let mut refs: Vec<&NodeCtx> = Vec::new();
+    for slot in slots {
+        let s = slot.as_ref().expect("shard at barrier");
+        events_queued += s.queue.len();
+        refs.extend(s.nodes.iter());
+        for row in &s.rows {
+            backlog = backlog.max(row.max_backlog(gt));
+        }
+    }
+    let sample = build_sample(gt, &refs, backlog.as_ns_f64(), events_queued);
+    world.push_sample(sample);
+    // Re-arm only while the cluster still has work in flight — same gseq
+    // burn, same instant, same key as the sequential re-arm.
+    if events_queued > 0 {
+        let key = world.next_gkey(&Ev::Sample);
+        global.schedule_keyed(gt + interval, key, Ev::Sample);
+    }
+}
+
+/// Run the manager's observation + pure policy pass for a due
+/// [`Ev::Manager`] against a read-only view of the shards. Returns `None`
+/// when no manager is configured (the sequential tick is a no-op then);
+/// otherwise the decided actions — the caller merges and applies only when
+/// they are non-empty, which is the rare case.
+fn view_manager_decide(
+    world: &mut World,
+    slots: &[Option<Shard>],
+    gt: SimTime,
+) -> Option<Vec<ManagerAction>> {
+    if !world.has_manager() {
+        return None;
+    }
+    let mut nodes: Vec<&NodeCtx> = Vec::new();
+    let mut rows: Vec<&FabricRow> = Vec::new();
+    for slot in slots {
+        let s = slot.as_ref().expect("shard at barrier");
+        nodes.extend(s.nodes.iter());
+        rows.extend(s.rows.iter());
+    }
+    let obs = world.observe_parts(gt, &nodes, &rows);
+    world.manager_decide(&obs)
+}
+
 /// Drive `world` to completion with `world.parallel` shards. Pops the same
 /// events in the same `(time, key)` order as the sequential loop in
 /// [`World::run`], and leaves the world in a byte-identical final state.
@@ -450,23 +665,17 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
         world.coherent_domain.is_empty(),
         "coherent domains require the sequential engine"
     );
-    let lookahead = world.fabric.shared_ref().min_hop_latency();
+    let w = world.fabric.shared_ref().min_hop_latency();
     assert!(
-        !lookahead.is_zero(),
+        !w.is_zero(),
         "zero-latency fabric requires the sequential engine"
     );
+    let tuning = ParTuning::from_env().unwrap_or_else(|e| panic!("{e}"));
     let n = world.nodes.len();
     let parts = world.parallel.min(n).max(1);
+    let topo = world.cfg.topology;
 
-    // Contiguous near-equal lane ranges [1, n], and lane -> shard index.
-    let mut ranges: Vec<(u16, u16)> = Vec::with_capacity(parts);
-    let (base, extra) = (n / parts, n % parts);
-    let mut lo: u16 = 1;
-    for s in 0..parts {
-        let len = (base + usize::from(s < extra)) as u16;
-        ranges.push((lo, lo + len - 1));
-        lo += len;
-    }
+    let ranges = shard_ranges(&topo, n, parts, tuning.placement);
     let mut owner = vec![0u16; n + 1];
     for (s, &(lo, hi)) in ranges.iter().enumerate() {
         for lane in lo..=hi {
@@ -474,10 +683,58 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
         }
     }
 
+    // Directed pairwise slack: an influence chain out of shard j needs at
+    // least D(j, i) hops — each at least W — to reach shard i. The diagonal
+    // holds the *self round-trip* bound: a chain out of shard i that leaves
+    // its lanes and comes back needs at least min_j (D(i, j) + D(j, i))
+    // hops, so shard i may not outrun its own requests' earliest possible
+    // responses. Computed once from the healthy topology (outages only
+    // remove links, so these stay valid lower bounds under any reroute).
+    let mut slack = vec![SimDuration::ZERO; parts * parts];
+    let mut dist = vec![0u64; parts * parts];
+    for j in 0..parts {
+        for i in 0..parts {
+            if i != j {
+                let d = topo.min_range_hops(ranges[j], ranges[i]).max(1) as u64;
+                dist[j * parts + i] = d;
+                slack[j * parts + i] = w.saturating_mul(d);
+            }
+        }
+    }
+    for i in 0..parts {
+        let round_trip = (0..parts)
+            .filter(|&j| j != i)
+            .map(|j| dist[i * parts + j] + dist[j * parts + i])
+            .min()
+            .unwrap_or(u64::MAX); // single shard: chains cannot leave it
+        slack[i * parts + i] = w.saturating_mul(round_trip);
+    }
+
+    // Worlds where loss-recovery timers arm at all (the `arm_timeout`
+    // gate): only these can create `Ev::Suspect` globals mid-round, so only
+    // they pay for the global-creation bound.
+    let hazard = world.cfg.fabric.loss_rate > 0.0 || !world.cfg.faults.is_empty();
+    // A freshly-armed timer fires at least this far past the event that
+    // arms it (`backoff_delay` is clamped to [this, BACKOFF_CEILING]).
+    let arm_floor = world.cfg.rmc.timeout.min(exec::BACKOFF_CEILING);
+    let mgr_tick = world.cfg.manager.tick;
+    let trace_on = world.trace.enabled();
+
     let mut workers: Vec<Worker> = (0..pool_size(parts)).map(|_| Worker::spawn()).collect();
     let (mut slots, mut global, tmap) = split_world(world, &ranges, &owner);
 
-    loop {
+    // Latest global instant handled through the view path (the world's own
+    // clock only advances on merges; the drain-time fix-up below needs it).
+    let mut t_view = SimTime::ZERO;
+
+    // Per-round scratch, reused across all rounds: shard frontiers, shard
+    // deadlines, busy shard ids, and per-worker dispatch lists.
+    let mut nexts: Vec<Option<(SimTime, u128)>> = vec![None; parts];
+    let mut caps: Vec<SimTime> = vec![SimTime::MAX; parts];
+    let mut busy: Vec<usize> = Vec::with_capacity(parts);
+    let mut sent: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+
+    'outer: loop {
         let shard_next = slots
             .iter()
             .filter_map(|s| s.as_ref().expect("shard at barrier").queue.peek_key())
@@ -489,10 +746,68 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
         };
 
         if global_due {
-            // Reassemble the full world and run the due global burst through
-            // the unmodified sequential code path.
-            apply_trace_logs(world, &mut slots);
-            merge_shards(world, &mut slots, &tmap, &mut global);
+            let (gt, gkey, ev) = global.pop_entry().expect("peeked event vanished");
+            world.queue.add_processed(1);
+            t_view = t_view.max(gt);
+            let total = world.queue.processed()
+                + slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
+                    .sum::<u64>();
+            assert!(total <= limit, "event budget exceeded: livelock at {gt}");
+            match ev {
+                // The frequent, read-only globals run against a view of the
+                // shard borrows — no merge, no re-split.
+                Ev::Sample => {
+                    view_sample(world, &slots, &mut global, gt);
+                    continue;
+                }
+                Ev::Manager => match view_manager_decide(world, &slots, gt) {
+                    None => continue, // no manager configured
+                    Some(actions) if actions.is_empty() => {
+                        // Re-arm under the sequential condition (threads
+                        // unfinished or transactions in flight), burning
+                        // the same gseq at the same instant.
+                        let live = slots.iter().any(|slot| {
+                            let s = slot.as_ref().expect("shard at barrier");
+                            s.threads.iter().any(|t| t.finished.is_none()) || !s.pending.is_empty()
+                        });
+                        if live {
+                            let key = world.next_gkey(&Ev::Manager);
+                            global.schedule_keyed(gt + mgr_tick, key, Ev::Manager);
+                        }
+                        continue;
+                    }
+                    Some(actions) => {
+                        // Actions mutate whole-world state (regions, the
+                        // directory, thread zone tables): reassemble the
+                        // world and apply exactly as the sequential tick.
+                        apply_trace_logs(world, &mut slots);
+                        merge_shards(world, &mut slots, &tmap, &mut global);
+                        world.queue.advance_to(gt);
+                        world.manager_apply(gt, &actions);
+                        if world.threads.iter().any(|t| t.finished.is_none())
+                            || !world.pending.is_empty()
+                        {
+                            world.gsched(gt + mgr_tick, Ev::Manager);
+                        }
+                    }
+                },
+                ev => {
+                    // Fault / Suspect: whole-world mutation through the
+                    // unmodified sequential code path.
+                    apply_trace_logs(world, &mut slots);
+                    merge_shards(world, &mut slots, &tmap, &mut global);
+                    world.queue.advance_to(gt);
+                    world.handle(gt, gkey, ev);
+                    assert!(
+                        world.queue.processed() <= limit,
+                        "event budget exceeded: livelock at {gt}"
+                    );
+                }
+            }
+            // Merged-path tail: drain any directly-following globals, then
+            // re-partition (or finish).
             while world
                 .queue
                 .peek_key()
@@ -515,16 +830,17 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
         }
 
         let Some((next_t, _)) = shard_next else {
-            // Fully drained: fold everything back and surface the end time.
+            // Fully drained: fold everything back and surface the end time
+            // (a trailing view-path global may sit past every shard clock).
             apply_trace_logs(world, &mut slots);
             let t_final = merge_shards(world, &mut slots, &tmap, &mut global);
-            world.queue.advance_to(t_final);
+            world.queue.advance_to(t_final.max(t_view));
             break;
         };
 
-        let t_end = if next_t == SimTime::MAX {
+        if next_t == SimTime::MAX {
             // Saturated (effectively-infinite) timers: no strictly-later
-            // window end exists, so run the single globally-next event.
+            // deadline exists, so run the single globally-next event.
             let (i, _) = slots
                 .iter()
                 .enumerate()
@@ -541,65 +857,155 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                 .as_mut()
                 .expect("shard at barrier")
                 .run_window(SimTime::MAX, true, limit);
-            SimTime::MAX
-        } else {
-            // One conservative window: every event below `t_end` is causally
-            // independent across shards.
-            let mut t_end = next_t.saturating_add(lookahead);
-            if let Some((gt, _)) = global.peek_key() {
-                t_end = t_end.min(gt);
-            }
-            let busy: Vec<usize> = (0..slots.len())
-                .filter(|&i| {
-                    slots[i]
-                        .as_ref()
-                        .expect("shard at barrier")
-                        .queue
-                        .peek_key()
-                        .is_some_and(|(t, _)| t < t_end)
-                })
-                .collect();
-            // The first busy shard always runs inline on the coordinator —
-            // a window with a single busy shard never touches a channel —
-            // and the rest spread round-robin over the worker pool (all of
-            // them run inline when the pool is empty).
-            let mut sent: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
-            let mut inline: Vec<usize> = Vec::new();
-            for (j, &i) in busy.iter().enumerate() {
-                if j == 0 || workers.is_empty() {
-                    inline.push(i);
-                } else {
-                    let w = (j - 1) % workers.len();
-                    let shard = slots[i].take().expect("shard at barrier");
-                    workers[w]
-                        .cmd
-                        .send((shard, t_end, limit))
-                        .expect("worker hung up");
-                    sent[w].push(i);
-                }
-            }
-            for i in inline {
-                slots[i]
-                    .as_mut()
-                    .expect("shard at barrier")
-                    .run_window(t_end, false, limit);
-            }
-            for (w, list) in workers.iter_mut().zip(&sent) {
-                for &i in list {
-                    slots[i] = Some(w.recv());
-                }
-            }
-            t_end
-        };
+            caps.fill(SimTime::MAX);
+            route_outboxes(&mut slots, &mut global, &owner, &caps);
+            apply_trace_logs(world, &mut slots);
+            let total = world.queue.processed()
+                + slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
+                    .sum::<u64>();
+            assert!(total <= limit, "event budget exceeded: livelock (parallel)");
+            continue;
+        }
 
-        route_outboxes(&mut slots, &mut global, &owner, t_end);
-        apply_trace_logs(world, &mut slots);
-        let total = world.queue.processed()
-            + slots
-                .iter()
-                .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
-                .sum::<u64>();
-        assert!(total <= limit, "event budget exceeded: livelock (parallel)");
+        // One epoch: scheduling rounds under a fixed horizon `k` windows
+        // past the epoch's starting frontier. Each round hands every busy
+        // shard its own pairwise deadline; the epoch ends when the frontier
+        // reaches the horizon, a global comes due, or the shards drain —
+        // all handled by re-entering the outer loop.
+        let horizon = next_t.saturating_add(w.saturating_mul(tuning.epoch));
+        loop {
+            // Refresh frontiers and the global-creation floor in one pass.
+            let (mut lt, mut lk) = (SimTime::MAX, u128::MAX);
+            let mut any = false;
+            let mut ge_floor = SimTime::MAX;
+            for (i, slot) in slots.iter_mut().enumerate() {
+                let s = slot.as_mut().expect("shard at barrier");
+                match s.queue.peek_key() {
+                    None => {
+                        nexts[i] = None;
+                        // An empty shard holds no timers; its stale heap
+                        // entries must not pin the bound below the frontier.
+                        s.timeout_lb.clear();
+                    }
+                    Some((t, k)) => {
+                        nexts[i] = Some((t, k));
+                        any = true;
+                        if (t, k) < (lt, lk) {
+                            (lt, lk) = (t, k);
+                        }
+                        if hazard {
+                            // Earliest Suspect this shard could create:
+                            // min(queued timer, earliest future-armed
+                            // timer) + one lookahead window (added below).
+                            let fl = s.timeout_floor(t).min(t.saturating_add(arm_floor));
+                            ge_floor = ge_floor.min(fl);
+                        }
+                    }
+                }
+            }
+            if !any || lt >= horizon {
+                continue 'outer; // drained, or epoch exhausted
+            }
+            if let Some(g) = global.peek_key() {
+                if g <= (lt, lk) {
+                    continue 'outer; // a global came due mid-epoch
+                }
+            }
+
+            // Shared deadline roof: the epoch horizon, the earliest pending
+            // global, and the earliest global any shard could still create
+            // (`Suspect` = timer fire + one window; `ge_floor ≥ lt` by the
+            // timeout-floor strip, so the roof stays strictly past `lt` and
+            // the round always advances something).
+            let gcap = global.peek_key().map_or(SimTime::MAX, |(t, _)| t);
+            let ge = if hazard {
+                ge_floor.saturating_add(w)
+            } else {
+                SimTime::MAX
+            };
+            let roof = horizon.min(ge).min(gcap);
+
+            // Per-shard deadlines from the directed pairwise slack (the
+            // j == i term is the self round-trip bound).
+            for i in 0..parts {
+                let mut cap = roof;
+                for (j, nj) in nexts.iter().enumerate() {
+                    if let Some((tj, _)) = nj {
+                        cap = cap.min(tj.saturating_add(slack[j * parts + i]));
+                    }
+                }
+                caps[i] = cap;
+            }
+            busy.clear();
+            busy.extend((0..parts).filter(|&i| nexts[i].is_some_and(|(t, _)| t < caps[i])));
+            assert!(
+                !busy.is_empty(),
+                "parallel scheduler stalled with events pending at {lt}"
+            );
+
+            if trace_on {
+                let buffered: usize = slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("shard at barrier").tlog.buf.len())
+                    .sum();
+                if buffered > TRACE_FLUSH_THRESHOLD {
+                    flush_trace_below(world, &mut slots, lt);
+                }
+            }
+
+            // Dispatch: shard 0 is pinned to the coordinator and shard
+            // i ≥ 1 to worker (i - 1) mod pool — a stable mapping that
+            // keeps each shard's state hot in one thread's cache. A round
+            // with a single busy shard (or no pool) never touches a
+            // channel.
+            if workers.is_empty() || busy.len() == 1 {
+                for &i in &busy {
+                    slots[i]
+                        .as_mut()
+                        .expect("shard at barrier")
+                        .run_window(caps[i], false, limit);
+                }
+            } else {
+                for list in sent.iter_mut() {
+                    list.clear();
+                }
+                let mut run0 = false;
+                for &i in &busy {
+                    if i == 0 {
+                        run0 = true;
+                        continue;
+                    }
+                    let wx = (i - 1) % workers.len();
+                    let shard = slots[i].take().expect("shard at barrier");
+                    workers[wx]
+                        .cmd
+                        .send((shard, caps[i], limit))
+                        .expect("worker hung up");
+                    sent[wx].push(i);
+                }
+                if run0 {
+                    slots[0]
+                        .as_mut()
+                        .expect("shard at barrier")
+                        .run_window(caps[0], false, limit);
+                }
+                for (wk, list) in workers.iter_mut().zip(&sent) {
+                    for &i in list {
+                        slots[i] = Some(wk.recv());
+                    }
+                }
+            }
+
+            route_outboxes(&mut slots, &mut global, &owner, &caps);
+            let total = world.queue.processed()
+                + slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
+                    .sum::<u64>();
+            assert!(total <= limit, "event budget exceeded: livelock (parallel)");
+        }
     }
 
     for w in workers {

@@ -29,7 +29,7 @@
 use crate::config::ClusterConfig;
 use crate::exec;
 use crate::fault::{EvacuationPolicy, FaultEvent};
-use cohfree_fabric::{Fabric, Message, MsgKind, NodeId};
+use cohfree_fabric::{Fabric, FabricRow, Message, MsgKind, NodeId};
 use cohfree_mem::NodeMemory;
 use cohfree_os::directory::Directory;
 use cohfree_os::frames::FrameAllocator;
@@ -118,6 +118,34 @@ pub struct Sample {
 struct Sampler {
     interval: SimDuration,
     samples: Vec<Sample>,
+}
+
+/// Assemble one [`Sample`] from lane-ordered node borrows. Shared between
+/// the sequential sampler and the parallel engine's merged *view* (which
+/// holds the nodes split across shards), so both record byte-identical
+/// observations. `nodes[i]` is node `i + 1`; `events_queued` is the
+/// engine-queue depth excluding the probe itself.
+pub(crate) fn build_sample(
+    at: SimTime,
+    nodes: &[&NodeCtx],
+    max_link_backlog_ns: f64,
+    events_queued: usize,
+) -> Sample {
+    Sample {
+        at,
+        client_in_flight: nodes.iter().map(|n| n.client.in_flight()).collect(),
+        server_backlog_ns: nodes
+            .iter()
+            .map(|n| n.server.engine_backlog(at).as_ns_f64())
+            .collect(),
+        mem_backlog_ns: nodes
+            .iter()
+            .map(|n| n.mem.max_backlog(at).as_ns_f64())
+            .collect(),
+        max_link_backlog_ns,
+        events_queued,
+        completions: nodes.iter().map(|n| n.client.completions()).collect(),
+    }
 }
 
 /// A point-in-time serializable view of every timed component in the
@@ -490,33 +518,47 @@ impl World {
     }
 
     fn take_sample(&mut self, now: SimTime) {
-        let Some(sampler) = self.sampler.as_mut() else {
+        if self.sampler.is_none() {
             return;
+        }
+        let sample = {
+            let refs: Vec<&NodeCtx> = self.nodes.iter().collect();
+            build_sample(
+                now,
+                &refs,
+                self.fabric.max_link_backlog(now).as_ns_f64(),
+                self.queue.len(),
+            )
         };
+        let sampler = self.sampler.as_mut().expect("checked above");
         let interval = sampler.interval;
-        sampler.samples.push(Sample {
-            at: now,
-            client_in_flight: self.nodes.iter().map(|n| n.client.in_flight()).collect(),
-            server_backlog_ns: self
-                .nodes
-                .iter()
-                .map(|n| n.server.engine_backlog(now).as_ns_f64())
-                .collect(),
-            mem_backlog_ns: self
-                .nodes
-                .iter()
-                .map(|n| n.mem.max_backlog(now).as_ns_f64())
-                .collect(),
-            max_link_backlog_ns: self.fabric.max_link_backlog(now).as_ns_f64(),
-            events_queued: self.queue.len(),
-            completions: self.nodes.iter().map(|n| n.client.completions()).collect(),
-        });
+        sampler.samples.push(sample);
         // Re-arm only while the cluster still has work in flight; when this
         // probe is the only queued event, sampling would keep the run alive
         // forever.
         if !self.queue.is_empty() {
             self.gsched(now + interval, Ev::Sample);
         }
+    }
+
+    /// The sampling interval, when [`World::enable_sampling`] armed the
+    /// probe (parallel-engine view path).
+    pub(crate) fn sampler_interval(&self) -> Option<SimDuration> {
+        self.sampler.as_ref().map(|s| s.interval)
+    }
+
+    /// Record one externally-assembled sample (parallel-engine view path).
+    pub(crate) fn push_sample(&mut self, sample: Sample) {
+        self.sampler
+            .as_mut()
+            .expect("sampling enabled")
+            .samples
+            .push(sample);
+    }
+
+    /// Whether the online recovery manager is configured.
+    pub(crate) fn has_manager(&self) -> bool {
+        self.manager.is_some()
     }
 
     /// Configure the coherent-DSM baseline: every `CohReadReq` transaction
@@ -701,10 +743,19 @@ impl World {
     /// same order, so the resulting keys — and therefore the total event
     /// order — agree across engines.
     pub(crate) fn gsched(&mut self, at: SimTime, ev: Ev) {
-        let lane = self.lane_of(&ev);
+        let key = self.next_gkey(&ev);
+        self.queue.schedule_keyed(at, key, ev);
+    }
+
+    /// Allocate the next global-context ordering key for `ev` without
+    /// scheduling it — the parallel engine's view path re-arms probes into
+    /// its own holding queue but must burn the same `gseq` values in the
+    /// same order as the sequential engine.
+    pub(crate) fn next_gkey(&mut self, ev: &Ev) -> u128 {
+        let lane = self.lane_of(ev);
         let key = exec::make_key(lane, 0, 0, self.gseq, 0);
         self.gseq += 1;
-        self.queue.schedule_keyed(at, key, ev);
+        key
     }
 
     /// The node lane that processes `ev` (0 = global).
@@ -930,11 +981,27 @@ impl World {
     /// liveness, reachability, suspicion, queue pressure, spare capacity and
     /// whether anyone's zones are homed on the node.
     fn observe(&self, now: SimTime) -> Vec<NodeObservation> {
+        let nodes: Vec<&NodeCtx> = self.nodes.iter().collect();
+        let rows = self.fabric.row_refs();
+        self.observe_parts(now, &nodes, &rows)
+    }
+
+    /// [`World::observe`] over lane-ordered borrows of the per-node state —
+    /// the parallel engine's merged *view* passes shard borrows here so a
+    /// manager tick can decide without tearing the shards down. `nodes[i]` /
+    /// `rows[i]` belong to node `i + 1`; directory, liveness and suspicion
+    /// state stay on the world across a split, so they are read from `self`.
+    pub(crate) fn observe_parts(
+        &self,
+        now: SimTime,
+        nodes: &[&NodeCtx],
+        rows: &[&FabricRow],
+    ) -> Vec<NodeObservation> {
         let isolated = self.fabric.isolated_nodes();
         (1..=self.cfg.topology.num_nodes())
             .map(|i| {
                 let id = NodeId::new(i);
-                let hosts_zones = self.nodes.iter().enumerate().any(|(j, nc)| {
+                let hosts_zones = nodes.iter().enumerate().any(|(j, nc)| {
                     j != id.index() && nc.region.segments().iter().any(|s| s.home == id)
                 });
                 NodeObservation {
@@ -942,8 +1009,8 @@ impl World {
                     dead: self.dead[id.index()],
                     isolated: isolated[i as usize],
                     suspected: self.suspected[id.index()],
-                    server_backlog: self.nodes[id.index()].server.engine_backlog(now),
-                    link_backlog: self.fabric.node_link_backlog(now, id),
+                    server_backlog: nodes[id.index()].server.engine_backlog(now),
+                    link_backlog: rows[id.index()].max_backlog(now),
                     free_frames: self.directory.free_frames(id),
                     hosts_zones,
                 }
@@ -958,12 +1025,37 @@ impl World {
     /// would keep the sampler and the manager alive through each other
     /// forever.
     fn manager_tick(&mut self, now: SimTime) {
-        let Some(mut mgr) = self.manager.take() else {
+        if self.manager.is_none() {
             return;
-        };
+        }
         let tick = self.cfg.manager.tick;
         let obs = self.observe(now);
-        for action in mgr.tick(&obs) {
+        let actions = self.manager_decide(&obs).expect("checked above");
+        self.manager_apply(now, &actions);
+        if self.threads.iter().any(|t| t.finished.is_none()) || !self.pending.is_empty() {
+            self.gsched(now + tick, Ev::Manager);
+        }
+    }
+
+    /// Run the manager's pure policy pass over `obs` and return its actions
+    /// (`None` when no manager is configured). Mutates nothing but the
+    /// manager's own hysteresis state — the parallel engine calls this
+    /// against a merged *view* and only pays for a full shard merge when
+    /// the returned actions are non-empty.
+    pub(crate) fn manager_decide(&mut self, obs: &[NodeObservation]) -> Option<Vec<ManagerAction>> {
+        let mut mgr = self.manager.take()?;
+        let actions = mgr.tick(obs);
+        self.manager = Some(mgr);
+        Some(actions)
+    }
+
+    /// Apply a batch of manager actions decided by [`World::manager_decide`].
+    /// Requires the fully-merged world (rehoming touches regions, the
+    /// directory and every thread's zone table).
+    pub(crate) fn manager_apply(&mut self, now: SimTime, actions: &[ManagerAction]) {
+        let mgr = self.manager.take().expect("manager configured");
+        let tick = self.cfg.manager.tick;
+        for &action in actions {
             match action {
                 ManagerAction::Shed { target } => {
                     for nc in &mut self.nodes {
@@ -991,9 +1083,6 @@ impl World {
             }
         }
         self.manager = Some(mgr);
-        if self.threads.iter().any(|t| t.finished.is_none()) || !self.pending.is_empty() {
-            self.gsched(now + tick, Ev::Manager);
-        }
     }
 
     /// Proactively migrate every zone homed on `from` to a load-aware donor

@@ -317,3 +317,65 @@ fn coherent_domain_forces_sequential() {
     w.set_parallel(8);
     assert_eq!(w.parallel(), 1);
 }
+
+/// A fully connected fabric has no distance structure: every cross-shard
+/// distance is exactly one hop, so the asymmetric pairwise lookahead
+/// collapses to the uniform single-hop bound and proximity placement falls
+/// back to contiguous splitting. Output must still be byte-identical.
+#[test]
+fn fully_connected_world_is_engine_invariant() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.topology = Topology::FullyConnected { nodes: 8 };
+    cfg.trace = TraceConfig::full();
+    let mut rng = Rng::new(0xFC01);
+    let specs = arb_specs(&mut rng, 8, 120);
+    assert_engine_invariant(cfg, &specs, true, "fully-connected");
+}
+
+/// The smallest legal world — two nodes on a unidirectional ring — at
+/// partition counts far beyond the lane count. `set_parallel` clamps to 2,
+/// each shard holds a single lane, and every pairwise distance (and the
+/// self round-trip bound) is at its degenerate minimum.
+#[test]
+fn tiny_two_node_world_is_engine_invariant() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.topology = Topology::Ring { nodes: 2 };
+    cfg.trace = TraceConfig::full();
+    let mut rng = Rng::new(0x2B0D);
+    let specs = arb_specs(&mut rng, 2, 120);
+    assert_engine_invariant(cfg, &specs, true, "two-node ring");
+}
+
+/// The tuning knobs must never change a single output byte: epoch 1 (the
+/// old barrier-per-window lock step), a huge epoch, and both placement
+/// policies all reproduce the sequential fingerprint on a lossy world.
+/// Valid knob values are safe to leak to concurrently running tests —
+/// they are output-invariant by contract — so no serialization is needed.
+#[test]
+fn tuning_knobs_preserve_byte_identity() {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    cfg.fabric.loss_rate = 1e-3;
+    cfg.recovery.max_retries = 4;
+    let mut rng = Rng::new(0x7A6B);
+    let specs = arb_specs(&mut rng, 16, 120);
+    let baseline = fingerprint(&run_world(cfg, &specs, true, 1), specs.len());
+    for (epoch, placement) in [
+        ("1", "proximity"),
+        ("1", "contiguous"),
+        ("512", "proximity"),
+        ("512", "contiguous"),
+    ] {
+        std::env::set_var("COHFREE_PAR_EPOCH", epoch);
+        std::env::set_var("COHFREE_PAR_PLACEMENT", placement);
+        for parts in [2usize, 4, 8] {
+            let par = fingerprint(&run_world(cfg, &specs, true, parts), specs.len());
+            assert_eq!(
+                baseline, par,
+                "epoch {epoch} / {placement}: {parts}-partition run diverged"
+            );
+        }
+        std::env::remove_var("COHFREE_PAR_EPOCH");
+        std::env::remove_var("COHFREE_PAR_PLACEMENT");
+    }
+}

@@ -532,6 +532,21 @@ impl Fabric {
             .map_or(SimDuration::ZERO, |r| r.max_backlog(now))
     }
 
+    /// Borrow one router row per node in id order (`out[i]` is node
+    /// `i + 1`, the placeholder row 0 skipped). The parallel engine builds
+    /// the same shape from shard-owned rows so global observers (sampler,
+    /// recovery manager) can run against a borrowed view without a merge.
+    ///
+    /// # Panics
+    /// Panics if the rows are currently [`Fabric::take_rows`]-taken.
+    pub fn row_refs(&self) -> Vec<&FabricRow> {
+        assert!(
+            !self.rows.is_empty(),
+            "fabric rows are split out; build the view from the shards"
+        );
+        self.rows[1..].iter().collect()
+    }
+
     /// Per-node isolation map under the current outage set: `out[id]` is
     /// true iff the node is down or every one of its incident links is
     /// unusable (a correlated link partition cut it off). Index 0 is an
