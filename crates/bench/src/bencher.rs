@@ -125,15 +125,18 @@ mod tests {
 
     #[test]
     fn work_scales_roughly_linearly() {
+        // `black_box` on the loop variable keeps release builds from
+        // constant-folding the whole sum to a closed form, which made both
+        // loops take identical (near-zero) time and the test flaky.
         let mut acc = 0u64;
         let r1 = bench_quiet("sum1k", || {
             for i in 0..1_000u64 {
-                acc = acc.wrapping_add(i);
+                acc = acc.wrapping_add(std::hint::black_box(i));
             }
         });
         let r4 = bench_quiet("sum4k", || {
             for i in 0..4_000u64 {
-                acc = acc.wrapping_add(i);
+                acc = acc.wrapping_add(std::hint::black_box(i));
             }
         });
         std::hint::black_box(acc);

@@ -1,0 +1,7 @@
+//! Extension: parallel-engine wall-clock attribution from the
+//! self-profiling registry. Set `COHFREE_METRICS=<path>` to also export
+//! the final sweep point's raw registry as Prometheus text.
+fn main() {
+    cohfree_bench::experiments::ext_parprof::table(cohfree_bench::Scale::from_env()).print();
+    cohfree_bench::report::finish();
+}

@@ -17,6 +17,12 @@
 //! reach `--par-min-speedup` (default 1.0) times the sequential row — a
 //! host-relative check that needs no baseline, comparing two rows measured
 //! in the same run on the same machine.
+//!
+//! With `--metrics-overhead`, measures the self-profiling registry's cost
+//! on the sequential big-world row (off vs on, same run, same machine) and
+//! exits non-zero if enabling it costs more than
+//! `--metrics-max-regression` (default 0.03 = 3%) of events/second — the
+//! teeth behind the registry's zero-cost-when-off contract.
 
 use cohfree_bench::perf;
 use cohfree_core::Json;
@@ -27,6 +33,8 @@ fn main() {
     let mut tolerance = 3.0f64;
     let mut par_gate = false;
     let mut par_min_speedup = 1.0f64;
+    let mut metrics_gate = false;
+    let mut metrics_max_regression = 0.03f64;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => {
@@ -46,6 +54,17 @@ fn main() {
                 });
             }
             "--par-gate" => par_gate = true,
+            "--metrics-overhead" => metrics_gate = true,
+            "--metrics-max-regression" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("--metrics-max-regression requires a fraction");
+                    std::process::exit(2);
+                });
+                metrics_max_regression = v.parse().unwrap_or_else(|e| {
+                    eprintln!("bad regression bound {v:?}: {e}");
+                    std::process::exit(2);
+                });
+            }
             "--par-min-speedup" => {
                 let v = args.next().unwrap_or_else(|| {
                     eprintln!("--par-min-speedup requires a factor");
@@ -59,7 +78,8 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument {other:?} \
-                     (expected --check/--tolerance/--par-gate/--par-min-speedup)"
+                     (expected --check/--tolerance/--par-gate/--par-min-speedup/\
+                     --metrics-overhead/--metrics-max-regression)"
                 );
                 std::process::exit(2);
             }
@@ -91,6 +111,27 @@ fn main() {
             std::process::exit(1);
         }
         println!("perf: par gate ok — big_world_par8 is {speedup:.2}x big_world_seq");
+    }
+
+    if metrics_gate {
+        let (off_eps, on_eps) = perf::metrics_overhead();
+        // Positive = the enabled registry costs throughput.
+        let regression = 1.0 - on_eps / off_eps.max(1e-9);
+        if regression > metrics_max_regression {
+            eprintln!(
+                "perf: metrics registry too costly: {on_eps:.0} events/s on vs \
+                 {off_eps:.0} off ({:.2}% regression, bound {:.2}%)",
+                regression * 100.0,
+                metrics_max_regression * 100.0
+            );
+            cohfree_bench::report::finish();
+            std::process::exit(1);
+        }
+        println!(
+            "perf: metrics overhead ok — {on_eps:.0} events/s on vs {off_eps:.0} off \
+             ({:+.2}%)",
+            -regression * 100.0
+        );
     }
 
     if let Some(path) = baseline_path {

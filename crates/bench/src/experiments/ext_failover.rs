@@ -126,6 +126,7 @@ fn run_one(
 
     if record {
         crate::report::record_snapshot(&format!("ext_failover/budget{budget}"), w.snapshot());
+        crate::report::record_slo(&format!("ext_failover/budget{budget}"), &w);
     }
     Outcome {
         budget,

@@ -1,0 +1,211 @@
+//! EXT-PARPROF — where does the parallel engine's wall clock go?
+//!
+//! The conservative parallel engine is output-invariant, so the *only*
+//! question a tuning knob answers is "how much wall clock does it buy".
+//! This study turns the engine's own self-profiling registry
+//! ([`cohfree_sim::metrics`]) on, sweeps partition count × epoch factor ×
+//! shard placement over the perf harness's 256-node big world, and prints
+//! an attribution table: what share of the coordinator's wall clock went
+//! to executing windows inline, stalling on workers, merging shards back,
+//! and handing work off — plus the achieved speedup against the ideal
+//! (the partition count).
+//!
+//! Shares come from the `cohfree_par_coord_ns{bucket=...}` counters the
+//! engine flushes after every parallel run. Their sum *is* the engine's
+//! total wall clock by construction (the `other` bucket is the remainder),
+//! and the `coverage` column cross-checks that total against an external
+//! timer around `World::run` — it must stay ≥95%, i.e. the attribution
+//! explains essentially all of the measured wall time.
+//!
+//! Everything in this table is wall-clock and therefore host-dependent and
+//! nondeterministic; none of it lands in the `COHFREE_JSON` metrics
+//! section (which carries only deterministic SLO accounting). Run with
+//! `COHFREE_METRICS=<path>` to also export the final sweep point's raw
+//! registry as Prometheus text.
+
+use crate::table::Table;
+use crate::Scale;
+use cohfree_sim::metrics;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Partition count handed to [`cohfree_core::World::set_parallel`].
+    pub parts: usize,
+    /// Epoch factor (`COHFREE_PAR_EPOCH`).
+    pub epoch: u64,
+    /// Shard placement (`COHFREE_PAR_PLACEMENT`).
+    pub placement: &'static str,
+    /// Measured wall time around `World::run`, in milliseconds.
+    pub wall_ms: f64,
+    /// Sequential wall time / this row's wall time.
+    pub speedup: f64,
+    /// Coordinator share spent executing windows inline.
+    pub exec_share: f64,
+    /// Coordinator share spent waiting on worker results.
+    pub stall_share: f64,
+    /// Coordinator share spent merging shards and applying global events.
+    pub merge_share: f64,
+    /// Coordinator share spent dispatching shards and routing outboxes.
+    pub handoff_share: f64,
+    /// Unattributed remainder share.
+    pub other_share: f64,
+    /// Attributed engine total / externally measured wall time.
+    pub coverage: f64,
+    /// Cause-attributed shard merges (fault + suspect + manager).
+    pub merges: u64,
+    /// Coordinator rounds.
+    pub rounds: u64,
+}
+
+/// The coordinator buckets, in presentation order. `other` is derived as
+/// the remainder at flush time, so the five sum to the engine total.
+const BUCKETS: [&str; 5] = ["execute", "stall", "merge", "handoff", "other"];
+
+fn coord_ns(snap: &metrics::Snapshot, bucket: &str) -> u64 {
+    snap.counter(&format!("cohfree_par_coord_ns{{bucket=\"{bucket}\"}}"))
+}
+
+/// Time one run of the big world at `parts` partitions; returns
+/// `(wall_secs, registry snapshot)`. The registry is reset first so each
+/// sweep point reads only its own run.
+fn timed_run(accesses: u64, parts: usize) -> (f64, metrics::Snapshot) {
+    metrics::reset();
+    let mut w = crate::perf::big_world_with(accesses);
+    w.set_parallel(parts);
+    let t0 = std::time::Instant::now();
+    w.run();
+    (t0.elapsed().as_secs_f64(), metrics::snapshot())
+}
+
+/// Run the sweep. The runs go one at a time — wall-clock attribution and a
+/// process-global registry both forbid overlapping them on the worker
+/// pool. Leaves the registry holding the final sweep point's data (so a
+/// `COHFREE_METRICS` export carries a real run) and restores the metrics
+/// tier it found.
+pub fn run(scale: Scale) -> Vec<Row> {
+    let accesses = scale.pick(40u64, 625, 2_500);
+    let parts_sweep: &[usize] = scale.pick(&[2, 8][..], &[2, 4, 8][..], &[2, 4, 8][..]);
+    let epochs: &[u64] = scale.pick(&[64][..], &[16, 64, 256][..], &[16, 64, 256][..]);
+    let placements: &[&str] = scale.pick(
+        &["proximity"][..],
+        &["proximity", "contiguous"][..],
+        &["proximity", "contiguous"][..],
+    );
+
+    let was_enabled = metrics::enabled();
+    metrics::set_enabled(true);
+    // Sequential reference for the speedup column (engine-profiled too,
+    // but only the wall matters here).
+    let (seq_secs, _) = timed_run(accesses, 1);
+
+    let mut rows = Vec::new();
+    for &placement in placements {
+        for &epoch in epochs {
+            std::env::set_var("COHFREE_PAR_EPOCH", epoch.to_string());
+            std::env::set_var("COHFREE_PAR_PLACEMENT", placement);
+            for &parts in parts_sweep {
+                let (secs, snap) = timed_run(accesses, parts);
+                let by_bucket: Vec<u64> = BUCKETS.iter().map(|b| coord_ns(&snap, b)).collect();
+                let total: u64 = by_bucket.iter().sum();
+                let share = |i: usize| {
+                    if total == 0 {
+                        0.0
+                    } else {
+                        by_bucket[i] as f64 / total as f64
+                    }
+                };
+                rows.push(Row {
+                    parts,
+                    epoch,
+                    placement,
+                    wall_ms: secs * 1e3,
+                    speedup: seq_secs / secs.max(1e-9),
+                    exec_share: share(0),
+                    stall_share: share(1),
+                    merge_share: share(2),
+                    handoff_share: share(3),
+                    other_share: share(4),
+                    coverage: total as f64 / (secs * 1e9).max(1.0),
+                    merges: snap.counter_sum("cohfree_par_merges_total"),
+                    rounds: snap.counter("cohfree_par_rounds_total"),
+                });
+            }
+            std::env::remove_var("COHFREE_PAR_EPOCH");
+            std::env::remove_var("COHFREE_PAR_PLACEMENT");
+        }
+    }
+    metrics::set_enabled(was_enabled);
+    rows
+}
+
+/// Render the study as a table.
+pub fn table(scale: Scale) -> Table {
+    let rows = run(scale);
+    let mut t = Table::new(
+        "EXT-PARPROF — parallel-engine wall-clock attribution (big world)",
+        &[
+            "parts",
+            "epoch",
+            "placement",
+            "wall_ms",
+            "speedup",
+            "ideal",
+            "exec%",
+            "stall%",
+            "merge%",
+            "handoff%",
+            "other%",
+            "coverage%",
+            "merges",
+            "rounds",
+        ],
+    );
+    let pct = |s: f64| format!("{:.1}", s * 100.0);
+    for r in &rows {
+        t.row(vec![
+            r.parts.to_string(),
+            r.epoch.to_string(),
+            r.placement.into(),
+            format!("{:.1}", r.wall_ms),
+            format!("{:.2}x", r.speedup),
+            format!("{:.2}x", r.parts as f64),
+            pct(r.exec_share),
+            pct(r.stall_share),
+            pct(r.merge_share),
+            pct(r.handoff_share),
+            pct(r.other_share),
+            pct(r.coverage),
+            r.merges.to_string(),
+            r.rounds.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_covers_the_measured_wall_clock() {
+        let rows = run(Scale::Smoke);
+        assert_eq!(rows.len(), 2, "smoke sweeps parts 2 and 8");
+        for r in &rows {
+            // The five buckets are exhaustive by construction...
+            let sum =
+                r.exec_share + r.stall_share + r.merge_share + r.handoff_share + r.other_share;
+            assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum} ({r:?})");
+            // ...and their total must explain the externally timed wall
+            // clock. 95% is the acceptance bar; the engine prologue is the
+            // only code outside the attributed span.
+            assert!(
+                r.coverage >= 0.95,
+                "attribution covers only {:.1}% of wall ({r:?})",
+                r.coverage * 100.0
+            );
+            assert!(r.rounds > 0, "coordinator rounds must be counted ({r:?})");
+            assert!(r.wall_ms > 0.0 && r.speedup > 0.0);
+        }
+    }
+}

@@ -72,16 +72,18 @@ pub fn run_traced(scale: Scale, trace: TraceConfig, record: bool) -> (f64, Vec<R
             p99_ns,
             unloaded_ns,
         };
-        (row, local_ns, w.events_processed(), w.snapshot())
+        let slo = crate::report::slo_json(&w);
+        (row, local_ns, w.events_processed(), w.snapshot(), slo)
     });
     let mut rows = Vec::new();
     let mut local_ref = 0.0;
     let mut events = 0u64;
-    for (row, local_ns, ev, snap) in points {
+    for (row, local_ns, ev, snap, slo) in points {
         local_ref = local_ns;
         events += ev;
         if record {
             crate::report::record_snapshot(&format!("fig6/hops{}", row.hops), snap);
+            crate::report::record_slo_json(&format!("fig6/hops{}", row.hops), slo);
         }
         rows.push(row);
     }

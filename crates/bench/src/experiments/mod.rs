@@ -10,6 +10,7 @@ pub mod ext_db;
 pub mod ext_failover;
 pub mod ext_locality;
 pub mod ext_parallel;
+pub mod ext_parprof;
 pub mod ext_tenants;
 pub mod fig10;
 pub mod fig11;

@@ -217,7 +217,13 @@ pub fn macro_suite() -> Vec<MacroResult> {
 /// hammering a zone borrowed from a distant donor. Every node is either a
 /// client or a donor, so traffic crosses partition boundaries constantly
 /// and the event density keeps each conservative window full.
-fn big_world() -> World {
+pub fn big_world() -> World {
+    big_world_with(625)
+}
+
+/// [`big_world`] with a custom per-thread access count, so EXT-PARPROF can
+/// shrink or grow the same workload shape by scale tier.
+pub fn big_world_with(accesses: u64) -> World {
     let mut cfg = cohfree_core::ClusterConfig::prototype();
     cfg.topology = cohfree_core::Topology::Mesh2D {
         width: 16,
@@ -232,7 +238,7 @@ fn big_world() -> World {
             cohfree_core::world::ThreadSpec {
                 node: client,
                 zones: vec![(resv.prefixed_base, resv.frames * 4096)],
-                accesses: 625,
+                accesses,
                 bytes: 64,
                 write_fraction: 0.3,
                 think: SimDuration::ns(5),
@@ -242,6 +248,39 @@ fn big_world() -> World {
         );
     }
     w
+}
+
+/// The zero-cost-when-off contract, measured: events/second of the
+/// sequential big-world row with the self-profiling registry disabled vs
+/// enabled, best of 5 repetitions each (`(off_eps, on_eps)`). The
+/// sequential engine is the hottest per-event path, so it is where a
+/// probe that is not truly branch-only would show first. The registry
+/// tier found on entry is restored before returning.
+pub fn metrics_overhead() -> (f64, f64) {
+    use cohfree_sim::metrics;
+    fn best_eps() -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..5 {
+            let mut w = big_world();
+            let t0 = std::time::Instant::now();
+            w.run();
+            let eps = w.events_processed() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+            best = best.max(eps);
+        }
+        best
+    }
+    let was = metrics::enabled();
+    // Force the one-shot COHFREE_METRICS auto-enable (first World::new in
+    // the process) to fire *before* we pin the tier, so it cannot flip the
+    // registry back on mid-measurement.
+    drop(World::new(cohfree_core::ClusterConfig::prototype()));
+    metrics::set_enabled(false);
+    let off = best_eps();
+    metrics::set_enabled(true);
+    metrics::reset();
+    let on = best_eps();
+    metrics::set_enabled(was);
+    (off, on)
 }
 
 /// Render the suites as report tables (recorded via [`Table::print`]): the

@@ -17,6 +17,14 @@
 //! trace-event JSON file at the path named by `COHFREE_TRACE`, loadable
 //! in Perfetto / `chrome://tracing`. Both variables are independent.
 //!
+//! The document also carries a `metrics` section of SLO accounting blocks
+//! (see [`record_slo`]) derived purely from deterministic simulation
+//! state, so it is byte-identical whichever engine ran the worlds and
+//! whether the self-profiling registry is on or off. The *nondeterministic*
+//! self-profiling data (wall-clock attribution, worker occupancy) is kept
+//! out of the report on purpose; `finish` exports it separately as
+//! Prometheus text to the path named by `COHFREE_METRICS`.
+//!
 //! ```sh
 //! COHFREE_SCALE=smoke COHFREE_JSON=out.json \
 //!     cargo run --release -p cohfree-bench --bin all_figures
@@ -25,12 +33,14 @@
 use crate::table::Table;
 use cohfree_core::world::World;
 use cohfree_core::{ClusterSnapshot, Json};
+use cohfree_sim::span::Phase;
 use std::sync::Mutex;
 
 static COLLECTOR: Mutex<Collector> = Mutex::new(Collector {
     tables: Vec::new(),
     snapshots: Vec::new(),
     trace_events: Vec::new(),
+    slos: Vec::new(),
     traced_worlds: 0,
 });
 
@@ -38,6 +48,7 @@ struct Collector {
     tables: Vec<Json>,
     snapshots: Vec<Json>,
     trace_events: Vec<Json>,
+    slos: Vec<Json>,
     traced_worlds: u64,
 }
 
@@ -66,6 +77,84 @@ pub fn record_snapshot(name: &str, snap: ClusterSnapshot) {
         .push(entry);
 }
 
+/// Derive the SLO accounting block for a finished world: per-phase and
+/// end-to-end latency quantiles (p50/p99/p99.9) from the aggregate span
+/// histograms, plus availability over the sampling probe's windows. A
+/// window counts as *available* when the cluster made client progress
+/// during it (cumulative completions advanced) or had nothing left to do
+/// (drained queue); a stalled window — events pending, zero completions —
+/// is unavailable time, which is exactly what a donor crash produces
+/// between detection and evacuation.
+///
+/// Everything here is computed from simulation state only — virtual time,
+/// deterministic histograms — never from the self-profiling registry, so
+/// the block is byte-identical across engines, partition counts and
+/// metrics tiers.
+pub fn slo_json(world: &World) -> Json {
+    let trace = world.trace();
+    let mut phases = Vec::new();
+    for p in Phase::ALL {
+        let h = trace.phase_hist(p);
+        if h.count() == 0 {
+            continue;
+        }
+        phases.push(Json::obj([
+            ("phase", Json::from(p.name())),
+            ("count", Json::from(h.count())),
+            ("p50_ns", Json::from(h.quantile_ns(0.50))),
+            ("p99_ns", Json::from(h.quantile_ns(0.99))),
+            ("p999_ns", Json::from(h.quantile_ns(0.999))),
+        ]));
+    }
+    let samples = world.samples();
+    let mut windows = 0u64;
+    let mut available = 0u64;
+    for pair in samples.windows(2) {
+        windows += 1;
+        let advanced =
+            pair[1].completions.iter().sum::<u64>() > pair[0].completions.iter().sum::<u64>();
+        if advanced || pair[1].events_queued == 0 {
+            available += 1;
+        }
+    }
+    Json::obj([
+        ("phases", Json::Arr(phases)),
+        (
+            "availability",
+            Json::obj([
+                ("windows", Json::from(windows)),
+                ("available", Json::from(available)),
+                (
+                    "fraction",
+                    Json::from(if windows == 0 {
+                        1.0
+                    } else {
+                        available as f64 / windows as f64
+                    }),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Record `world`'s SLO accounting block under `name`.
+pub fn record_slo(name: &str, world: &World) {
+    record_slo_json(name, slo_json(world));
+}
+
+/// Record a pre-computed SLO block (see [`slo_json`]) under `name`. Split
+/// from [`record_slo`] so sweeps that run on the worker pool can derive
+/// the block inside the parallel closure and merge it back in input order,
+/// keeping the report byte-identical to a sequential sweep.
+pub fn record_slo_json(name: &str, slo: Json) {
+    let entry = Json::obj([("name", Json::from(name)), ("slo", slo)]);
+    COLLECTOR
+        .lock()
+        .expect("report collector poisoned")
+        .slos
+        .push(entry);
+}
+
 /// Record `world`'s retained span stream (Full trace mode) under `name`
 /// into the Chrome trace accumulated for `COHFREE_TRACE`. Each recorded
 /// world gets its own pid range so multiple runs coexist in one Perfetto
@@ -91,6 +180,7 @@ pub fn reset() {
     c.tables.clear();
     c.snapshots.clear();
     c.trace_events.clear();
+    c.slos.clear();
     c.traced_worlds = 0;
 }
 
@@ -113,6 +203,7 @@ pub fn document() -> Json {
         ("scale", Json::from(crate::Scale::from_env().name())),
         ("tables", Json::Arr(c.tables.clone())),
         ("cluster_snapshots", Json::Arr(c.snapshots.clone())),
+        ("metrics", Json::obj([("slos", Json::Arr(c.slos.clone()))])),
     ])
 }
 
@@ -143,6 +234,16 @@ pub fn finish() {
         text.push('\n');
         match std::fs::write(&path, text) {
             Ok(()) => eprintln!("report: wrote Chrome trace to {path}"),
+            Err(e) => {
+                eprintln!("report: failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = cohfree_core::envknob::metrics_export_path() {
+        let text = cohfree_sim::metrics::render_prometheus();
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("report: wrote Prometheus metrics to {path}"),
             Err(e) => {
                 eprintln!("report: failed to write {path}: {e}");
                 std::process::exit(1);
@@ -189,5 +290,22 @@ mod tests {
             .unwrap()
             .as_array()
             .is_some());
+    }
+
+    #[test]
+    fn slo_blocks_land_in_the_metrics_section() {
+        record_slo_json(
+            "report demo slo",
+            Json::obj([("phases", Json::Arr(Vec::new()))]),
+        );
+        let doc = document();
+        let slos = doc
+            .get("metrics")
+            .and_then(|m| m.get("slos"))
+            .and_then(Json::as_array)
+            .expect("metrics.slos present");
+        assert!(slos
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("report demo slo")));
     }
 }

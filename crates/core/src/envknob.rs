@@ -2,7 +2,8 @@
 //!
 //! Every runtime tuning knob (`COHFREE_PAR_WORKERS`,
 //! `COHFREE_PARALLEL_WORLD`, `COHFREE_PAR_EPOCH`,
-//! `COHFREE_PAR_PLACEMENT`) goes through this module so a garbage value
+//! `COHFREE_PAR_PLACEMENT`, `COHFREE_METRICS`) goes through this module so
+//! a garbage value
 //! produces one clear, typed [`EnvKnobError`] at startup instead of being
 //! silently ignored (the old `parse().unwrap_or(0)` behaviour) or panicking
 //! deep inside the worker pool. Parsing is split from environment lookup so
@@ -57,6 +58,28 @@ pub fn parse_positive(name: &str, raw: &str) -> Result<u64, EnvKnobError> {
     }
 }
 
+/// Parse a filesystem-path knob value: any non-empty string. An empty
+/// value is rejected (a typo like `COHFREE_METRICS=` must not silently
+/// disable the export the caller asked for).
+pub fn parse_path(name: &str, raw: &str) -> Result<String, EnvKnobError> {
+    if raw.is_empty() {
+        Err(err(name, raw, "a non-empty filesystem path"))
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// The `COHFREE_METRICS` knob: the path the bench pipeline writes the
+/// Prometheus-text metrics export to at exit. Setting it also switches the
+/// [`cohfree_sim::metrics`] registry on (see `World::new`).
+///
+/// # Panics
+/// Panics with the typed [`EnvKnobError`] message when the variable is set
+/// to an empty string.
+pub fn metrics_export_path() -> Option<String> {
+    lookup("COHFREE_METRICS", parse_path).unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Parse a choice knob: returns the index of `raw` in `choices`
 /// (ASCII-case-insensitive).
 pub fn parse_choice(
@@ -92,6 +115,10 @@ mod tests {
         assert_eq!(parse_usize("COHFREE_PAR_WORKERS", "0"), Ok(0));
         assert_eq!(parse_usize("COHFREE_PAR_WORKERS", " 3 "), Ok(3));
         assert_eq!(parse_positive("COHFREE_PARALLEL_WORLD", "8"), Ok(8));
+        assert_eq!(
+            parse_path("COHFREE_METRICS", "/tmp/metrics.prom"),
+            Ok("/tmp/metrics.prom".to_string())
+        );
         assert_eq!(parse_positive("COHFREE_PAR_EPOCH", "1"), Ok(1));
         assert_eq!(
             parse_choice(
@@ -114,6 +141,11 @@ mod tests {
             msg.contains("COHFREE_PAR_WORKERS") && msg.contains("three"),
             "{msg}"
         );
+
+        // An export path must not be empty: typed reject, not a silently
+        // dropped export.
+        let e = parse_path("COHFREE_METRICS", "").unwrap_err();
+        assert_eq!(e.name, "COHFREE_METRICS");
 
         // Zero partitions is meaningless for the world knob: typed reject,
         // not the old silent fall-back to sequential.

@@ -239,6 +239,12 @@ impl TraceLog {
 /// interleave correctly (every logged call strictly precedes them in event
 /// order).
 pub(crate) fn replay_trace(sink: &mut TraceSink, mut recs: Vec<TraceRec>) {
+    // Self-profiling (out-of-band): replay volume tells a parallel-engine
+    // PR how much deferred-trace work merges and flushes are moving.
+    if cohfree_sim::metrics::enabled() {
+        cohfree_sim::metrics::counter_add("cohfree_par_trace_replays_total", 1);
+        cohfree_sim::metrics::counter_add("cohfree_par_trace_records_total", recs.len() as u64);
+    }
     recs.sort_unstable_by_key(|r| (r.at, r.key, r.opseq));
     for r in recs {
         r.op.apply(sink);

@@ -57,9 +57,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use cohfree_fabric::{FabricCounters, FabricRow, FabricShared, Topology};
 use cohfree_os::manager::ManagerAction;
+use cohfree_sim::metrics;
+use cohfree_sim::stats::LatencyHistogram;
 use cohfree_sim::{EventQueue, FastMap, SimDuration, SimTime};
 
 use crate::config::{ClusterConfig, ParPlacement, ParTuning};
@@ -117,6 +120,13 @@ struct Shard {
     /// Dummy completion slots: blocking drivers never run in parallel, so
     /// these must still be `None` at every merge (asserted there).
     sync_done: Option<(u64, SimTime)>,
+    /// Out-of-band self-profiling (`cohfree_sim::metrics`): wall-clock
+    /// nanoseconds spent inside [`Shard::run_window`] and windows executed
+    /// since the last (re-)split. Accumulated only while the metrics tier
+    /// is on; harvested by the coordinator before every merge and never
+    /// read by simulation code.
+    prof_busy_ns: u64,
+    prof_windows: u64,
 }
 
 impl Shard {
@@ -125,6 +135,16 @@ impl Shard {
     /// progress when saturated timers sit at `SimTime::MAX`, where no
     /// strictly-later deadline exists).
     fn run_window(&mut self, t_end: SimTime, single: bool, limit: u64) {
+        if !metrics::enabled() {
+            return self.run_window_inner(t_end, single, limit);
+        }
+        let t0 = Instant::now();
+        self.run_window_inner(t_end, single, limit);
+        self.prof_busy_ns += t0.elapsed().as_nanos() as u64;
+        self.prof_windows += 1;
+    }
+
+    fn run_window_inner(&mut self, t_end: SimTime, single: bool, limit: u64) {
         while let Some((at, _)) = self.queue.peek_key() {
             if !single && at >= t_end {
                 return;
@@ -262,16 +282,89 @@ fn spin_recv<T>(rx: &mpsc::Receiver<T>) -> Result<T, mpsc::RecvError> {
     rx.recv()
 }
 
+/// [`spin_recv`] with the spin and park phases separately wall-clocked —
+/// the worker idle attribution for `cohfree_sim::metrics`. Only called
+/// while the metrics tier is on.
+fn spin_recv_timed<T>(
+    rx: &mpsc::Receiver<T>,
+    spin_ns: &mut u64,
+    block_ns: &mut u64,
+) -> Result<T, mpsc::RecvError> {
+    let t0 = Instant::now();
+    let mut pause = 1u32;
+    while pause <= 512 {
+        match rx.try_recv() {
+            Ok(v) => {
+                *spin_ns += t0.elapsed().as_nanos() as u64;
+                return Ok(v);
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                *spin_ns += t0.elapsed().as_nanos() as u64;
+                return Err(mpsc::RecvError);
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                for _ in 0..pause {
+                    std::hint::spin_loop();
+                }
+                pause *= 2;
+            }
+        }
+    }
+    *spin_ns += t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    let r = rx.recv();
+    *block_ns += t1.elapsed().as_nanos() as u64;
+    r
+}
+
 impl Worker {
-    fn spawn() -> Worker {
+    fn spawn(idx: usize) -> Worker {
         let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
         let (res_tx, res_rx) = mpsc::channel::<Shard>();
         let handle = std::thread::spawn(move || {
-            while let Ok((mut shard, t_end, limit)) = spin_recv(&cmd_rx) {
-                shard.run_window(t_end, false, limit);
+            // The metrics tier is cached once per pool lifetime (= one
+            // `run_parallel` call); the disabled path is the pre-existing
+            // loop with zero extra clock reads.
+            let prof = metrics::enabled();
+            let (mut busy_ns, mut spin_ns, mut block_ns, mut rounds) = (0u64, 0u64, 0u64, 0u64);
+            loop {
+                let recv = if prof {
+                    spin_recv_timed(&cmd_rx, &mut spin_ns, &mut block_ns)
+                } else {
+                    spin_recv(&cmd_rx)
+                };
+                let Ok((mut shard, t_end, limit)) = recv else {
+                    break;
+                };
+                if prof {
+                    // `run_window` times itself into the shard's own
+                    // accumulator; the delta is this worker's busy share.
+                    let before = shard.prof_busy_ns;
+                    shard.run_window(t_end, false, limit);
+                    busy_ns += shard.prof_busy_ns - before;
+                    rounds += 1;
+                } else {
+                    shard.run_window(t_end, false, limit);
+                }
                 if res_tx.send(shard).is_err() {
                     break;
                 }
+            }
+            if prof && rounds > 0 {
+                let w = idx.to_string();
+                for (state, ns) in [("busy", busy_ns), ("spin", spin_ns), ("block", block_ns)] {
+                    metrics::counter_add(
+                        &metrics::labeled(
+                            "cohfree_par_worker_ns",
+                            &[("worker", &w), ("state", state)],
+                        ),
+                        ns,
+                    );
+                }
+                metrics::counter_add(
+                    &metrics::labeled("cohfree_par_worker_rounds_total", &[("worker", &w)]),
+                    rounds,
+                );
             }
         });
         Worker {
@@ -464,6 +557,8 @@ fn split_world(world: &mut World, ranges: &[(u16, u16)], owner: &[u16]) -> Split
             tlog: TraceLog::new(trace_on),
             timeout_lb,
             sync_done: None,
+            prof_busy_ns: 0,
+            prof_windows: 0,
         }));
     }
     (shards, global, tmap)
@@ -513,6 +608,204 @@ fn merge_shards(
     t_final
 }
 
+/// Run-local accumulator for the parallel engine's self-profiling probes
+/// (`cohfree_sim::metrics`). Allocated only while the metrics tier is on,
+/// lives on the coordinator's stack for one [`run_parallel`] call, and
+/// flushes to the global registry once at the end — the hot scheduling
+/// loop never touches the registry mutex. Strictly out-of-band: nothing
+/// recorded here feeds back into scheduling decisions or simulation state,
+/// which is what keeps output byte-identical with metrics on or off.
+struct ParProf {
+    start: Instant,
+    parts: usize,
+    rounds: u64,
+    epochs: u64,
+    single_steps: u64,
+    view_samples: u64,
+    view_managers: u64,
+    merges_fault: u64,
+    merges_suspect: u64,
+    merges_manager: u64,
+    roof_epoch: u64,
+    roof_global: u64,
+    roof_create: u64,
+    /// Sim-ns of lookahead granted per busy shard per round.
+    advance: LatencyHistogram,
+    /// Coordinator wall-clock decomposition: inline window execution,
+    /// waiting on worker results, merge/re-split cycles, and channel
+    /// sends + outbox routing. Whatever the decomposition misses shows up
+    /// as the `other` bucket at flush (total − sum), so the attribution
+    /// always accounts for 100 % of the run by construction.
+    exec_ns: u64,
+    stall_ns: u64,
+    merge_ns: u64,
+    handoff_ns: u64,
+    shard_busy_ns: Vec<u64>,
+    shard_windows: Vec<u64>,
+    /// Wall-clock each shard spent with events pending but no dispatch
+    /// (its lookahead cap was at or below its frontier for the round).
+    shard_stall_ns: Vec<u64>,
+    /// Routed lane events per `(from, to)` shard pair, row-major.
+    outbox: Vec<u64>,
+    outbox_global: u64,
+    busy_mask: Vec<bool>,
+}
+
+impl ParProf {
+    fn new(parts: usize) -> ParProf {
+        ParProf {
+            start: Instant::now(),
+            parts,
+            rounds: 0,
+            epochs: 0,
+            single_steps: 0,
+            view_samples: 0,
+            view_managers: 0,
+            merges_fault: 0,
+            merges_suspect: 0,
+            merges_manager: 0,
+            roof_epoch: 0,
+            roof_global: 0,
+            roof_create: 0,
+            advance: LatencyHistogram::new(),
+            exec_ns: 0,
+            stall_ns: 0,
+            merge_ns: 0,
+            handoff_ns: 0,
+            shard_busy_ns: vec![0; parts],
+            shard_windows: vec![0; parts],
+            shard_stall_ns: vec![0; parts],
+            outbox: vec![0; parts * parts],
+            outbox_global: 0,
+            busy_mask: vec![false; parts],
+        }
+    }
+
+    /// Pull (and zero) the per-shard busy/window accumulators. Must run
+    /// before any merge destroys the shards (re-split starts them fresh).
+    fn harvest(&mut self, slots: &mut [Option<Shard>]) {
+        for slot in slots.iter_mut() {
+            if let Some(s) = slot.as_mut() {
+                let i = s.idx as usize;
+                self.shard_busy_ns[i] += std::mem::take(&mut s.prof_busy_ns);
+                self.shard_windows[i] += std::mem::take(&mut s.prof_windows);
+            }
+        }
+    }
+
+    /// Account one scheduling round: lookahead granted to each dispatched
+    /// shard, and `round_ns` of stall charged to every shard that had work
+    /// but no dispatch.
+    fn round(
+        &mut self,
+        nexts: &[Option<(SimTime, u128)>],
+        caps: &[SimTime],
+        busy: &[usize],
+        round_ns: u64,
+    ) {
+        self.rounds += 1;
+        self.busy_mask.iter_mut().for_each(|b| *b = false);
+        for &i in busy {
+            self.busy_mask[i] = true;
+            if let Some((t, _)) = nexts[i] {
+                self.advance.record(caps[i].saturating_since(t));
+            }
+        }
+        for (i, next) in nexts.iter().enumerate() {
+            if next.is_some() && !self.busy_mask[i] {
+                self.shard_stall_ns[i] += round_ns;
+            }
+        }
+    }
+
+    /// Write everything into the global registry — once per run.
+    fn flush(self) {
+        use metrics::{counter_add as add, labeled};
+        add("cohfree_par_runs_total", 1);
+        metrics::gauge_set("cohfree_par_partitions", self.parts as f64);
+        add("cohfree_par_rounds_total", self.rounds);
+        add("cohfree_par_epochs_total", self.epochs);
+        add("cohfree_par_single_steps_total", self.single_steps);
+        for (kind, v) in [
+            ("sample", self.view_samples),
+            ("manager", self.view_managers),
+        ] {
+            add(&labeled("cohfree_par_view_total", &[("kind", kind)]), v);
+        }
+        for (cause, v) in [
+            ("fault", self.merges_fault),
+            ("suspect", self.merges_suspect),
+            ("manager", self.merges_manager),
+        ] {
+            add(&labeled("cohfree_par_merges_total", &[("cause", cause)]), v);
+        }
+        for (by, v) in [
+            ("epoch", self.roof_epoch),
+            ("pending_global", self.roof_global),
+            ("global_create", self.roof_create),
+        ] {
+            add(&labeled("cohfree_par_roof_total", &[("by", by)]), v);
+        }
+        metrics::hist_merge("cohfree_par_window_advance_sim_ns", &self.advance);
+        let total = self.start.elapsed().as_nanos() as u64;
+        let accounted = self.exec_ns + self.stall_ns + self.merge_ns + self.handoff_ns;
+        for (bucket, v) in [
+            ("execute", self.exec_ns),
+            ("stall", self.stall_ns),
+            ("merge", self.merge_ns),
+            ("handoff", self.handoff_ns),
+            ("other", total.saturating_sub(accounted)),
+        ] {
+            add(&labeled("cohfree_par_coord_ns", &[("bucket", bucket)]), v);
+        }
+        add("cohfree_par_coord_total_ns", total);
+        for i in 0..self.parts {
+            let s = i.to_string();
+            add(
+                &labeled("cohfree_par_shard_busy_ns", &[("shard", &s)]),
+                self.shard_busy_ns[i],
+            );
+            add(
+                &labeled("cohfree_par_shard_windows_total", &[("shard", &s)]),
+                self.shard_windows[i],
+            );
+            add(
+                &labeled("cohfree_par_shard_stall_ns", &[("shard", &s)]),
+                self.shard_stall_ns[i],
+            );
+        }
+        for j in 0..self.parts {
+            for i in 0..self.parts {
+                let v = self.outbox[j * self.parts + i];
+                if v > 0 {
+                    add(
+                        &labeled(
+                            "cohfree_par_outbox_events_total",
+                            &[("from", &j.to_string()), ("to", &i.to_string())],
+                        ),
+                        v,
+                    );
+                }
+            }
+        }
+        add("cohfree_par_outbox_global_events_total", self.outbox_global);
+    }
+}
+
+/// Elapsed nanoseconds since `mark`, re-arming it — or 0 with no clock
+/// read at all when the metrics tier is off (`mark` is `None`). Keeps the
+/// disabled scheduling loop free of `Instant` calls.
+fn lap(mark: &mut Option<Instant>) -> u64 {
+    match mark {
+        Some(t) => {
+            let ns = t.elapsed().as_nanos() as u64;
+            *t = Instant::now();
+            ns
+        }
+        None => 0,
+    }
+}
+
 /// Route every shard's outbox: global events to the holding queue, lane
 /// events to their owning shard. Conservative lookahead makes every entry
 /// land at or past its destination's deadline: lane entries are single-hop
@@ -524,6 +817,7 @@ fn route_outboxes(
     global: &mut EventQueue<Ev>,
     owner: &[u16],
     caps: &[SimTime],
+    mut prof: Option<&mut ParProf>,
 ) {
     for i in 0..slots.len() {
         let outbox = std::mem::take(
@@ -538,9 +832,15 @@ fn route_outboxes(
                     caps.iter().all(|&c| at >= c),
                     "global event at {at} created below a shard deadline"
                 );
+                if let Some(p) = prof.as_deref_mut() {
+                    p.outbox_global += 1;
+                }
                 global.schedule_keyed(at, key, ev);
             } else {
                 let dst = owner[lane as usize] as usize;
+                if let Some(p) = prof.as_deref_mut() {
+                    p.outbox[i * p.parts + dst] += 1;
+                }
                 debug_assert!(
                     at >= caps[dst],
                     "cross-shard event at {at} violates shard {dst}'s deadline {}",
@@ -720,7 +1020,13 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
     let mgr_tick = world.cfg.manager.tick;
     let trace_on = world.trace.enabled();
 
-    let mut workers: Vec<Worker> = (0..pool_size(parts)).map(|_| Worker::spawn()).collect();
+    // Self-profiling accumulator: allocated only when the metrics tier is
+    // on. Every probe below guards on `prof` being `Some`, so the disabled
+    // engine runs the pre-existing loop with one branch per probe site and
+    // zero clock reads.
+    let mut prof: Option<Box<ParProf>> = metrics::enabled().then(|| Box::new(ParProf::new(parts)));
+
+    let mut workers: Vec<Worker> = (0..pool_size(parts)).map(Worker::spawn).collect();
     let (mut slots, mut global, tmap) = split_world(world, &ranges, &owner);
 
     // Latest global instant handled through the view path (the world's own
@@ -755,16 +1061,25 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                     .map(|s| s.as_ref().expect("shard at barrier").queue.processed())
                     .sum::<u64>();
             assert!(total <= limit, "event budget exceeded: livelock at {gt}");
+            // Wall-clock mark for the merge/re-split cycle the two
+            // merging arms below may start (accrued after the tail).
+            let mut merge_t0: Option<Instant> = None;
             match ev {
                 // The frequent, read-only globals run against a view of the
                 // shard borrows — no merge, no re-split.
                 Ev::Sample => {
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.view_samples += 1;
+                    }
                     view_sample(world, &slots, &mut global, gt);
                     continue;
                 }
                 Ev::Manager => match view_manager_decide(world, &slots, gt) {
                     None => continue, // no manager configured
                     Some(actions) if actions.is_empty() => {
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.view_managers += 1;
+                        }
                         // Re-arm under the sequential condition (threads
                         // unfinished or transactions in flight), burning
                         // the same gseq at the same instant.
@@ -782,6 +1097,11 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                         // Actions mutate whole-world state (regions, the
                         // directory, thread zone tables): reassemble the
                         // world and apply exactly as the sequential tick.
+                        if let Some(p) = prof.as_deref_mut() {
+                            p.merges_manager += 1;
+                            p.harvest(&mut slots);
+                            merge_t0 = Some(Instant::now());
+                        }
                         apply_trace_logs(world, &mut slots);
                         merge_shards(world, &mut slots, &tmap, &mut global);
                         world.queue.advance_to(gt);
@@ -796,6 +1116,15 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                 ev => {
                     // Fault / Suspect: whole-world mutation through the
                     // unmodified sequential code path.
+                    if let Some(p) = prof.as_deref_mut() {
+                        match &ev {
+                            Ev::Fault(_) => p.merges_fault += 1,
+                            Ev::Suspect { .. } => p.merges_suspect += 1,
+                            _ => {}
+                        }
+                        p.harvest(&mut slots);
+                        merge_t0 = Some(Instant::now());
+                    }
                     apply_trace_logs(world, &mut slots);
                     merge_shards(world, &mut slots, &tmap, &mut global);
                     world.queue.advance_to(gt);
@@ -821,20 +1150,33 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                 );
             }
             if world.queue.is_empty() {
+                if let (Some(p), Some(t0)) = (prof.as_deref_mut(), merge_t0) {
+                    p.merge_ns += t0.elapsed().as_nanos() as u64;
+                }
                 break;
             }
             let (s, g, _) = split_world(world, &ranges, &owner);
             slots = s;
             global = g;
+            if let (Some(p), Some(t0)) = (prof.as_deref_mut(), merge_t0) {
+                p.merge_ns += t0.elapsed().as_nanos() as u64;
+            }
             continue;
         }
 
         let Some((next_t, _)) = shard_next else {
             // Fully drained: fold everything back and surface the end time
             // (a trailing view-path global may sit past every shard clock).
+            let drain_t0 = prof.as_deref_mut().map(|p| {
+                p.harvest(&mut slots);
+                Instant::now()
+            });
             apply_trace_logs(world, &mut slots);
             let t_final = merge_shards(world, &mut slots, &tmap, &mut global);
             world.queue.advance_to(t_final.max(t_view));
+            if let (Some(p), Some(t0)) = (prof.as_deref_mut(), drain_t0) {
+                p.merge_ns += t0.elapsed().as_nanos() as u64;
+            }
             break;
         };
 
@@ -853,12 +1195,15 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                 })
                 .min_by_key(|&(_, k)| k)
                 .expect("nonempty shard exists");
+            if let Some(p) = prof.as_deref_mut() {
+                p.single_steps += 1;
+            }
             slots[i]
                 .as_mut()
                 .expect("shard at barrier")
                 .run_window(SimTime::MAX, true, limit);
             caps.fill(SimTime::MAX);
-            route_outboxes(&mut slots, &mut global, &owner, &caps);
+            route_outboxes(&mut slots, &mut global, &owner, &caps, prof.as_deref_mut());
             apply_trace_logs(world, &mut slots);
             let total = world.queue.processed()
                 + slots
@@ -875,6 +1220,9 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
         // reaches the horizon, a global comes due, or the shards drain —
         // all handled by re-entering the outer loop.
         let horizon = next_t.saturating_add(w.saturating_mul(tuning.epoch));
+        if let Some(p) = prof.as_deref_mut() {
+            p.epochs += 1;
+        }
         loop {
             // Refresh frontiers and the global-creation floor in one pass.
             let (mut lt, mut lk) = (SimTime::MAX, u128::MAX);
@@ -945,6 +1293,20 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                 "parallel scheduler stalled with events pending at {lt}"
             );
 
+            // Self-profiling: which bound set the roof, plus a wall-clock
+            // mark for this round. `lap` reads no clock while disabled.
+            let mut mark = prof.as_deref_mut().map(|p| {
+                if roof == horizon {
+                    p.roof_epoch += 1;
+                } else if roof == gcap {
+                    p.roof_global += 1;
+                } else {
+                    p.roof_create += 1;
+                }
+                Instant::now()
+            });
+            let round_t0 = mark;
+
             if trace_on {
                 let buffered: usize = slots
                     .iter()
@@ -967,6 +1329,9 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                         .expect("shard at barrier")
                         .run_window(caps[i], false, limit);
                 }
+                if let Some(p) = prof.as_deref_mut() {
+                    p.exec_ns += lap(&mut mark);
+                }
             } else {
                 for list in sent.iter_mut() {
                     list.clear();
@@ -985,20 +1350,34 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
                         .expect("worker hung up");
                     sent[wx].push(i);
                 }
+                if let Some(p) = prof.as_deref_mut() {
+                    p.handoff_ns += lap(&mut mark);
+                }
                 if run0 {
                     slots[0]
                         .as_mut()
                         .expect("shard at barrier")
                         .run_window(caps[0], false, limit);
                 }
+                if let Some(p) = prof.as_deref_mut() {
+                    p.exec_ns += lap(&mut mark);
+                }
                 for (wk, list) in workers.iter_mut().zip(&sent) {
                     for &i in list {
                         slots[i] = Some(wk.recv());
                     }
                 }
+                if let Some(p) = prof.as_deref_mut() {
+                    p.stall_ns += lap(&mut mark);
+                }
             }
 
-            route_outboxes(&mut slots, &mut global, &owner, &caps);
+            route_outboxes(&mut slots, &mut global, &owner, &caps, prof.as_deref_mut());
+            if let Some(p) = prof.as_deref_mut() {
+                p.handoff_ns += lap(&mut mark);
+                let round_ns = round_t0.expect("mark set with prof").elapsed().as_nanos() as u64;
+                p.round(&nexts, &caps, &busy, round_ns);
+            }
             let total = world.queue.processed()
                 + slots
                     .iter()
@@ -1010,5 +1389,11 @@ pub(crate) fn run_parallel(world: &mut World, limit: u64) {
 
     for w in workers {
         w.finish();
+    }
+    // Flush after the workers joined: their own per-worker flushes have
+    // landed, so a snapshot taken by the caller right after `run()` sees
+    // the complete run.
+    if let Some(p) = prof {
+        p.flush();
     }
 }

@@ -27,6 +27,7 @@
 //! reservation latency to the caller's clock.
 
 use crate::config::ClusterConfig;
+use crate::envknob;
 use crate::exec;
 use crate::fault::{EvacuationPolicy, FaultEvent};
 use cohfree_fabric::{Fabric, FabricRow, Message, MsgKind, NodeId};
@@ -411,6 +412,17 @@ impl World {
     /// event against a node or link that does not exist — such an event
     /// could never strike, which always indicates a mis-built experiment.
     pub fn try_new(cfg: ClusterConfig) -> Result<World, WorldConfigError> {
+        // `COHFREE_METRICS=<path>` asks for a Prometheus export at exit;
+        // flip the engine self-profiling registry on once per process so
+        // every engine run records. The registry is out-of-band: enabling
+        // it never changes simulation output (the differential suite
+        // pins that), so this cannot perturb a world mid-experiment.
+        static METRICS_FROM_ENV: std::sync::Once = std::sync::Once::new();
+        METRICS_FROM_ENV.call_once(|| {
+            if envknob::metrics_export_path().is_some() {
+                cohfree_sim::metrics::set_enabled(true);
+            }
+        });
         for ev in cfg.faults.events() {
             match ev {
                 FaultEvent::NodeCrash { node, .. }
@@ -1608,11 +1620,45 @@ impl World {
         if self.parallel > 1 {
             crate::par::run_parallel(self, limit);
         } else {
+            // Engine self-profiling (out-of-band, cohfree_sim::metrics):
+            // sample queue depth and events/sec every PROF_STRIDE events.
+            // The tier check is one cached bool, so the disabled path adds
+            // a single predictable branch per event.
+            const PROF_STRIDE: u64 = 1 << 16;
+            let prof = cohfree_sim::metrics::enabled();
+            let prof_start = self.queue.processed();
+            let mut prof_next = prof_start + PROF_STRIDE;
+            let mut prof_last = std::time::Instant::now();
             while let Some((at, key, ev)) = self.queue.pop_entry() {
                 self.handle(at, key, ev);
                 assert!(
                     self.queue.processed() <= limit,
                     "event budget exceeded: livelock at {at}"
+                );
+                if prof && self.queue.processed() >= prof_next {
+                    let processed = self.queue.processed();
+                    let dt = prof_last.elapsed().as_secs_f64();
+                    prof_last = std::time::Instant::now();
+                    if dt > 0.0 {
+                        cohfree_sim::metrics::series_push(
+                            "cohfree_seq_events_per_sec",
+                            processed,
+                            PROF_STRIDE as f64 / dt,
+                        );
+                    }
+                    cohfree_sim::metrics::series_push(
+                        "cohfree_seq_queue_depth",
+                        processed,
+                        self.queue.len() as f64,
+                    );
+                    prof_next = processed + PROF_STRIDE;
+                }
+            }
+            if prof {
+                cohfree_sim::metrics::counter_add("cohfree_seq_runs_total", 1);
+                cohfree_sim::metrics::counter_add(
+                    "cohfree_seq_events_total",
+                    self.queue.processed() - prof_start,
                 );
             }
         }

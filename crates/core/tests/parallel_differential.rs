@@ -346,6 +346,119 @@ fn tiny_two_node_world_is_engine_invariant() {
     assert_engine_invariant(cfg, &specs, true, "two-node ring");
 }
 
+/// The tentpole contract of the engine-metrics subsystem: self-profiling
+/// records entirely out-of-band, so every observable byte is identical
+/// with metrics off or on, at 1/2/4/8 partitions, through a crash (merge
+/// path), loss (suspect timers) and sampling (view path) all at once.
+/// Enabling the tier process-wide is safe to leak to concurrent tests —
+/// it is output-invariant by this very contract.
+#[test]
+fn metrics_enabled_output_is_byte_identical_at_every_partition_count() {
+    use cohfree_sim::metrics;
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    cfg.fabric.loss_rate = 1e-3;
+    cfg.recovery.max_retries = 4;
+    cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+        at: SimTime::ZERO + SimDuration::us(40),
+        node: n(6),
+    });
+    let mut rng = Rng::new(0x0B5E);
+    let specs = arb_specs(&mut rng, 16, 120);
+    let parts_sweep = [1usize, 2, 4, 8];
+    let base: Vec<String> = parts_sweep
+        .iter()
+        .map(|&p| fingerprint(&run_world(cfg, &specs, true, p), specs.len()))
+        .collect();
+
+    metrics::set_enabled(true);
+    for (off, &parts) in base.iter().zip(&parts_sweep) {
+        let on = fingerprint(&run_world(cfg, &specs, true, parts), specs.len());
+        assert_eq!(
+            off, &on,
+            "metrics-on {parts}-partition run diverged from metrics-off"
+        );
+    }
+    let snap = metrics::snapshot();
+    metrics::set_enabled(false);
+
+    // The probes must actually have been live, not compiled away: the
+    // sequential run flushed, every parallel run flushed, and the crash
+    // forced at least one cause-attributed merge.
+    assert!(snap.counter("cohfree_seq_runs_total") >= 1);
+    assert!(snap.counter("cohfree_par_runs_total") >= 3);
+    assert!(snap.counter("cohfree_par_rounds_total") > 0);
+    assert!(
+        snap.counter_sum("cohfree_par_merges_total") >= 1,
+        "the node crash must force at least one merge"
+    );
+}
+
+/// PR 3's drain-time fix-up closes the sample series at `now` for worlds
+/// that drain between probe ticks. The parallel path must reproduce it —
+/// same series, same final instant — at every partition count, through
+/// both engine endings: the plain drain branch and the merged-path ending
+/// a mid-run crash forces.
+#[test]
+fn drain_between_probe_ticks_final_sample_is_engine_invariant() {
+    let sample_series = |cfg: ClusterConfig, interval_us: u64, parallel: usize| {
+        let mut w = World::new(cfg);
+        w.enable_sampling(SimDuration::us(interval_us));
+        let resv = w.reserve_remote(n(1), 256, Some(n(16)));
+        for k in 0..3u64 {
+            w.spawn_thread(
+                ThreadSpec {
+                    node: n(1 + (k as u16) * 5),
+                    zones: vec![(resv.prefixed_base, resv.frames * 4096)],
+                    accesses: 5,
+                    bytes: 64,
+                    write_fraction: 0.2,
+                    think: SimDuration::ns(5),
+                    seed: 42 + k,
+                },
+                SimTime::ZERO,
+            );
+        }
+        w.set_parallel(parallel);
+        w.run();
+        let series: Vec<(u64, usize)> = w
+            .samples()
+            .iter()
+            .map(|s| (s.at.as_ns(), s.events_queued))
+            .collect();
+        (series, w.now())
+    };
+    // Probe intervals far coarser than the ~tens-of-µs drain time, so the
+    // run always ends between ticks.
+    for crash in [false, true] {
+        for interval_us in [100u64, 1000] {
+            let mut cfg = ClusterConfig::prototype();
+            if crash {
+                cfg.fabric.loss_rate = 1e-3;
+                cfg.recovery.max_retries = 4;
+                cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+                    at: SimTime::ZERO + SimDuration::us(3),
+                    node: n(16),
+                });
+            }
+            let (seq, seq_now) = sample_series(cfg, interval_us, 1);
+            assert_eq!(
+                seq.last().map(|&(at, _)| at),
+                Some(seq_now.as_ns()),
+                "sequential series must close with a drain-time sample"
+            );
+            for parts in [2usize, 4, 8] {
+                let (par, par_now) = sample_series(cfg, interval_us, parts);
+                assert_eq!(seq_now, par_now, "crash={crash} interval={interval_us}us");
+                assert_eq!(
+                    seq, par,
+                    "crash={crash} interval={interval_us}us parts={parts}: sample series diverged"
+                );
+            }
+        }
+    }
+}
+
 /// The tuning knobs must never change a single output byte: epoch 1 (the
 /// old barrier-per-window lock step), a huge epoch, and both placement
 /// policies all reproduce the sequential fingerprint on a lossy world.

@@ -167,6 +167,14 @@ impl LatencyHistogram {
         }
     }
 
+    /// Per-bucket sample counts in the log-linear layout described by
+    /// [`LatencyHistogram::bucket_bounds`] (index `i` covers
+    /// `bucket_bounds(i)`). Exposed for cumulative (`le`) rendering in
+    /// [`crate::metrics`].
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
     fn bucket_of(ns: u64) -> usize {
         if ns < HIST_SUB_BUCKETS as u64 {
             return ns as usize;
@@ -179,7 +187,7 @@ impl LatencyHistogram {
     }
 
     /// `[lo, hi)` nanosecond range covered by bucket `i`.
-    fn bucket_bounds(i: usize) -> (f64, f64) {
+    pub fn bucket_bounds(i: usize) -> (f64, f64) {
         if i < HIST_SUB_BUCKETS {
             return (i as f64, (i + 1) as f64);
         }
