@@ -110,7 +110,22 @@ fn main() {
             cohfree_bench::report::finish();
             std::process::exit(1);
         }
-        println!("perf: par gate ok — big_world_par8 is {speedup:.2}x big_world_seq");
+        let serving = perf::serving_par_speedup(&mac).unwrap_or_else(|| {
+            eprintln!("perf: --par-gate needs the serving_seq/par8 rows");
+            std::process::exit(2);
+        });
+        if serving < par_min_speedup {
+            eprintln!(
+                "perf: parallel engine too slow on serving: serving_par8 is {serving:.2}x \
+                 serving_seq (floor {par_min_speedup:.2}x)"
+            );
+            cohfree_bench::report::finish();
+            std::process::exit(1);
+        }
+        println!(
+            "perf: par gate ok — big_world_par8 {speedup:.2}x big_world_seq, \
+             serving_par8 {serving:.2}x serving_seq"
+        );
     }
 
     if metrics_gate {

@@ -5,9 +5,9 @@
 //! thread-driven worlds under them — with and without the online recovery
 //! manager — and checks **invariant oracles** after every run:
 //!
-//! 1. *Accounting*: every access of every thread either completed or
-//!    failed; no transaction is lost or double-completed; nothing is left
-//!    in flight after the run drains.
+//! 1. *Accounting*: every access of every thread either completed, failed
+//!    or (open-loop serving threads only) was shed; no transaction is lost
+//!    or double-completed; nothing is left in flight after the run drains.
 //! 2. *Frame conservation*: for every node untouched by faults and never
 //!    suspected, directory free frames plus frames hosted for other nodes
 //!    equal its pool size exactly; faulted nodes may only lose capacity,
@@ -256,9 +256,10 @@ pub fn fingerprint(w: &World) -> String {
     out.push('\n');
     for id in 0..w.threads_spawned() {
         out.push_str(&format!(
-            "t{id}: {} {} {} {}\n",
+            "t{id}: {} {} {} {} {}\n",
             w.thread_completed(id),
             w.thread_failed(id),
+            w.thread_shed(id),
             w.thread_nacks(id),
             w.thread_evacuated_retries(id)
         ));
@@ -282,14 +283,15 @@ pub fn check_oracles(w: &World) -> Vec<String> {
     //    cluster-wide completions match thread completions exactly.
     let mut thread_completed = 0u64;
     for id in 0..w.threads_spawned() {
-        let (c, f, acc) = (
+        let (c, f, s, acc) = (
             w.thread_completed(id),
             w.thread_failed(id),
+            w.thread_shed(id),
             w.thread_accesses(id),
         );
-        if c + f != acc {
+        if c + f + s != acc {
             violations.push(format!(
-                "thread {id}: completed {c} + failed {f} != accesses {acc}"
+                "thread {id}: completed {c} + failed {f} + shed {s} != accesses {acc}"
             ));
         }
         thread_completed += c;

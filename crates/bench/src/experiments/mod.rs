@@ -11,6 +11,7 @@ pub mod ext_failover;
 pub mod ext_locality;
 pub mod ext_parallel;
 pub mod ext_parprof;
+pub mod ext_serving;
 pub mod ext_tenants;
 pub mod fig10;
 pub mod fig11;
@@ -97,6 +98,7 @@ pub fn run_all(s: crate::Scale) {
     ext_breakdown::table(s).print();
     ext_breakdown::overhead_table(s).print();
     ext_chaos::table(s).print();
+    ext_serving::table(s).print();
 }
 
 /// Generate `count` strictly-ascending pseudo-random u64 keys (dedup'd,

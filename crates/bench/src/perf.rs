@@ -188,6 +188,25 @@ pub fn macro_suite() -> Vec<MacroResult> {
         });
     }
 
+    // Open-loop serving rows: the same 256-node multi-tenant serving world
+    // on the sequential and the 8-partition engine. Serving threads stress
+    // paths the closed-loop big world never touches — arrival-clamped
+    // wakes, zipf addressing, per-request latency histograms — so they get
+    // their own seq/par row pair in the baseline and the parallel gate.
+    for (name, parts) in [("macro/serving_seq", 1), ("macro/serving_par8", 8)] {
+        let (wall_ms, events_per_sec) = best_of(|| {
+            let mut w = serving_world();
+            w.set_parallel(parts);
+            w.run();
+            w.events_processed()
+        });
+        out.push(MacroResult {
+            name: name.into(),
+            wall_ms,
+            events_per_sec,
+        });
+    }
+
     // Recovery-manager chaos cell: a crash-storm world with the manager
     // enabled, guarding the observation/decision loop and the proactive
     // migration path against wall-clock regression.
@@ -247,6 +266,51 @@ pub fn big_world_with(accesses: u64) -> World {
             SimTime::ZERO,
         );
     }
+    w
+}
+
+/// The 256-node world behind the `macro/serving_*` rows: sixteen open-loop
+/// tenants (alternating zipf point-KV and sequential columnar-scan mixes)
+/// spread across a 16×16 mesh, each folding a quarter-million simulated
+/// users into a Poisson arrival stream over four serving lanes. Clients
+/// and donors sit in different mesh rows, so traffic crosses partition
+/// boundaries constantly, like the big world.
+pub fn serving_world() -> World {
+    use cohfree_workloads::serving::{ArrivalSpec, RequestMix, TenantSpec};
+    let mut cfg = cohfree_core::ClusterConfig::prototype();
+    cfg.topology = cohfree_core::Topology::Mesh2D {
+        width: 16,
+        height: 16,
+    };
+    let mut w = World::new(cfg);
+    let tenants: Vec<TenantSpec> = (0..16u64)
+        .map(|k| TenantSpec {
+            name: format!("t{k}"),
+            client: cohfree_core::NodeId::new((k * 16 + 1) as u16),
+            donors: vec![cohfree_core::NodeId::new((256 - k * 16) as u16)],
+            frames_per_donor: 256,
+            lanes: 4,
+            requests: 1_500,
+            mix: if k % 2 == 0 {
+                RequestMix::PointKv {
+                    zipf_s: 0.9,
+                    value_bytes: 64,
+                }
+            } else {
+                RequestMix::ColumnarScan { chunk_bytes: 1024 }
+            },
+            arrivals: ArrivalSpec {
+                users: 250_000,
+                rate_per_user_hz: 4.0,
+                diurnal: None,
+                seed: 0x5EC0 + k,
+            },
+            write_fraction: 0.1,
+            think: SimDuration::ns(5),
+            start: SimTime::ZERO,
+        })
+        .collect();
+    cohfree_workloads::serving::install(&mut w, &tenants);
     w
 }
 
@@ -328,16 +392,32 @@ pub fn tables(micro: &[BenchResult], mac: &[MacroResult]) -> Vec<Table> {
             "big_world_seq wall / big_world_par8 wall".into(),
         ]);
     }
+    if let Some(s) = serving_par_speedup(mac) {
+        td.row(vec![
+            "serving_speedup_par/seq".into(),
+            format!("{s:.2}x"),
+            "serving_seq wall / serving_par8 wall".into(),
+        ]);
+    }
     vec![tm, tg, td]
+}
+
+/// Wall-clock ratio of a sequential row over its parallel twin (`> 1` =
+/// parallel wins). `None` if either row is missing.
+fn speedup(mac: &[MacroResult], seq_name: &str, par_name: &str) -> Option<f64> {
+    let wall = |n: &str| mac.iter().find(|r| r.name == n).map(|r| r.wall_ms);
+    Some(wall(seq_name)? / wall(par_name)?.max(1e-9))
 }
 
 /// Wall-clock speedup of the parallel big-world row over the sequential
 /// one (`> 1` = parallel wins). `None` if either row is missing.
 pub fn par_speedup(mac: &[MacroResult]) -> Option<f64> {
-    let wall = |n: &str| mac.iter().find(|r| r.name == n).map(|r| r.wall_ms);
-    let seq = wall("macro/big_world_seq")?;
-    let par = wall("macro/big_world_par8")?;
-    Some(seq / par.max(1e-9))
+    speedup(mac, "macro/big_world_seq", "macro/big_world_par8")
+}
+
+/// Wall-clock speedup of the parallel serving row over the sequential one.
+pub fn serving_par_speedup(mac: &[MacroResult]) -> Option<f64> {
+    speedup(mac, "macro/serving_seq", "macro/serving_par8")
 }
 
 /// `(name, headline-metric)` pairs for the regression gate: median ns for

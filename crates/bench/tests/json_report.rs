@@ -120,3 +120,135 @@ fn fig6_binary_emits_parseable_cluster_report() {
         assert!(point.get("events_queued").unwrap().as_u64().is_some());
     }
 }
+
+/// Golden-shape test for the EXT-SERVING report: run the real `serving`
+/// binary at smoke scale and check the table, per-tenant accounting, the
+/// SLO blocks and the crash snapshot the study promises.
+#[test]
+fn serving_binary_emits_slo_report() {
+    let out = std::env::temp_dir().join(format!(
+        "cohfree_serving_report_{}.json",
+        std::process::id()
+    ));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_serving"))
+        .env("COHFREE_SCALE", "smoke")
+        .env("COHFREE_JSON", &out)
+        .stdout(std::process::Stdio::null())
+        .status()
+        .expect("serving binary runs");
+    assert!(status.success(), "serving exited with {status}");
+    let text = std::fs::read_to_string(&out).expect("report file written");
+    let _ = std::fs::remove_file(&out);
+
+    let doc = Json::parse(&text).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("format").and_then(Json::as_str),
+        Some("cohfree-report-v1")
+    );
+
+    // The study table: 2 cells × (2 tenants + a cluster-total row), and
+    // the per-tenant counters sum to the cluster row in every cell.
+    let tables = doc.get("tables").unwrap().as_array().unwrap();
+    let serving = tables
+        .iter()
+        .find(|t| {
+            t.get("title")
+                .and_then(Json::as_str)
+                .is_some_and(|s| s.starts_with("EXT-SERVING"))
+        })
+        .expect("EXT-SERVING table present");
+    let headers: Vec<_> = serving
+        .get("headers")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    assert_eq!(
+        headers,
+        [
+            "cell",
+            "tenant",
+            "generated",
+            "completed",
+            "shed",
+            "failed",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "availability"
+        ]
+    );
+    let rows = serving.get("rows").unwrap().as_array().unwrap();
+    assert_eq!(rows.len(), 6, "2 cells x (kv + scan + cluster)");
+    for cell in ["nofault", "crash"] {
+        let cells: Vec<Vec<&str>> = rows
+            .iter()
+            .map(|r| {
+                r.as_array()
+                    .unwrap()
+                    .iter()
+                    .filter_map(Json::as_str)
+                    .collect::<Vec<_>>()
+            })
+            .filter(|r| r[0] == cell)
+            .collect();
+        assert_eq!(cells.len(), 3, "{cell}: kv, scan, cluster rows");
+        let cluster = cells.iter().find(|r| r[1] == "cluster").unwrap();
+        // generated / completed / shed / failed columns sum per tenant.
+        for col in 2..=5 {
+            let total: u64 = cells
+                .iter()
+                .filter(|r| r[1] != "cluster")
+                .map(|r| r[col].parse::<u64>().unwrap())
+                .sum();
+            assert_eq!(
+                total,
+                cluster[col].parse::<u64>().unwrap(),
+                "{cell}: column {} must sum to the cluster row",
+                headers[col]
+            );
+        }
+        // Conservation holds row by row.
+        for r in &cells {
+            let (g, c, s, f) = (
+                r[2].parse::<u64>().unwrap(),
+                r[3].parse::<u64>().unwrap(),
+                r[4].parse::<u64>().unwrap(),
+                r[5].parse::<u64>().unwrap(),
+            );
+            assert_eq!(c + s + f, g, "{cell}/{}: conservation", r[1]);
+            assert!(r[9].parse::<f64>().unwrap() > 0.0);
+        }
+    }
+
+    // Both SLO blocks landed in the metrics section, with populated
+    // phase quantiles and an availability fraction.
+    let slos = doc
+        .get("metrics")
+        .and_then(|m| m.get("slos"))
+        .and_then(Json::as_array)
+        .expect("metrics.slos present");
+    for name in ["ext_serving/nofault", "ext_serving/crash"] {
+        let block = slos
+            .iter()
+            .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("{name} SLO block missing"));
+        let slo = block.get("slo").unwrap();
+        let phases = slo.get("phases").unwrap().as_array().unwrap();
+        assert!(!phases.is_empty(), "{name}: no phase quantiles");
+        for p in phases {
+            assert!(p.get("p999_ns").unwrap().as_f64().unwrap() >= 0.0);
+        }
+        let avail = slo.get("availability").unwrap();
+        let frac = avail.get("fraction").unwrap().as_f64().unwrap();
+        assert!(frac > 0.0 && frac <= 1.0, "{name}: availability {frac}");
+    }
+
+    // The crash cell recorded its cluster snapshot, fault log included.
+    let snaps = doc.get("cluster_snapshots").unwrap().as_array().unwrap();
+    assert!(snaps
+        .iter()
+        .any(|s| s.get("name").and_then(Json::as_str) == Some("ext_serving/crash")));
+}

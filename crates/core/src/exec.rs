@@ -666,19 +666,26 @@ fn complete(ctx: &mut LaneCtx<'_>, comp: Completion) {
     ctx.trace.finish(comp.tag, comp.done_at, false);
     match ctx.pending.remove(&comp.tag).map(|p| p.owner) {
         Some(Owner::Thread(id)) => {
-            let (think, node, finished) = {
+            let (wake, node, finished) = {
                 let th = ctx.thread_mut(id);
                 th.completed += 1;
+                // Serving threads record the end-to-end latency a user
+                // sees: arrival (or first offer) to completion.
+                if let Some(since) = th.inflight_since.take() {
+                    if let Some(h) = th.latency.as_deref_mut() {
+                        h.record(comp.done_at.since(since));
+                    }
+                }
                 (
-                    th.spec.think,
+                    th.next_issue_at(comp.done_at),
                     th.spec.node,
-                    th.completed + th.failed == th.spec.accesses,
+                    th.resolved() == th.spec.accesses,
                 )
             };
             if finished {
                 ctx.thread_mut(id).finished = Some(comp.done_at);
             } else {
-                ctx.sched(comp.done_at + think, node.get(), Ev::ThreadWake { id });
+                ctx.sched(wake, node.get(), Ev::ThreadWake { id });
             }
         }
         Some(Owner::Sync) => {
@@ -742,19 +749,41 @@ fn on_timeout(ctx: &mut LaneCtx<'_>, now: SimTime, tag: u64, attempt: u32) {
 /// Record one failed access for thread `id` and either finish it or
 /// schedule its next step.
 fn thread_access_failed(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
-    let (think, node, finished) = {
+    let (wake, node, finished) = {
         let th = ctx.thread_mut(id);
         th.failed += 1;
+        th.inflight_since = None;
         (
-            th.spec.think,
+            th.next_issue_at(now),
             th.spec.node,
-            th.completed + th.failed == th.spec.accesses,
+            th.resolved() == th.spec.accesses,
         )
     };
     if finished {
         ctx.thread_mut(id).finished = Some(now);
     } else {
-        ctx.sched(now + think, node.get(), Ev::ThreadWake { id });
+        ctx.sched(wake, node.get(), Ev::ThreadWake { id });
+    }
+}
+
+/// Record one shed (admission-dropped) open-loop request for thread `id`
+/// and either finish it or schedule its next arrival — the serving twin of
+/// [`thread_access_failed`], with its own terminal counter so the
+/// conservation oracle reads `completed + failed + shed == accesses`.
+fn thread_shed(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
+    let (wake, node, finished) = {
+        let th = ctx.thread_mut(id);
+        th.shed += 1;
+        (
+            th.next_issue_at(now),
+            th.spec.node,
+            th.resolved() == th.spec.accesses,
+        )
+    };
+    if finished {
+        ctx.thread_mut(id).finished = Some(now);
+    } else {
+        ctx.sched(wake, node.get(), Ev::ThreadWake { id });
     }
 }
 
@@ -781,14 +810,34 @@ fn thread_step(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
                 return; // nothing left to issue
             }
             th.issued += 1;
+            // Open-loop serving threads stamp the request's scheduled
+            // arrival as its first offer: wake-ups never run early
+            // (`next_issue_at` clamps to the arrival), so on a backed-up
+            // lane the arrival precedes `now` and the queueing delay lands
+            // in the stall phase and the end-to-end latency.
+            if let Some(&arrival) = th.arrivals.get((th.issued - 1) as usize) {
+                th.pending_since = Some(arrival);
+            }
+            let slots_of = |len: u64| (len / th.spec.bytes as u64).max(1);
             let (base, len, slot) = if th.sequential {
                 // Walk all zones end-to-end in order, wrapping. Each zone
                 // contributes its own slot count — zones may differ in
                 // size, so the walk position is resolved against the
                 // cumulative slot total, not the first zone's.
-                let slots_of = |len: u64| (len / th.spec.bytes as u64).max(1);
                 let total: u64 = th.spec.zones.iter().map(|&(_, l)| slots_of(l)).sum();
                 let mut off = (th.issued - 1) % total;
+                let mut zi = 0usize;
+                while off >= slots_of(th.spec.zones[zi].1) {
+                    off -= slots_of(th.spec.zones[zi].1);
+                    zi += 1;
+                }
+                let (base, len) = th.spec.zones[zi];
+                (base, len, off)
+            } else if th.zipf.is_some() {
+                // Zipf rank over the combined slot space (rank 0 hottest),
+                // resolved against cumulative per-zone slot counts exactly
+                // like the sequential walk.
+                let mut off = th.zipf.as_ref().expect("checked above").sample(&mut th.rng) as u64;
                 let mut zi = 0usize;
                 while off >= slots_of(th.spec.zones[zi].1) {
                     off -= slots_of(th.spec.zones[zi].1);
@@ -803,8 +852,7 @@ fn thread_step(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
                     th.rng.below(th.spec.zones.len() as u64) as usize
                 };
                 let (base, len) = th.spec.zones[zi];
-                let slots = (len / th.spec.bytes as u64).max(1);
-                (base, len, th.rng.below(slots))
+                (base, len, th.rng.below(slots_of(len)))
             };
             let _ = len;
             let addr = base + slot * th.spec.bytes as u64;
@@ -861,6 +909,15 @@ fn thread_step(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
     // global manager events, the same partition-safety contract as the
     // suspect set.
     if ctx.node_mut(node).client.is_shed(dst) {
+        // Open-loop serving threads drop the request instead of deferring:
+        // an arrival-driven client cannot hold back load, so shedding is a
+        // terminal outcome (counted, never retried). Closed-loop threads
+        // keep the defer-and-retry discipline.
+        if !ctx.thread_mut(id).arrivals.is_empty() {
+            ctx.trace.fail_fast(node.get(), now);
+            thread_shed(ctx, now, id);
+            return;
+        }
         let wake = now + ctx.cfg.manager.tick.max(SimDuration::ns(1));
         {
             let th = ctx.thread_mut(id);
@@ -873,6 +930,14 @@ fn thread_step(ctx: &mut LaneCtx<'_>, now: SimTime, id: usize) {
     }
     match ctx.node_mut(node).client.submit(now, dst, kind, addr) {
         Submit::Accepted { msg, inject_at } => {
+            {
+                let th = ctx.thread_mut(id);
+                if th.latency.is_some() {
+                    // End-to-end serving latency runs from the request's
+                    // first offer (its arrival, for open-loop threads).
+                    th.inflight_since = Some(first_offer);
+                }
+            }
             ctx.pending.insert(
                 msg.tag,
                 PendingTx {

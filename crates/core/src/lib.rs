@@ -58,7 +58,9 @@ pub use backend::{AllocPolicy, LocalMachine, MemSpace, RemoteMemorySpace, SwapSp
 pub use config::{ClusterConfig, OsTiming, ParPlacement, ParTuning, TraceConfig};
 pub use envknob::EnvKnobError;
 pub use fault::{EvacuationPolicy, FaultEvent, FaultPlan, RecoveryConfig, MAX_FAULT_EVENTS};
-pub use world::{AccessOutcome, ClusterSnapshot, Sample, ThreadSpec, World, WorldConfigError};
+pub use world::{
+    AccessOutcome, AccessPattern, ClusterSnapshot, Sample, ThreadSpec, World, WorldConfigError,
+};
 
 // Re-export the substrate types a user of the public API needs.
 pub use cohfree_fabric::{MsgKind, NodeId, Topology};

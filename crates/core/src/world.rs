@@ -38,7 +38,9 @@ use cohfree_os::manager::{ManagerAction, NodeObservation, RecoveryManager};
 use cohfree_os::region::{Region, Segment};
 use cohfree_os::resv::{Reservation, ResvDonor, ResvRequester};
 use cohfree_rmc::{RmcClient, RmcServer, Submit};
+use cohfree_sim::rng::Zipf;
 use cohfree_sim::span::{Phase, TraceSink};
+use cohfree_sim::stats::LatencyHistogram;
 use cohfree_sim::{EventQueue, FastMap, FaultLog, Json, Rng, SimDuration, SimTime};
 use std::fmt;
 
@@ -298,6 +300,20 @@ pub struct ThreadSpec {
     pub seed: u64,
 }
 
+/// How a serving thread ([`World::spawn_serving_thread`]) picks target
+/// addresses within its zones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Uniform over all slots (the Figs. 7–8 generator's default).
+    Uniform,
+    /// Stream the zones end-to-end in address order, wrapping — the
+    /// columnar-scan shape: each request reads the next chunk of the table.
+    Sequential,
+    /// Zipf-popularity slot pick with the given exponent (rank 0 hottest) —
+    /// the KV/DB point-lookup shape over a skewed working set.
+    Zipf(f64),
+}
+
 pub(crate) struct Thread {
     pub(crate) spec: ThreadSpec,
     pub(crate) rng: Rng,
@@ -312,6 +328,10 @@ pub(crate) struct Thread {
     /// Accesses abandoned because their home node was declared failed (or
     /// because this thread's own node crashed).
     pub(crate) failed: u64,
+    /// Open-loop requests dropped by admission control — the third terminal
+    /// outcome next to completed and failed. Always 0 for closed-loop
+    /// threads, which park shed accesses and retry instead.
+    pub(crate) shed: u64,
     /// Accesses re-issued against a new home after an evacuation.
     pub(crate) evacuated_retries: u64,
     /// Access generated but NACKed, awaiting retry.
@@ -319,9 +339,42 @@ pub(crate) struct Thread {
     /// When the pending access was *first* offered (serialization-stall
     /// start for the span tracer; `None` for evacuation re-aims).
     pub(crate) pending_since: Option<SimTime>,
+    /// Open-loop arrival schedule: absolute instant request `k` enters the
+    /// system (sorted, one per access). Empty = closed loop (the next
+    /// access issues `think` after the previous one resolves).
+    pub(crate) arrivals: Vec<SimTime>,
+    /// Zipf slot sampler over the combined zone slots (serving threads with
+    /// [`AccessPattern::Zipf`] only).
+    pub(crate) zipf: Option<Zipf>,
+    /// Arrival instant of the in-flight request (serving threads only), so
+    /// completion can record the end-to-end latency a user would see.
+    pub(crate) inflight_since: Option<SimTime>,
+    /// Per-request end-to-end latency (arrival to completion), recorded for
+    /// serving threads only; deterministic, so engine-invariant.
+    pub(crate) latency: Option<Box<LatencyHistogram>>,
     pub(crate) started: SimTime,
     pub(crate) finished: Option<SimTime>,
     pub(crate) nack_retries: u64,
+}
+
+impl Thread {
+    /// Terminal outcomes recorded so far; the thread is finished when this
+    /// reaches its access budget.
+    pub(crate) fn resolved(&self) -> u64 {
+        self.completed + self.failed + self.shed
+    }
+
+    /// Earliest instant the thread may offer its next fresh access after
+    /// resolving one at `now`: closed-loop threads rest `think`; open-loop
+    /// threads additionally wait for the next scheduled arrival (and are
+    /// never early — a backed-up lane naturally queues arrivals).
+    pub(crate) fn next_issue_at(&self, now: SimTime) -> SimTime {
+        let rest = now + self.spec.think;
+        match self.arrivals.get(self.issued as usize) {
+            Some(&arrival) => rest.max(arrival),
+            None => rest,
+        }
+    }
 }
 
 /// The simulated cluster.
@@ -1246,11 +1299,12 @@ impl World {
     fn thread_access_failed(&mut self, now: SimTime, id: usize) {
         let th = &mut self.threads[id];
         th.failed += 1;
-        if th.completed + th.failed == th.spec.accesses {
+        th.inflight_since = None;
+        if th.resolved() == th.spec.accesses {
             th.finished = Some(now);
         } else {
-            let think = th.spec.think;
-            self.gsched(now + think, Ev::ThreadWake { id });
+            let wake = th.next_issue_at(now);
+            self.gsched(wake, Ev::ThreadWake { id });
         }
     }
 
@@ -1270,7 +1324,7 @@ impl World {
                 for i in 0..self.threads.len() {
                     let th = &mut self.threads[i];
                     if th.spec.node == node && th.finished.is_none() {
-                        let remaining = th.spec.accesses - th.completed - th.failed;
+                        let remaining = th.spec.accesses - th.resolved();
                         th.failed += remaining;
                         th.finished = Some(now);
                         // Keep the trace's tx accounting consistent with the
@@ -1594,14 +1648,65 @@ impl World {
             issued: 0,
             completed: 0,
             failed: 0,
+            shed: 0,
             evacuated_retries: 0,
             pending: None,
             pending_since: None,
+            arrivals: Vec::new(),
+            zipf: None,
+            inflight_since: None,
+            latency: None,
             started: start,
             finished: None,
             nack_retries: 0,
         });
         self.gsched(start, Ev::ThreadWake { id });
+        id
+    }
+
+    /// Spawn an **open-loop serving thread**: request `k` enters the system
+    /// at `arrivals[k]` regardless of when earlier requests finish (the
+    /// lane serves them in order, so a backed-up lane queues arrivals and
+    /// the queueing delay lands in the request's stall phase and end-to-end
+    /// latency). Admission-control shedding *drops* the request — the third
+    /// terminal outcome, counted by [`World::thread_shed`] — instead of
+    /// parking it the way closed-loop threads do, because an open-loop
+    /// client cannot hold back its arrival stream. Per-request end-to-end
+    /// latency (arrival to completion) is recorded into the deterministic
+    /// histogram returned by [`World::thread_latency`].
+    ///
+    /// `arrivals` must be sorted and hold exactly `spec.accesses` instants;
+    /// `spec.think` models per-request service preparation on the core
+    /// (applied between a resolution and the next offer).
+    ///
+    /// # Panics
+    /// Panics if `arrivals` is unsorted or its length disagrees with
+    /// `spec.accesses`.
+    pub fn spawn_serving_thread(
+        &mut self,
+        spec: ThreadSpec,
+        arrivals: Vec<SimTime>,
+        pattern: AccessPattern,
+    ) -> usize {
+        assert_eq!(
+            arrivals.len() as u64,
+            spec.accesses,
+            "serving thread needs one arrival per access"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "serving arrivals must be sorted"
+        );
+        let start = arrivals[0];
+        let id = self.spawn(spec, start, pattern == AccessPattern::Sequential);
+        let th = &mut self.threads[id];
+        if let AccessPattern::Zipf(s) = pattern {
+            let slots_of = |len: u64| (len / th.spec.bytes as u64).max(1);
+            let total: u64 = th.spec.zones.iter().map(|&(_, l)| slots_of(l)).sum();
+            th.zipf = Some(Zipf::new(total as usize, s));
+        }
+        th.arrivals = arrivals;
+        th.latency = Some(Box::new(LatencyHistogram::new()));
         id
     }
 
@@ -1710,6 +1815,21 @@ impl World {
     /// thread's own node) was declared failed.
     pub fn thread_failed(&self, id: usize) -> u64 {
         self.threads[id].failed
+    }
+
+    /// Open-loop requests of thread `id` dropped by admission control
+    /// (always 0 for closed-loop threads, which defer instead). Together
+    /// with completed and failed this conserves the request count:
+    /// `completed + failed + shed == accesses` once the run drains.
+    pub fn thread_shed(&self, id: usize) -> u64 {
+        self.threads[id].shed
+    }
+
+    /// Per-request end-to-end latency histogram (arrival to completion) of
+    /// serving thread `id`; `None` for closed-loop threads. Deterministic —
+    /// byte-identical across engines and partition counts.
+    pub fn thread_latency(&self, id: usize) -> Option<&LatencyHistogram> {
+        self.threads[id].latency.as_deref()
     }
 
     /// Accesses of thread `id` re-issued against a new home after an

@@ -94,12 +94,19 @@ fn fingerprint(w: &World, threads: usize) -> String {
     out.push_str(&format!("{:?}\n", w.fault_log()));
     for id in 0..threads {
         out.push_str(&format!(
-            "t{id}: {} {} {} {}\n",
+            "t{id}: {} {} {} {} {}",
             w.thread_completed(id),
             w.thread_failed(id),
+            w.thread_shed(id),
             w.thread_nacks(id),
             w.thread_evacuated_retries(id)
         ));
+        // Serving threads also carry an end-to-end latency histogram; its
+        // every bucket must match across engines.
+        if let Some(h) = w.thread_latency(id) {
+            out.push_str(&format!(" lat {} {:?}", h.count(), h.bucket_counts()));
+        }
+        out.push('\n');
     }
     out.push_str(&format!(
         "now={} processed={}",
@@ -491,4 +498,121 @@ fn tuning_knobs_preserve_byte_identity() {
         std::env::remove_var("COHFREE_PAR_EPOCH");
         std::env::remove_var("COHFREE_PAR_PLACEMENT");
     }
+}
+
+/// Seeded Poisson arrivals for the serving worlds below — the same shape
+/// `cohfree_workloads::serving` generates, built here directly against the
+/// core API (core tests cannot depend on the workloads crate).
+fn poisson_arrivals(seed: u64, rate_hz: f64, count: usize) -> Vec<SimTime> {
+    let mut rng = Rng::new(seed);
+    let mut t = SimTime::ZERO;
+    (0..count)
+        .map(|_| {
+            t += SimDuration::ps(((rng.exponential(rate_hz) * 1e12).round() as u64).max(1));
+            t
+        })
+        .collect()
+}
+
+/// Build a mixed-tenant serving world: a zipf point-KV tenant on node 1
+/// (donors 3 and 4) and a columnar sequential-scan tenant on node 2
+/// (donor 5), both open loop, with the KV tenant's donor 3 crashing
+/// mid-run. Exercises arrival-clamped wakes, shed drops (manager runs),
+/// per-thread latency histograms and bulk-fail on crash.
+fn run_serving_world(manager: bool, parallel: usize) -> World {
+    let mut cfg = ClusterConfig::prototype();
+    cfg.trace = TraceConfig::full();
+    if manager {
+        cfg.manager = cohfree_core::ManagerConfig::enabled();
+    }
+    cfg.faults = FaultPlan::new().with(FaultEvent::NodeCrash {
+        at: SimTime::ZERO + SimDuration::us(40),
+        node: n(3),
+    });
+    let mut w = World::new(cfg);
+    w.enable_sampling(SimDuration::us(20));
+    // KV tenant: 2 lanes of zipf point reads/writes over two donors.
+    let kv_zones = {
+        let a = w.reserve_remote(n(1), 128, Some(n(3)));
+        let b = w.reserve_remote(n(1), 128, Some(n(4)));
+        vec![
+            (a.prefixed_base, a.frames * 4096),
+            (b.prefixed_base, b.frames * 4096),
+        ]
+    };
+    for lane in 0..2u64 {
+        let arrivals = poisson_arrivals(0x5E41 + lane, 2.0e6, 300);
+        w.spawn_serving_thread(
+            ThreadSpec {
+                node: n(1),
+                zones: kv_zones.clone(),
+                accesses: arrivals.len() as u64,
+                bytes: 64,
+                write_fraction: 0.1,
+                think: SimDuration::ns(5),
+                seed: 0x5EED + lane,
+            },
+            arrivals,
+            cohfree_core::AccessPattern::Zipf(0.9),
+        );
+    }
+    // Columnar tenant: one lane of large sequential scan reads.
+    let scan = w.reserve_remote(n(2), 128, Some(n(5)));
+    let arrivals = poisson_arrivals(0xC01, 4.0e5, 120);
+    w.spawn_serving_thread(
+        ThreadSpec {
+            node: n(2),
+            zones: vec![(scan.prefixed_base, scan.frames * 4096)],
+            accesses: arrivals.len() as u64,
+            bytes: 4096,
+            write_fraction: 0.0,
+            think: SimDuration::ns(20),
+            seed: 0xA11,
+        },
+        arrivals,
+        cohfree_core::AccessPattern::Sequential,
+    );
+    w.set_parallel(parallel);
+    w.run();
+    w
+}
+
+/// Serving-workload world (mixed KV + columnar tenants, donor crash
+/// mid-run) byte-identical at 2/4/8 partitions, manager off and on.
+#[test]
+fn serving_world_is_engine_invariant() {
+    for manager in [false, true] {
+        let baseline = fingerprint(&run_serving_world(manager, 1), 3);
+        for parts in [2usize, 4, 8] {
+            let par = fingerprint(&run_serving_world(manager, parts), 3);
+            assert_eq!(
+                baseline, par,
+                "serving world (manager={manager}): {parts}-partition run diverged"
+            );
+        }
+    }
+}
+
+/// The serving world really ends open-loop requests in all three terminal
+/// states under the crash, and every generated request is accounted for.
+#[test]
+fn serving_world_conserves_requests_across_outcomes() {
+    let w = run_serving_world(true, 1);
+    let mut completed = 0;
+    let mut resolved = 0;
+    let mut generated = 0;
+    for id in 0..3 {
+        completed += w.thread_completed(id);
+        resolved += w.thread_completed(id) + w.thread_failed(id) + w.thread_shed(id);
+        generated += w.thread_accesses(id);
+        let h = w
+            .thread_latency(id)
+            .expect("serving threads have histograms");
+        assert_eq!(h.count(), w.thread_completed(id));
+    }
+    assert_eq!(
+        resolved, generated,
+        "generated == completed + failed + shed"
+    );
+    assert!(completed > 0);
 }

@@ -13,6 +13,9 @@
 //!   databases usually implement hash indexes" comparison,
 //! * [`db`] — a miniature in-memory database (heap table + both indexes),
 //!   the query study the paper's conclusions call for,
+//! * [`serving`] — an open-loop multi-tenant serving generator (Poisson
+//!   and diurnal arrivals, KV point and columnar-scan mixes) driving the
+//!   World's serving threads, the EXT-SERVING study's workload,
 //! * [`parsec`] — four synthetic kernels in the locality/footprint classes
 //!   of the PARSEC benchmarks used in Fig. 11 (blackscholes, raytrace,
 //!   canneal, streamcluster).
@@ -27,6 +30,7 @@ pub mod hash;
 pub mod parsec;
 pub mod random;
 pub mod report;
+pub mod serving;
 
 pub use btree::BTree;
 pub use db::Database;
